@@ -1,0 +1,65 @@
+// Figure 1 reproduction: strong scaling of the PCG variants on the 125-pt
+// 3D Poisson problem, speedup relative to PCG on one node.
+//
+// Paper setting: 100^3 unknowns, Jacobi preconditioner, rtol 1e-5, s = 3,
+// up to 120 nodes (24 cores each) of a Cray-XC40.  Default here is a 40^3
+// grid (this box has one core); pass --n 100 for the paper size.  The
+// convergence runs are real; the per-node-count timings replay the recorded
+// event traces through the machine model (see DESIGN.md).
+#include <cstdio>
+
+#include "pipescg/base/cli.hpp"
+#include "pipescg/bench_support/figures.hpp"
+#include "pipescg/sparse/poisson125.hpp"
+
+using namespace pipescg;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig1_strong_scaling_poisson",
+                "Fig. 1: strong scaling on the 125-pt Poisson problem");
+  cli.add_option("n", "64", "grid points per dimension (paper: 100)");
+  cli.add_option("rtol", "1e-5", "relative tolerance");
+  cli.add_option("s", "3", "s-step depth for the s-step methods");
+  cli.add_option("max-nodes", "120", "largest node count in the sweep");
+  cli.add_option("csv", "", "optional CSV output path for the figure data");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
+  const auto op = sparse::make_poisson125_operator(n);
+  const auto jacobi = bench::make_stencil_jacobi(*op);
+
+  krylov::SolverOptions opts;
+  opts.rtol = cli.real("rtol");
+  opts.s = static_cast<int>(cli.integer("s"));
+  opts.max_iterations = 100000;
+  opts.norm = krylov::NormType::kPreconditioned;
+
+  const std::vector<std::string> methods = {
+      "pcg",  "pipecg",   "pipecg3",  "pipecg-oati",
+      "pscg", "pipe-scg", "pipe-pscg"};
+
+  std::printf("Fig. 1: 125-pt Poisson, %zu^3 unknowns (%zu), jacobi, rtol "
+              "%.1e, s=%d\n",
+              n, op->rows(), opts.rtol, opts.s);
+  std::vector<bench::RunRecord> runs;
+  for (const std::string& m : methods) {
+    runs.push_back(bench::run_method(m, *op, jacobi.get(), opts));
+    std::printf("  ran %-12s: %zu iterations\n", m.c_str(),
+                runs.back().stats.iterations);
+  }
+  bench::print_run_summaries(runs);
+
+  const sim::Timeline timeline(sim::MachineModel::cray_xc40_like());
+  const std::vector<int> nodes =
+      bench::node_sweep(static_cast<int>(cli.integer("max-nodes")));
+  const bench::ScalingReport report =
+      bench::make_scaling_report(runs, timeline, nodes, "pcg");
+  bench::print_scaling_report(
+      report, "Fig. 1: speedup vs PCG@1node, 125-pt Poisson");
+  bench::write_scaling_csv(report, cli.str("csv"));
+
+  // Paper landmarks for comparison (100^3, SahasraT): PCG peaks ~11.3x at 40
+  // nodes; PIPECG 14.79x; PIPECG3 17.77x; OATI 19.76x; PsCG 12.79x;
+  // PIPE-PsCG overtakes OATI from ~60 nodes and peaks highest.
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 2 reproduction: strong scaling on the ecology2 matrix (here: the
+// documented synthetic surrogate -- see DESIGN.md "Substitutions"; drop in
+// the real SuiteSparse file with --matrix).
+//
+// Paper setting: 1M unknowns, Jacobi, rtol 1e-2 (the s-step pipelined
+// variants stagnate before 1e-5 on this ill-conditioned system, paper
+// Section VI-B), s = 3, up to 120 nodes.
+#include <cstdio>
+
+#include "pipescg/base/cli.hpp"
+#include "pipescg/bench_support/figures.hpp"
+#include "pipescg/sparse/matrix_market.hpp"
+#include "pipescg/sparse/surrogates.hpp"
+
+using namespace pipescg;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig2_strong_scaling_ecology2",
+                "Fig. 2: strong scaling on the ecology2(-like) matrix");
+  cli.add_option("nx", "256", "grid width of the surrogate (paper: 999)");
+  cli.add_option("ny", "256", "grid height of the surrogate (paper: 1001)");
+  cli.add_option("matrix", "", "optional Matrix Market file to use instead");
+  cli.add_option("rtol", "1e-2", "relative tolerance (paper: 1e-2)");
+  cli.add_option("s", "3", "s-step depth");
+  cli.add_option("max-nodes", "120", "largest node count in the sweep");
+  cli.add_option("csv", "", "optional CSV output path for the figure data");
+  if (!cli.parse(argc, argv)) return 0;
+
+  sparse::CsrMatrix a =
+      cli.str("matrix").empty()
+          ? sparse::make_ecology2_like(
+                static_cast<std::size_t>(cli.integer("nx")),
+                static_cast<std::size_t>(cli.integer("ny")))
+          : sparse::read_matrix_market_file(cli.str("matrix"));
+  precond::JacobiPreconditioner jacobi(a);
+
+  krylov::SolverOptions opts;
+  opts.rtol = cli.real("rtol");
+  opts.s = static_cast<int>(cli.integer("s"));
+  opts.max_iterations = 200000;
+  opts.norm = krylov::NormType::kPreconditioned;
+
+  const std::vector<std::string> methods = {
+      "pcg",  "pipecg",   "pipecg3",  "pipecg-oati",
+      "pscg", "pipe-scg", "pipe-pscg"};
+
+  std::printf("Fig. 2: %s, %zu unknowns, %zu nnz, jacobi, rtol %.1e, s=%d\n",
+              a.name().c_str(), a.rows(), a.nnz(), opts.rtol, opts.s);
+  std::vector<bench::RunRecord> runs;
+  for (const std::string& m : methods)
+    runs.push_back(bench::run_method(m, a, &jacobi, opts));
+  bench::print_run_summaries(runs);
+
+  const sim::Timeline timeline(sim::MachineModel::cray_xc40_like());
+  const bench::ScalingReport report = bench::make_scaling_report(
+      runs, timeline,
+      bench::node_sweep(static_cast<int>(cli.integer("max-nodes"))), "pcg");
+  bench::print_scaling_report(report,
+                              "Fig. 2: speedup vs PCG@1node, ecology2-like");
+  bench::write_scaling_csv(report, cli.str("csv"));
+
+  // Paper landmarks (real ecology2, 120 nodes): PIPE-PsCG 2.9x vs PCG,
+  // 2.15x vs PIPECG, 1.4x vs PIPECG3, 1.2x vs OATI, 2.43x vs PsCG.
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Figure 3 reproduction: sensitivity of PIPE-PsCG to the s parameter on the
+// 125-pt Poisson problem, up to 140 nodes.
+//
+// Paper finding: s = 3 wins until ~70 nodes, s = 4 until ~100, s = 5 beyond
+// -- larger s trades FLOP overhead (O(s^3) recurrence work per s iterations)
+// for fewer, better-overlapped allreduces, which only pays off once the
+// allreduce latency is large.
+//
+// Ablation rider (DESIGN.md section 5): prints each run's achieved residual
+// floor and the kernel overhead added by the stability replacement rebuilds
+// at s >= 4.
+#include <cstdio>
+
+#include "pipescg/base/cli.hpp"
+#include "pipescg/bench_support/figures.hpp"
+#include <algorithm>
+
+#include "pipescg/sim/auto_tune.hpp"
+#include "pipescg/sparse/poisson125.hpp"
+
+using namespace pipescg;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig3_s_sensitivity",
+                "Fig. 3: PIPE-PsCG sensitivity to s");
+  cli.add_option("n", "64", "grid points per dimension (paper: 100)");
+  cli.add_option("rtol", "1e-5", "relative tolerance");
+  cli.add_option("max-nodes", "140", "largest node count in the sweep");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
+  const auto op = sparse::make_poisson125_operator(n);
+  const auto jacobi = bench::make_stencil_jacobi(*op);
+
+  std::printf("Fig. 3: PIPE-PsCG with s = 3, 4, 5 on 125-pt Poisson %zu^3\n",
+              n);
+  std::vector<bench::RunRecord> runs;
+  std::vector<bench::RunRecord> pure_runs;  // replacement disabled, for the
+                                            // overhead ablation
+  for (int s : {3, 4, 5}) {
+    krylov::SolverOptions opts;
+    opts.rtol = cli.real("rtol");
+    opts.s = s;
+    opts.max_iterations = 100000;
+    opts.norm = krylov::NormType::kPreconditioned;
+    runs.push_back(bench::run_method("pipe-pscg", *op, jacobi.get(), opts));
+    runs.back().method = "s=" + std::to_string(s);
+
+    opts.replacement_period = -1;
+    opts.max_iterations = 3000;  // the pure run may only stall; cap it
+    pure_runs.push_back(
+        bench::run_method("pipe-pscg", *op, jacobi.get(), opts));
+  }
+
+  // The speedup reference is PCG at one node, as in Fig. 1.
+  {
+    krylov::SolverOptions opts;
+    opts.rtol = cli.real("rtol");
+    opts.max_iterations = 100000;
+    opts.norm = krylov::NormType::kPreconditioned;
+    runs.push_back(bench::run_method("pcg", *op, jacobi.get(), opts));
+  }
+  bench::print_run_summaries(runs);
+
+  const sim::Timeline timeline(sim::MachineModel::cray_xc40_like());
+  const bench::ScalingReport report = bench::make_scaling_report(
+      runs, timeline,
+      bench::node_sweep(static_cast<int>(cli.integer("max-nodes"))), "pcg");
+  bench::print_scaling_report(report,
+                              "Fig. 3: PIPE-PsCG s-sensitivity (speedups)");
+
+  // Model view with *pure recurrences* (no stability anchoring): the cost
+  // structure the paper measures.  This exhibits the paper's crossovers --
+  // larger s wins once the allreduce dominates -- which the measured runs
+  // above cannot show because this implementation must anchor s >= 4 to
+  // keep it convergent (EXPERIMENTS.md discusses the deviation).
+  std::printf("\nmodel view, pure recurrences (us per CG iteration):\n");
+  std::printf("%8s %10s %10s %10s %12s\n", "nodes", "s=3", "s=4", "s=5",
+              "best");
+  for (int nodes : {10, 40, 70, 100, 140}) {
+    const int ranks = timeline.machine().ranks_for_nodes(nodes);
+    double t[3];
+    for (int s = 3; s <= 5; ++s)
+      t[s - 3] = sim::pipe_pscg_seconds_per_iteration(
+          timeline.machine(), op->stats(), jacobi->cost_profile(), ranks, s,
+          /*include_anchoring=*/false);
+    const int best = 3 + static_cast<int>(
+                             std::min_element(t, t + 3) - t);
+    std::printf("%8d %10.2f %10.2f %10.2f %9s s=%d\n", nodes, t[0] * 1e6,
+                t[1] * 1e6, t[2] * 1e6, "", best);
+  }
+
+  // The paper's future work, implemented: model-recommended s per node
+  // count (sim::suggest_s).
+  std::printf("\nauto-s (paper Section VII future work, implemented):\n");
+  std::printf("%8s %12s %22s\n", "nodes", "suggested s",
+              "modeled us/iteration");
+  for (int nodes : {10, 40, 70, 100, 140}) {
+    const sim::SRecommendation rec = sim::suggest_s(
+        timeline.machine(), op->stats(), jacobi->cost_profile(),
+        timeline.machine().ranks_for_nodes(nodes));
+    std::printf("%8d %12d %22.2f\n", nodes, rec.s,
+                rec.seconds_per_iteration * 1e6);
+  }
+
+  std::printf("\nablation: stability replacement rebuilds (s >= 4)\n");
+  std::printf("%4s %18s %18s %14s\n", "s", "spmvs(stabilized)", "spmvs(pure)",
+              "pure outcome");
+  const int svals[3] = {3, 4, 5};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto stabilized = runs[i].trace.counters();
+    const auto pure = pure_runs[i].trace.counters();
+    std::printf("%4d %18zu %18zu %11s/%zu\n", svals[i], stabilized.spmvs,
+                pure.spmvs,
+                pure_runs[i].stats.converged
+                    ? "converged"
+                    : (pure_runs[i].stats.stagnated ? "stagnated" : "maxed"),
+                pure_runs[i].stats.iterations);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 5 reproduction: solver accuracy/performance -- relative residual as
+// a function of (modeled) wall time at 80 nodes for the 125-pt Poisson
+// problem.
+//
+// Paper finding: all methods reach rtol * ||b|| (rtol = 1e-5), PIPE-PsCG
+// fastest and PCG slowest; i.e. for the tolerances real applications use
+// (PETSc default 1e-5, OpenFOAM pressure solves 1e-2), the pipelined s-step
+// method is the best choice.
+#include <algorithm>
+#include <cstdio>
+
+#include "pipescg/base/cli.hpp"
+#include "pipescg/bench_support/figures.hpp"
+#include "pipescg/sparse/poisson125.hpp"
+
+using namespace pipescg;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig5_accuracy",
+                "Fig. 5: relative residual vs time at 80 nodes");
+  cli.add_option("n", "64", "grid points per dimension (paper: 100)");
+  cli.add_option("rtol", "1e-5", "relative tolerance");
+  cli.add_option("s", "3", "s-step depth");
+  cli.add_option("nodes", "80", "node count");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
+  const int nodes = static_cast<int>(cli.integer("nodes"));
+  const auto op = sparse::make_poisson125_operator(n);
+  const auto jacobi = bench::make_stencil_jacobi(*op);
+
+  krylov::SolverOptions opts;
+  opts.rtol = cli.real("rtol");
+  opts.s = static_cast<int>(cli.integer("s"));
+  opts.max_iterations = 100000;
+  opts.norm = krylov::NormType::kPreconditioned;
+
+  const std::vector<std::string> methods = {
+      "pcg", "pipecg", "pipecg3", "pipecg-oati", "pscg", "pipe-pscg"};
+  const sim::Timeline timeline(sim::MachineModel::cray_xc40_like());
+  const int ranks = timeline.machine().ranks_for_nodes(nodes);
+
+  std::printf("Fig. 5: 125-pt Poisson %zu^3 at %d nodes, rtol %.0e\n", n,
+              nodes, opts.rtol);
+
+  struct Series {
+    std::string method;
+    std::vector<sim::TimelineResult::Mark> marks;
+    double total_ms;
+    double b_norm;
+  };
+  std::vector<Series> series;
+  for (const std::string& m : methods) {
+    const bench::RunRecord run = bench::run_method(m, *op, jacobi.get(), opts);
+    const sim::TimelineResult tr = timeline.evaluate(run.trace, ranks);
+    series.push_back(
+        Series{m, tr.marks, tr.seconds * 1e3, run.stats.b_norm});
+  }
+
+  std::printf("\ntime to reach rtol*||b|| (modeled, %d nodes):\n", nodes);
+  for (const Series& s : series)
+    std::printf("  %-12s %10.3f ms  (%zu residual checkpoints)\n",
+                s.method.c_str(), s.total_ms, s.marks.size());
+
+  std::printf("\nrelative residual vs time [ms] (sampled checkpoints):\n");
+  for (const Series& s : series) {
+    std::printf("%-12s", s.method.c_str());
+    const std::size_t count = s.marks.size();
+    const std::size_t stride = std::max<std::size_t>(1, count / 8);
+    for (std::size_t i = 0; i < count; i += stride) {
+      std::printf(" %7.2f:%8.1e", s.marks[i].time * 1e3,
+                  s.marks[i].residual / s.b_norm);
+    }
+    if (count > 0)
+      std::printf(" %7.2f:%8.1e", s.marks.back().time * 1e3,
+                  s.marks.back().residual / s.b_norm);
+    std::printf("\n");
+  }
+  std::printf("\n(expected shape per the paper: every curve reaches the "
+              "threshold; PIPE-PsCG first, PCG last)\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Kernel microbenchmarks (google-benchmark): the building blocks whose costs
+// the machine model prices -- SPMV (CSR and matrix-free stencil), the s-step
+// block kernels, dot batches, the s x s scalar work, and the runtime's
+// allreduce -- plus a modeled-vs-measured cross-check hook (the printed
+// real-time numbers are what one would calibrate MachineModel against on a
+// new machine).
+#include <benchmark/benchmark.h>
+
+#include "pipescg/krylov/serial_engine.hpp"
+#include "pipescg/krylov/sstep_common.hpp"
+#include "pipescg/la/lu.hpp"
+#include "pipescg/par/comm.hpp"
+#include "pipescg/precond/jacobi.hpp"
+#include "pipescg/precond/ssor.hpp"
+#include "pipescg/sparse/poisson125.hpp"
+#include "pipescg/sparse/stencil.hpp"
+
+using namespace pipescg;
+
+namespace {
+
+void BM_SpmvCsr5pt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson5(), n, n, "p5");
+  std::vector<double> x(a.rows(), 1.0), y(a.rows());
+  for (auto _ : state) {
+    a.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpmvCsr5pt)->Arg(64)->Arg(256);
+
+void BM_SpmvStencil125(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto op = sparse::make_poisson125_operator(n);
+  std::vector<double> x(op->rows(), 1.0), y(op->rows());
+  for (auto _ : state) {
+    op->apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(op->stats().nnz));
+}
+BENCHMARK(BM_SpmvStencil125)->Arg(24)->Arg(48);
+
+void BM_SpmvCsr125(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const sparse::CsrMatrix a = sparse::make_poisson125_csr(n);
+  std::vector<double> x(a.rows(), 1.0), y(a.rows());
+  for (auto _ : state) {
+    a.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpmvCsr125)->Arg(24);
+
+void BM_BlockCombine(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int s = static_cast<int>(state.range(1));
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson5(), n, n, "p5");
+  krylov::SerialEngine engine(a);
+  krylov::VecBlock block = engine.new_block(static_cast<std::size_t>(s));
+  krylov::Vec base = engine.new_vec(), out = engine.new_vec();
+  std::vector<double> coeff(static_cast<std::size_t>(s), 0.5);
+  for (auto _ : state) {
+    engine.block_combine(out, base, block, coeff);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_BlockCombine)->Args({256, 3})->Args({256, 5});
+
+void BM_DotBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pairs_n = static_cast<std::size_t>(state.range(1));
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson5(), n, n, "p5");
+  krylov::SerialEngine engine(a);
+  krylov::VecBlock block = engine.new_block(pairs_n);
+  std::vector<krylov::DotPair> pairs;
+  for (std::size_t i = 0; i < pairs_n; ++i)
+    pairs.push_back(krylov::DotPair{&block[i], &block[i]});
+  std::vector<double> out(pairs_n);
+  for (auto _ : state) {
+    engine.dots(pairs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DotBatch)->Args({256, 7})->Args({256, 18});
+
+void BM_SsorApply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson5(), n, n, "p5");
+  const precond::SsorPreconditioner pc(a);
+  std::vector<double> r(a.rows(), 1.0), u(a.rows());
+  for (auto _ : state) {
+    pc.apply(r, u);
+    benchmark::DoNotOptimize(u.data());
+  }
+}
+BENCHMARK(BM_SsorApply)->Arg(128);
+
+void BM_ScalarWork(benchmark::State& state) {
+  const int s = static_cast<int>(state.range(0));
+  // Moments of a tiny SPD system (reused every iteration).
+  std::vector<double> moments(static_cast<std::size_t>(2 * s + 1));
+  for (int j = 0; j <= 2 * s; ++j)
+    moments[static_cast<std::size_t>(j)] = 1.0 / (1.0 + j);  // Hilbert-ish
+  la::DenseMatrix cross(static_cast<std::size_t>(s),
+                        static_cast<std::size_t>(s));
+  for (auto _ : state) {
+    krylov::sstep::ScalarWork work(s);
+    auto result = work.step(moments, cross);
+    benchmark::DoNotOptimize(result.alpha.data());
+  }
+}
+BENCHMARK(BM_ScalarWork)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_RuntimeAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t payload = 18;  // a PIPE-PsCG s=3 batch
+  for (auto _ : state) {
+    par::Team::run(ranks, [&](par::Comm& comm) {
+      std::vector<double> v(payload, 1.0), out(payload);
+      for (int round = 0; round < 16; ++round)
+        comm.allreduce_sum(v, out);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+}
+BENCHMARK(BM_RuntimeAllreduce)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

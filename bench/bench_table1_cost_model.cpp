@@ -1,0 +1,76 @@
+// Table I reproduction: analytic cost comparison of the PCG variants per s
+// iterations, evaluated at a concrete Cray-XC40-like operating point, plus a
+// cross-check of the formulas against kernel counters recorded from the real
+// solver implementations.
+#include <cstdio>
+#include <iostream>
+
+#include "pipescg/base/cli.hpp"
+#include "pipescg/bench_support/figures.hpp"
+#include "pipescg/precond/jacobi.hpp"
+#include "pipescg/sim/cost_table.hpp"
+#include "pipescg/sim/machine_model.hpp"
+#include "pipescg/sparse/poisson125.hpp"
+
+using namespace pipescg;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_table1_cost_model",
+                "Reproduces Table I of the paper: analytic per-s-iteration "
+                "cost of the PCG variants, plus measured kernel counters");
+  cli.add_option("s", "3", "s-step depth");
+  cli.add_option("nodes", "120", "node count for the operating point");
+  cli.add_option("n", "24", "grid size per dimension for the counter check");
+  if (!cli.parse(argc, argv)) return 0;
+  const int s = static_cast<int>(cli.integer("s"));
+  const int nodes = static_cast<int>(cli.integer("nodes"));
+  const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
+
+  const sim::MachineModel machine = sim::MachineModel::cray_xc40_like();
+  const auto op = sparse::make_poisson125_operator(n);
+  const int ranks = machine.ranks_for_nodes(nodes);
+  const double spmv = machine.spmv_seconds(op->stats(), ranks);
+  const double pc = machine.compute_seconds(
+      static_cast<double>(op->rows()), 24.0 * op->rows(), ranks);  // jacobi
+  const double g = machine.allreduce_seconds(ranks, 2 * s + s * s + 3);
+
+  std::printf("=== Table I: cost analysis of PCG variants ===\n");
+  std::printf("operating point: %d nodes (%d ranks), 125-pt Poisson %zu^3\n",
+              nodes, ranks, n);
+  std::printf("G = %.3g us, PC(jacobi) = %.3g us, SPMV = %.3g us\n\n",
+              g * 1e6, pc * 1e6, spmv * 1e6);
+  sim::print_cost_table(std::cout, s, g, pc, spmv);
+
+  // Cross-check: measured per-iteration kernel counts from the real solvers
+  // (steady state, difference of a long and a short run).
+  std::printf("\nmeasured kernel counts per CG-equivalent iteration "
+              "(steady state, replacement disabled):\n");
+  std::printf("%-14s %10s %10s %12s\n", "method", "spmv/it", "pc/it",
+              "allr/it");
+  const sparse::CsrMatrix a = sparse::make_poisson125_csr(n);
+  precond::JacobiPreconditioner jacobi(a);
+  for (const std::string& m : krylov::solver_names()) {
+    if (m == "hybrid") continue;  // two-phase: no single steady state
+    auto counters_at = [&](std::size_t iters) {
+      krylov::SolverOptions opts;
+      opts.rtol = 1e-30;
+      opts.atol = 0.0;
+      opts.s = s;
+      opts.max_iterations = iters;
+      opts.replacement_period = -1;
+      bench::RunRecord rec = bench::run_method(m, a, &jacobi, opts);
+      return rec.trace.counters();
+    };
+    const std::size_t span = static_cast<std::size_t>(10 * s);
+    const auto c1 = counters_at(span);
+    const auto c2 = counters_at(2 * span);
+    const double d = static_cast<double>(span);
+    std::printf("%-14s %10.2f %10.2f %12.2f\n", m.c_str(),
+                (static_cast<double>(c2.spmvs) - c1.spmvs) / d,
+                (static_cast<double>(c2.pc_applies) - c1.pc_applies) / d,
+                (static_cast<double>(c2.allreduces) - c1.allreduces) / d);
+  }
+  std::printf("\n(paper Table I gives, per s=%d iterations: PCG 3s allr; "
+              "PIPECG s; PIPECG3/OATI ceil(s/2); PsCG/PIPE-PsCG 1)\n", s);
+  return 0;
+}

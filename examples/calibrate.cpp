@@ -1,0 +1,98 @@
+// Machine-model calibration helper: measures the real per-kernel rates of
+// this machine (SPMV, vector ops, the runtime's allreduce) and prints them
+// next to the MachineModel defaults, plus the suggested constants to use if
+// you want the timeline's single-rank numbers to track this host.
+//
+// This is the modeled-vs-measured cross-check called out in DESIGN.md
+// section 5: the *relative* figures (speedups, crossovers) depend only on
+// the model's internal ratios, but absolute single-node seconds can be made
+// to match a real host by feeding these measurements back into
+// sim::MachineModel.
+//
+//   ./calibrate [--n 48] [--reps 5]
+#include <algorithm>
+#include <cstdio>
+
+#include "pipescg/pipescg.hpp"
+
+using namespace pipescg;
+
+namespace {
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("calibrate", "measure kernel rates for the machine model");
+  cli.add_option("n", "48", "grid points per dimension for the test operator");
+  cli.add_option("reps", "5", "repetitions (best-of timing)");
+  if (!cli.parse(argc, argv)) return 0;
+  const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
+  const int reps = static_cast<int>(cli.integer("reps"));
+
+  const auto op = sparse::make_poisson125_operator(n);
+  const std::size_t rows = op->rows();
+  const double nnz = static_cast<double>(op->stats().nnz);
+  std::vector<double> x(rows, 1.0), y(rows);
+
+  const sim::MachineModel model = sim::MachineModel::cray_xc40_like();
+  std::printf("host calibration on a %zu^3 125-pt operator (%zu rows)\n", n,
+              rows);
+  std::printf("model defaults: %s\n\n", model.describe().c_str());
+
+  // SPMV: measured flop rate.
+  const double t_spmv =
+      time_best_of(reps, [&] { op->apply(x, y); });
+  const double spmv_flops = 2.0 * nnz;
+  std::printf("SPMV        : %8.3f ms  -> %6.2f GF/s sustained\n",
+              t_spmv * 1e3, spmv_flops / t_spmv * 1e-9);
+
+  // Vector stream: axpy bandwidth.
+  std::vector<double> a(rows, 1.0), b(rows, 2.0);
+  const double t_axpy = time_best_of(reps, [&] {
+    for (std::size_t i = 0; i < rows; ++i) b[i] += 1.5 * a[i];
+  });
+  std::printf("AXPY        : %8.3f ms  -> %6.2f GB/s stream\n", t_axpy * 1e3,
+              24.0 * static_cast<double>(rows) / t_axpy * 1e-9);
+
+  // Dot product.
+  double sink = 0.0;
+  const double t_dot = time_best_of(reps, [&] {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) acc += a[i] * b[i];
+    sink += acc;
+  });
+  std::printf("DOT         : %8.3f ms  -> %6.2f GF/s\n", t_dot * 1e3,
+              2.0 * static_cast<double>(rows) / t_dot * 1e-9);
+
+  // Runtime allreduce (in-process; a real network would be slower).
+  for (int ranks : {2, 4}) {
+    const double t_allr = time_best_of(reps, [&] {
+      par::Team::run(ranks, [&](par::Comm& comm) {
+        std::vector<double> v(16, 1.0), out(16);
+        for (int i = 0; i < 32; ++i) comm.allreduce_sum(v, out);
+      });
+    });
+    std::printf("ALLREDUCE@%d : %8.3f us per op (in-process runtime)\n", ranks,
+                t_allr / 32.0 * 1e6);
+  }
+
+  std::printf(
+      "\nsuggested MachineModel edits for this host:\n"
+      "  flop_rate = %.3g;   // from SPMV\n"
+      "  mem_bw    = %.3g;   // from AXPY\n"
+      "(network constants must come from the target cluster, not this "
+      "host)\n",
+      spmv_flops / t_spmv, 24.0 * static_cast<double>(rows) / t_axpy);
+  (void)sink;
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Solve a user-provided Matrix Market system, or -- when no file is given --
+// a generated SuiteSparse-like surrogate, comparing every CG variant.
+//
+//   ./matrix_market_solve [--matrix path.mtx] [--surrogate thermal2]
+//                         [--rtol 1e-5] [--pc jacobi]
+//
+// This is the workflow for reproducing the paper's SuiteSparse experiments
+// with the real matrices once they are available offline.
+#include <cstdio>
+
+#include "pipescg/pipescg.hpp"
+
+using namespace pipescg;
+
+int main(int argc, char** argv) {
+  CliParser cli("matrix_market_solve",
+                "solve a Matrix Market (or surrogate) SPD system with every "
+                "CG variant");
+  cli.add_option("matrix", "", "path to a .mtx file (coordinate real)");
+  cli.add_option("surrogate", "thermal2",
+                 "ecology2|thermal2|serena when no --matrix is given");
+  cli.add_option("size", "96", "surrogate grid size per dimension");
+  cli.add_option("rtol", "1e-5", "relative tolerance");
+  cli.add_option("pc", "jacobi", "preconditioner: jacobi|ssor|chebyshev|mg|gamg");
+  if (!cli.parse(argc, argv)) return 0;
+
+  sparse::CsrMatrix a = [&]() {
+    if (!cli.str("matrix").empty())
+      return sparse::read_matrix_market_file(cli.str("matrix"));
+    const std::size_t size = static_cast<std::size_t>(cli.integer("size"));
+    const std::string kind = cli.str("surrogate");
+    if (kind == "ecology2") return sparse::make_ecology2_like(size, size);
+    if (kind == "thermal2") return sparse::make_thermal2_like(size, size);
+    if (kind == "serena")
+      return sparse::make_serena_like(std::max<std::size_t>(size / 4, 8));
+    PIPESCG_FAIL("unknown surrogate '" + kind + "'");
+  }();
+
+  std::printf("matrix %s: %zu rows, %zu nnz, symmetry error %.2e\n",
+              a.name().c_str(), a.rows(), a.nnz(), a.symmetry_error());
+  const auto pc = precond::make_preconditioner(cli.str("pc"), a);
+
+  // Free spectrum estimate from a PCG probe (Lanczos coefficients).
+  {
+    krylov::SerialEngine engine(a, pc.get());
+    krylov::Vec ones = engine.new_vec();
+    for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
+    krylov::Vec b = engine.new_vec();
+    engine.apply_op(ones, b);
+    krylov::Vec x = engine.new_vec();
+    krylov::SolverOptions probe;
+    probe.rtol = cli.real("rtol");
+    probe.max_iterations = 2000;
+    probe.estimate_spectrum = true;
+    const auto st = krylov::make_solver("pcg")->solve(engine, b, x, probe);
+    if (st.condition_est > 0.0)
+      std::printf("preconditioned spectrum estimate: lambda in [%.3e, %.3e],"
+                  " kappa ~ %.3g\n",
+                  st.lambda_min_est, st.lambda_max_est, st.condition_est);
+  }
+
+  krylov::SolverOptions opts;
+  opts.rtol = cli.real("rtol");
+  opts.max_iterations = 200000;
+  opts.compute_true_residual = true;
+
+  std::printf("%-14s %10s %12s %12s %8s\n", "method", "iters", "rnorm",
+              "true_res", "status");
+  for (const std::string& name : krylov::solver_names()) {
+    krylov::SerialEngine engine(
+        a, krylov::solver_uses_preconditioner(name) ? pc.get() : nullptr);
+    krylov::Vec ones = engine.new_vec();
+    for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
+    krylov::Vec b = engine.new_vec();
+    engine.apply_op(ones, b);
+    krylov::Vec x = engine.new_vec();
+    const krylov::SolveStats stats =
+        krylov::make_solver(name)->solve(engine, b, x, opts);
+    std::printf("%-14s %10zu %12.3e %12.3e %8s\n", name.c_str(),
+                stats.iterations, stats.final_rnorm, stats.true_residual,
+                stats.converged ? "ok"
+                                : (stats.stagnated ? "stall" : "maxit"));
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Pressure-solve workflow: implicit heat/pressure equation time stepping.
+//
+// The paper's motivation (Section I, VI-E) is PDE applications -- OpenFOAM
+// pressure Poisson solves with rtol 1e-2, PETSc applications with 1e-5.
+// This example integrates du/dt = laplacian(u) + f implicitly on a 3D grid:
+// every time step solves (I + dt A) u_new = u_old + dt f with a CG variant,
+// reusing the previous step's solution as the initial guess -- the setting
+// where per-solve allreduce savings accumulate across thousands of steps.
+//
+//   ./poisson3d [--n 24] [--steps 5] [--dt 0.1] [--method pipe-pscg]
+#include <cmath>
+#include <cstdio>
+
+#include "pipescg/pipescg.hpp"
+
+using namespace pipescg;
+
+int main(int argc, char** argv) {
+  CliParser cli("poisson3d", "implicit diffusion stepping with CG variants");
+  cli.add_option("n", "24", "grid points per dimension");
+  cli.add_option("steps", "5", "time steps");
+  cli.add_option("dt", "0.1", "time step size");
+  cli.add_option("method", "pipe-pscg", "solver name");
+  cli.add_option("rtol", "1e-6", "per-step relative tolerance");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
+  const double dt = cli.real("dt");
+  const int steps = static_cast<int>(cli.integer("steps"));
+
+  // System matrix M = I + dt * A27 (27-pt Laplacian), assembled once.
+  const sparse::CsrMatrix a27 =
+      sparse::assemble_stencil3d(sparse::stencil_poisson27(), n, n, n, "A27");
+  sparse::CooBuilder builder(a27.rows(), a27.cols());
+  {
+    const auto rp = a27.row_ptr();
+    const auto ci = a27.col_indices();
+    const auto v = a27.values();
+    for (std::size_t i = 0; i < a27.rows(); ++i) {
+      builder.add(i, i, 1.0);
+      for (auto k = rp[i]; k < rp[i + 1]; ++k)
+        builder.add(i,
+                    static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]),
+                    dt * v[static_cast<std::size_t>(k)]);
+    }
+  }
+  const sparse::CsrMatrix system = builder.build("I+dtA");
+
+  precond::SsorPreconditioner pc(system);
+  krylov::SerialEngine engine(system, &pc);
+  const auto solver = krylov::make_solver(cli.str("method"));
+
+  // Initial condition: a hot blob in the middle; forcing: none.
+  krylov::Vec u = engine.new_vec();
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) {
+        const double dx = (static_cast<double>(i) / n) - 0.5;
+        const double dy = (static_cast<double>(j) / n) - 0.5;
+        const double dz = (static_cast<double>(k) / n) - 0.5;
+        u[(k * n + j) * n + i] =
+            std::exp(-40.0 * (dx * dx + dy * dy + dz * dz));
+      }
+
+  krylov::SolverOptions opts;
+  opts.rtol = cli.real("rtol");
+  opts.compute_true_residual = false;
+
+  std::printf("implicit diffusion: %zu^3 grid, dt=%.3g, %d steps, %s\n", n,
+              dt, steps, cli.str("method").c_str());
+  double energy_prev = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) energy_prev += u[i] * u[i];
+
+  std::size_t total_iterations = 0;
+  for (int step = 0; step < steps; ++step) {
+    // rhs = u_old; initial guess = u_old (warm start).
+    krylov::Vec rhs = engine.new_vec();
+    engine.copy(u, rhs);
+    const krylov::SolveStats stats = solver->solve(engine, rhs, u, opts);
+    if (!stats.converged) {
+      std::printf("step %d failed to converge\n", step);
+      return 1;
+    }
+    total_iterations += stats.iterations;
+    double energy = 0.0, umax = 0.0;
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      energy += u[i] * u[i];
+      umax = std::max(umax, std::abs(u[i]));
+    }
+    std::printf("  step %d: %4zu iterations, max u = %.4f, energy = %.5f\n",
+                step, stats.iterations, umax, energy);
+    // Diffusion with Dirichlet walls must dissipate energy monotonically.
+    if (energy > energy_prev * (1.0 + 1e-10)) {
+      std::printf("energy grew: unphysical result\n");
+      return 1;
+    }
+    energy_prev = energy;
+  }
+  std::printf("total CG-equivalent iterations: %zu (avg %.1f per step)\n",
+              total_iterations,
+              static_cast<double>(total_iterations) / steps);
+  return 0;
+}

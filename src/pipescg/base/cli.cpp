@@ -1,0 +1,114 @@
+#include "pipescg/base/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg {
+
+void CliParser::add_flag(const std::string& name, const std::string& doc) {
+  PIPESCG_CHECK(!options_.count(name), "duplicate option --" + name);
+  Option o;
+  o.doc = doc;
+  o.is_flag = true;
+  options_[name] = std::move(o);
+  order_.push_back(name);
+}
+
+void CliParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& doc) {
+  PIPESCG_CHECK(!options_.count(name), "duplicate option --" + name);
+  Option o;
+  o.doc = doc;
+  o.value = default_value;
+  options_[name] = std::move(o);
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    PIPESCG_CHECK(arg.rfind("--", 0) == 0, "unexpected positional arg: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    PIPESCG_CHECK(it != options_.end(),
+                  "unknown option --" + arg + "\n" + help());
+    Option& o = it->second;
+    if (o.is_flag) {
+      PIPESCG_CHECK(!has_value, "flag --" + arg + " does not take a value");
+      o.flag_set = true;
+    } else {
+      if (!has_value) {
+        PIPESCG_CHECK(i + 1 < argc, "option --" + arg + " needs a value");
+        value = argv[++i];
+      }
+      o.value = value;
+    }
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::lookup(const std::string& name) const {
+  auto it = options_.find(name);
+  PIPESCG_CHECK(it != options_.end(), "option --" + name + " not registered");
+  return it->second;
+}
+
+bool CliParser::flag(const std::string& name) const {
+  const Option& o = lookup(name);
+  PIPESCG_CHECK(o.is_flag, "--" + name + " is not a flag");
+  return o.flag_set;
+}
+
+std::string CliParser::str(const std::string& name) const {
+  const Option& o = lookup(name);
+  PIPESCG_CHECK(!o.is_flag, "--" + name + " is a flag");
+  return o.value;
+}
+
+std::int64_t CliParser::integer(const std::string& name) const {
+  const std::string v = str(name);
+  char* end = nullptr;
+  const long long r = std::strtoll(v.c_str(), &end, 10);
+  PIPESCG_CHECK(end && *end == '\0' && !v.empty(),
+                "--" + name + " expects an integer, got '" + v + "'");
+  return static_cast<std::int64_t>(r);
+}
+
+double CliParser::real(const std::string& name) const {
+  const std::string v = str(name);
+  char* end = nullptr;
+  const double r = std::strtod(v.c_str(), &end);
+  PIPESCG_CHECK(end && *end == '\0' && !v.empty(),
+                "--" + name + " expects a real number, got '" + v + "'");
+  return r;
+}
+
+std::string CliParser::help() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& o = options_.at(name);
+    os << "  --" << name;
+    if (!o.is_flag) os << " <value> (default: " << o.value << ")";
+    os << "\n      " << o.doc << "\n";
+  }
+  os << "  --help\n      print this message\n";
+  return os.str();
+}
+
+}  // namespace pipescg

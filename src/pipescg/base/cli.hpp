@@ -1,0 +1,53 @@
+// Small command line parser used by the examples and bench harnesses.
+//
+// Supports `--name value` and `--name=value` forms plus boolean flags
+// (`--flag` sets true).  Unknown options raise an error listing known ones,
+// so every binary self-documents via --help.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pipescg {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Register options before parse().  `doc` appears in --help output.
+  void add_flag(const std::string& name, const std::string& doc);
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& doc);
+
+  /// Parse argv.  Returns false if --help was requested (help printed).
+  /// Throws pipescg::Error on malformed/unknown arguments.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+
+  std::string help() const;
+
+ private:
+  struct Option {
+    std::string doc;
+    std::string value;
+    bool is_flag = false;
+    bool flag_set = false;
+  };
+
+  const Option& lookup(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace pipescg

@@ -1,0 +1,28 @@
+#include "pipescg/base/error.hpp"
+
+#include <sstream>
+
+namespace pipescg {
+
+std::string format_location(const char* file, int line) {
+  std::ostringstream os;
+  // Strip leading directories for readability.
+  std::string f(file);
+  auto pos = f.find_last_of('/');
+  if (pos != std::string::npos) f = f.substr(pos + 1);
+  os << f << ":" << line;
+  return os.str();
+}
+
+namespace detail {
+
+void throw_error(const char* file, int line, const char* cond,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << "pipescg error [" << format_location(file, line) << "] "
+     << "check `" << cond << "` failed: " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace pipescg

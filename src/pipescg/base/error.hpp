@@ -1,0 +1,40 @@
+// Error handling for the pipescg library.
+//
+// The library reports programmer errors and unsatisfiable inputs via
+// pipescg::Error exceptions.  Hot numerical loops are exception-free; checks
+// are performed at API boundaries (construction, configuration, solve entry).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pipescg {
+
+/// Exception type thrown by all pipescg components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const char* cond,
+                              const std::string& msg);
+}  // namespace detail
+
+/// Format a diagnostic message with printf-free streaming-ish concatenation.
+std::string format_location(const char* file, int line);
+
+}  // namespace pipescg
+
+/// Check a precondition/invariant; throws pipescg::Error with location info.
+/// Usage: PIPESCG_CHECK(n > 0, "matrix dimension must be positive");
+#define PIPESCG_CHECK(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::pipescg::detail::throw_error(__FILE__, __LINE__, #cond, (msg));   \
+    }                                                                     \
+  } while (false)
+
+/// Unconditional failure.
+#define PIPESCG_FAIL(msg) \
+  ::pipescg::detail::throw_error(__FILE__, __LINE__, "fail", (msg))

@@ -1,0 +1,39 @@
+#include "pipescg/base/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace pipescg {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DBG";
+    case LogLevel::kInfo:
+      return "INF";
+    case LogLevel::kWarn:
+      return "WRN";
+    case LogLevel::kError:
+      return "ERR";
+  }
+  return "???";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[pipescg %s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace pipescg

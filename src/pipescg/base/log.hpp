@@ -1,0 +1,45 @@
+// Minimal leveled logger.  Thread-safe for interleaved lines; intended for
+// harness/diagnostic output, not for hot loops.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pipescg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at `level` (newline appended).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace pipescg
+
+#define PIPESCG_LOG_DEBUG ::pipescg::detail::LogStream(::pipescg::LogLevel::kDebug)
+#define PIPESCG_LOG_INFO ::pipescg::detail::LogStream(::pipescg::LogLevel::kInfo)
+#define PIPESCG_LOG_WARN ::pipescg::detail::LogStream(::pipescg::LogLevel::kWarn)
+#define PIPESCG_LOG_ERROR ::pipescg::detail::LogStream(::pipescg::LogLevel::kError)

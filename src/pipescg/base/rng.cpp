@@ -1,0 +1,39 @@
+#include "pipescg/base/rng.hpp"
+
+#include <cmath>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg {
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  PIPESCG_CHECK(n > 0, "next_below requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ull - (~0ull % n);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % n;
+}
+
+double Rng::next_normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; guard against log(0).
+  double u1 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+Rng Rng::split(std::uint64_t index) const {
+  Rng seeder(state_ ^ (0xd1342543de82ef95ull * (index + 1)));
+  return Rng(seeder.next_u64());
+}
+
+}  // namespace pipescg

@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic inputs in the library (synthetic matrices, test vectors) are
+// seeded explicitly so every run is bit-reproducible.  We use SplitMix64 for
+// seeding and xoshiro256**-style generation via std::mt19937_64 would also be
+// fine, but a self-contained generator avoids libstdc++ distribution
+// differences across versions.
+#pragma once
+
+#include <cstdint>
+
+namespace pipescg {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator.  Used both directly
+/// and to seed derived streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n).  n must be positive.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (uses two uniforms per pair; caches one).
+  double next_normal();
+
+  /// Derive an independent stream for substream `index`.
+  Rng split(std::uint64_t index) const;
+
+ private:
+  std::uint64_t state_;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace pipescg

@@ -1,0 +1,3 @@
+#include "pipescg/base/timer.hpp"
+
+// WallTimer is header-only; this TU anchors the target.

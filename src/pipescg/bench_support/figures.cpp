@@ -1,0 +1,115 @@
+#include "pipescg/bench_support/figures.hpp"
+
+#include <cstdio>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::bench {
+
+krylov::Vec make_rhs(krylov::Engine& engine,
+                     const sparse::LinearOperator& a) {
+  krylov::Vec ones = engine.new_vec();
+  krylov::Vec b = engine.new_vec();
+  for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
+  a.apply(ones.span(), b.span());
+  return b;
+}
+
+std::unique_ptr<precond::JacobiPreconditioner> make_stencil_jacobi(
+    const sparse::StencilOperator3D& op) {
+  const double center = op.stencil().at(0, 0, 0);
+  PIPESCG_CHECK(center > 0.0, "stencil center weight must be positive");
+  std::vector<double> diag(op.rows(), center);
+  return std::make_unique<precond::JacobiPreconditioner>(std::move(diag),
+                                                         op.stats());
+}
+
+RunRecord run_method(const std::string& method,
+                     const sparse::LinearOperator& a,
+                     const precond::Preconditioner* pc,
+                     const krylov::SolverOptions& opts) {
+  RunRecord record;
+  record.method = method;
+  const precond::Preconditioner* effective_pc =
+      krylov::solver_uses_preconditioner(method) ? pc : nullptr;
+  krylov::SerialEngine engine(a, effective_pc, &record.trace);
+  krylov::Vec b = make_rhs(engine, a);
+  krylov::Vec x = engine.new_vec();  // x0 = 0
+  std::unique_ptr<krylov::Solver> solver = krylov::make_solver(method);
+  record.stats = solver->solve(engine, b, x, opts);
+  return record;
+}
+
+std::vector<int> node_sweep(int max_nodes, int step) {
+  std::vector<int> nodes{1};
+  for (int n = step; n <= max_nodes; n += step) nodes.push_back(n);
+  return nodes;
+}
+
+ScalingReport make_scaling_report(const std::vector<RunRecord>& runs,
+                                  const sim::Timeline& timeline,
+                                  const std::vector<int>& nodes,
+                                  const std::string& baseline_method) {
+  ScalingReport report;
+  report.nodes = nodes;
+  for (const RunRecord& run : runs) {
+    report.methods.push_back(run.method);
+    std::vector<double> secs;
+    secs.reserve(nodes.size());
+    for (int n : nodes) secs.push_back(timeline.seconds_at_nodes(run.trace, n));
+    report.seconds.push_back(std::move(secs));
+    if (run.method == baseline_method)
+      report.baseline_seconds = timeline.seconds_at_nodes(run.trace, 1);
+  }
+  PIPESCG_CHECK(report.baseline_seconds > 0.0,
+                "baseline method '" + baseline_method + "' missing from runs");
+  return report;
+}
+
+void print_scaling_report(const ScalingReport& report,
+                          const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("speedup vs %s@1node (higher is better)\n", "pcg");
+  std::printf("%-6s", "nodes");
+  for (const std::string& m : report.methods) std::printf(" %12s", m.c_str());
+  std::printf("\n");
+  for (std::size_t ni = 0; ni < report.nodes.size(); ++ni) {
+    std::printf("%-6d", report.nodes[ni]);
+    for (std::size_t mi = 0; mi < report.methods.size(); ++mi)
+      std::printf(" %12.2f", report.speedup(mi, ni));
+    std::printf("\n");
+  }
+}
+
+void write_scaling_csv(const ScalingReport& report,
+                       const std::string& path) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  PIPESCG_CHECK(f != nullptr, "cannot open CSV output: " + path);
+  std::fprintf(f, "nodes");
+  for (const std::string& m : report.methods)
+    std::fprintf(f, ",%s", m.c_str());
+  std::fprintf(f, "\n");
+  for (std::size_t ni = 0; ni < report.nodes.size(); ++ni) {
+    std::fprintf(f, "%d", report.nodes[ni]);
+    for (std::size_t mi = 0; mi < report.methods.size(); ++mi)
+      std::fprintf(f, ",%.6g", report.speedup(mi, ni));
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+}
+
+void print_run_summaries(const std::vector<RunRecord>& runs) {
+  std::printf("\nconvergence summary\n");
+  std::printf("%-14s %10s %14s %10s %6s\n", "method", "iters", "final_rnorm",
+              "conv", "flags");
+  for (const RunRecord& run : runs) {
+    const auto& s = run.stats;
+    std::printf("%-14s %10zu %14.4e %10s %s%s\n", run.method.c_str(),
+                s.iterations, s.final_rnorm, s.converged ? "yes" : "no",
+                s.stagnated ? "stagnated " : "",
+                s.breakdown ? "breakdown" : "");
+  }
+}
+
+}  // namespace pipescg::bench

@@ -1,0 +1,80 @@
+// Shared harness for the per-figure/per-table benchmark binaries.
+//
+// Reproduction recipe (paper Section VI-A): b = A x* with x* = ones, x0 = 0;
+// run each method once on the SerialEngine with trace recording; replay the
+// trace through the machine-model timeline for every node count in the
+// sweep; report speedups relative to PCG on one node -- exactly how the
+// paper's figures are normalized.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipescg/krylov/registry.hpp"
+#include "pipescg/krylov/serial_engine.hpp"
+#include "pipescg/precond/jacobi.hpp"
+#include "pipescg/precond/preconditioner.hpp"
+#include "pipescg/sim/timeline.hpp"
+#include "pipescg/sparse/operator.hpp"
+#include "pipescg/sparse/stencil_operator.hpp"
+
+namespace pipescg::bench {
+
+/// One solver run: convergence statistics plus the recorded event trace.
+struct RunRecord {
+  std::string method;
+  krylov::SolveStats stats;
+  sim::EventTrace trace;
+};
+
+/// RHS convention of the paper: b = A * ones.
+krylov::Vec make_rhs(krylov::Engine& engine, const sparse::LinearOperator& a);
+
+/// Jacobi preconditioner for a matrix-free stencil operator (the diagonal of
+/// a truncated stencil is the center weight everywhere).
+std::unique_ptr<precond::JacobiPreconditioner> make_stencil_jacobi(
+    const sparse::StencilOperator3D& op);
+
+/// Run `method` to convergence on the serial engine, recording the trace.
+/// `pc` may be nullptr; unpreconditioned methods ignore it.
+RunRecord run_method(const std::string& method,
+                     const sparse::LinearOperator& a,
+                     const precond::Preconditioner* pc,
+                     const krylov::SolverOptions& opts);
+
+/// Node counts used by the strong-scaling figures.
+std::vector<int> node_sweep(int max_nodes, int step = 10);
+
+/// Strong-scaling report: modeled seconds per (method, node count) and
+/// speedups relative to `baseline_method` at 1 node (paper convention).
+struct ScalingReport {
+  std::vector<int> nodes;
+  std::vector<std::string> methods;
+  // seconds[m][n] for methods[m] at nodes[n]
+  std::vector<std::vector<double>> seconds;
+  double baseline_seconds = 0.0;  // baseline method at 1 node
+
+  double speedup(std::size_t method_index, std::size_t node_index) const {
+    return baseline_seconds / seconds[method_index][node_index];
+  }
+};
+
+ScalingReport make_scaling_report(const std::vector<RunRecord>& runs,
+                                  const sim::Timeline& timeline,
+                                  const std::vector<int>& nodes,
+                                  const std::string& baseline_method);
+
+/// Print the report as a speedup table (rows: nodes, columns: methods).
+void print_scaling_report(const ScalingReport& report,
+                          const std::string& title);
+
+/// Write the report as CSV (nodes, then one speedup column per method);
+/// empty path is a no-op.  This is the machine-readable form of a figure.
+void write_scaling_csv(const ScalingReport& report, const std::string& path);
+
+/// Print convergence summaries (iterations, final residual, flags).
+void print_run_summaries(const std::vector<RunRecord>& runs);
+
+}  // namespace pipescg::bench

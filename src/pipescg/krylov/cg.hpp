@@ -1,0 +1,20 @@
+// Preconditioned Conjugate Gradient (Hestenes & Stiefel), paper Algorithm 1.
+//
+// The baseline every figure normalizes against.  Three blocking allreduces
+// per iteration -- (s, p), (u, r), and the norm -- matching the paper's
+// Table I accounting (set SolverOptions::fuse_cg_dots to merge the latter
+// two PETSc-style).
+#pragma once
+
+#include "pipescg/krylov/solver.hpp"
+
+namespace pipescg::krylov {
+
+class CgSolver final : public Solver {
+ public:
+  std::string name() const override { return "pcg"; }
+  SolveStats solve(Engine& engine, const Vec& b, Vec& x,
+                   const SolverOptions& opts) const override;
+};
+
+}  // namespace pipescg::krylov

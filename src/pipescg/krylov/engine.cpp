@@ -1,0 +1,93 @@
+#include "pipescg/krylov/engine.hpp"
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::krylov {
+
+void Engine::copy(const Vec& x, Vec& y) {
+  PIPESCG_CHECK(x.size() == y.size(), "copy size mismatch");
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i];
+  record_compute(0.0, 16.0 * n * global_scale());
+}
+
+void Engine::set_all(Vec& x, double a) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) x[i] = a;
+  record_compute(0.0, 8.0 * n * global_scale());
+}
+
+void Engine::scale(Vec& x, double a) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) x[i] *= a;
+  record_compute(1.0 * n * global_scale(), 16.0 * n * global_scale());
+}
+
+void Engine::axpy(Vec& y, double a, const Vec& x) {
+  PIPESCG_CHECK(x.size() == y.size(), "axpy size mismatch");
+  const std::size_t n = x.size();
+  const double* xp = x.data();
+  double* yp = y.data();
+  for (std::size_t i = 0; i < n; ++i) yp[i] += a * xp[i];
+  record_compute(2.0 * n * global_scale(), 24.0 * n * global_scale());
+}
+
+void Engine::aypx(Vec& y, double a, const Vec& x) {
+  PIPESCG_CHECK(x.size() == y.size(), "aypx size mismatch");
+  const std::size_t n = x.size();
+  const double* xp = x.data();
+  double* yp = y.data();
+  for (std::size_t i = 0; i < n; ++i) yp[i] = xp[i] + a * yp[i];
+  record_compute(2.0 * n * global_scale(), 24.0 * n * global_scale());
+}
+
+void Engine::waxpy(Vec& z, double a, const Vec& y, const Vec& x) {
+  PIPESCG_CHECK(x.size() == y.size() && x.size() == z.size(),
+                "waxpy size mismatch");
+  const std::size_t n = x.size();
+  const double* xp = x.data();
+  const double* yp = y.data();
+  double* zp = z.data();
+  for (std::size_t i = 0; i < n; ++i) zp[i] = xp[i] + a * yp[i];
+  record_compute(2.0 * n * global_scale(), 24.0 * n * global_scale());
+}
+
+void Engine::block_maxpy(VecBlock& y_block, const VecBlock& x_block,
+                         const la::DenseMatrix& b) {
+  PIPESCG_CHECK(b.rows() == x_block.size() && b.cols() == y_block.size(),
+                "block_maxpy shape mismatch");
+  for (std::size_t j = 0; j < y_block.size(); ++j) {
+    Vec& y = y_block[j];
+    for (std::size_t k = 0; k < x_block.size(); ++k) {
+      const double bkj = b(k, j);
+      if (bkj == 0.0) continue;
+      axpy(y, bkj, x_block[k]);
+    }
+  }
+}
+
+void Engine::block_combine(Vec& out, const Vec& base, const VecBlock& block,
+                           std::span<const double> coeff) {
+  PIPESCG_CHECK(coeff.size() == block.size(), "block_combine shape mismatch");
+  PIPESCG_CHECK(base.size() == out.size(), "block_combine size mismatch");
+  const std::size_t n = out.size();
+  // Fused loop: one pass over memory regardless of s.
+  double* op = out.data();
+  const double* bp = base.data();
+  for (std::size_t i = 0; i < n; ++i) op[i] = bp[i];
+  for (std::size_t k = 0; k < block.size(); ++k) {
+    const double c = -coeff[k];
+    const double* tk = block[k].data();
+    for (std::size_t i = 0; i < n; ++i) op[i] += c * tk[i];
+  }
+  record_compute(2.0 * n * block.size() * global_scale(),
+                 (16.0 + 8.0 * block.size()) * n * global_scale());
+}
+
+void Engine::block_axpy(Vec& y, const VecBlock& block,
+                        std::span<const double> coeff) {
+  PIPESCG_CHECK(coeff.size() == block.size(), "block_axpy shape mismatch");
+  for (std::size_t k = 0; k < block.size(); ++k) axpy(y, coeff[k], block[k]);
+}
+
+}  // namespace pipescg::krylov

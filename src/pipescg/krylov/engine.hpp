@@ -1,0 +1,126 @@
+// Engine: the execution substrate the solvers are written against.
+//
+// A solver sees the problem only through this interface:
+//   * apply_op / apply_pc        -- SPMV and preconditioner application
+//   * dot_post / dot_wait        -- batched dot products with non-blocking
+//                                   allreduce semantics (post, overlap
+//                                   compute, wait)
+//   * BLAS-1 and block kernels   -- local vector work (no communication)
+//
+// Two engines implement it:
+//   * SerialEngine -- whole vectors in one address space; optionally records
+//     an EventTrace so the machine-model timeline can price the run at any
+//     rank count (see sim/).
+//   * SpmdEngine   -- rank-local slices on a par::Comm team; dots really do
+//     post a non-blocking allreduce; SPMV does a real halo exchange.
+//
+// Both engines execute identical solver code, and tests assert they produce
+// identical iterates, which validates the distributed implementation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pipescg/krylov/vec.hpp"
+#include "pipescg/la/dense_matrix.hpp"
+
+namespace pipescg::krylov {
+
+/// One dot product (x, y) in a batch.
+struct DotPair {
+  const Vec* x;
+  const Vec* y;
+};
+
+struct DotHandle {
+  std::uint64_t id = 0;
+  std::size_t count = 0;
+  bool active = false;
+};
+
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Rank-local vector length.
+  virtual std::size_t local_size() const = 0;
+  /// Global problem size.
+  virtual std::size_t global_size() const = 0;
+
+  /// Whether apply_pc is a real preconditioner (false => identity copy).
+  virtual bool has_preconditioner() const = 0;
+
+  Vec new_vec() const { return Vec(local_size()); }
+  VecBlock new_block(std::size_t s) const {
+    VecBlock b;
+    b.reserve(s);
+    for (std::size_t i = 0; i < s; ++i) b.emplace_back(local_size());
+    return b;
+  }
+
+  // --- operator / preconditioner ---------------------------------------
+  virtual void apply_op(const Vec& x, Vec& y) = 0;
+  virtual void apply_pc(const Vec& r, Vec& u) = 0;
+
+  // --- dot products ------------------------------------------------------
+  /// Post the batch: computes local partials and starts the allreduce.
+  /// `blocking` tags the collective for the cost model (a blocking
+  /// MPI_Allreduce vs a non-blocking MPI_Iallreduce; the paper's async
+  /// progress setup makes the two differ, see sim::MachineModel).
+  virtual DotHandle dot_post(std::span<const DotPair> pairs,
+                             bool blocking = false) = 0;
+  /// Complete the batch; out.size() >= number of pairs posted.
+  virtual void dot_wait(DotHandle& handle, std::span<double> out) = 0;
+  /// Blocking convenience (tagged as a blocking collective).
+  void dots(std::span<const DotPair> pairs, std::span<double> out) {
+    DotHandle h = dot_post(pairs, /*blocking=*/true);
+    dot_wait(h, out);
+  }
+  double dot(const Vec& x, const Vec& y) {
+    const DotPair p{&x, &y};
+    double v = 0.0;
+    dots(std::span<const DotPair>(&p, 1), std::span<double>(&v, 1));
+    return v;
+  }
+
+  // --- BLAS-1 (local, cost-tracked) --------------------------------------
+  void copy(const Vec& x, Vec& y);
+  void set_all(Vec& x, double a);
+  void scale(Vec& x, double a);
+  /// y += a x
+  void axpy(Vec& y, double a, const Vec& x);
+  /// y = x + a y
+  void aypx(Vec& y, double a, const Vec& x);
+  /// z = x + a y (z may alias x or y)
+  void waxpy(Vec& z, double a, const Vec& y, const Vec& x);
+
+  // --- block kernels for the s-step methods -------------------------------
+  /// Y(:, j) += sum_k X(:, k) * B(k, j); B is (X.size() x Y.size()).
+  void block_maxpy(VecBlock& y_block, const VecBlock& x_block,
+                   const la::DenseMatrix& b);
+  /// out = base - sum_k coeff[k] * block[k]  (out may alias base)
+  void block_combine(Vec& out, const Vec& base, const VecBlock& block,
+                     std::span<const double> coeff);
+  /// y += sum_k coeff[k] * block[k]
+  void block_axpy(Vec& y, const VecBlock& block,
+                  std::span<const double> coeff);
+
+  // --- instrumentation -----------------------------------------------------
+  /// End of CG-equivalent iteration `iter` with residual norm `rnorm`.
+  virtual void mark_iteration(std::uint64_t iter, double rnorm) = 0;
+
+  /// Charge extra vector work to the cost model without performing it.
+  /// Used by reconstructed baselines (PIPECG3/PIPECG-OATI) whose published
+  /// Table-I FLOP counts exceed what this reconstruction executes.
+  void charge(double flops, double bytes) { record_compute(flops, bytes); }
+
+ protected:
+  /// Cost hook: flops/bytes in *global* units for the work just performed.
+  virtual void record_compute(double flops, double bytes) = 0;
+  /// Scale factor turning local elements into global cost units (1 on the
+  /// serial engine, global/local on SPMD ranks).
+  virtual double global_scale() const = 0;
+};
+
+}  // namespace pipescg::krylov

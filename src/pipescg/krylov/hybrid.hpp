@@ -1,0 +1,21 @@
+// Hybrid-pipelined method (paper Section VI-B, Table II).
+//
+// PIPE-PsCG advances the solution until its recurred residual stagnates
+// (rounding noise floor of the s-step recurrences); the current iterate is
+// then handed to PIPECG-OATI, which continues to the requested tolerance.
+// This reaches PCG-level accuracy while spending most iterations in the
+// cheaper one-allreduce-per-s-iterations regime.
+#pragma once
+
+#include "pipescg/krylov/solver.hpp"
+
+namespace pipescg::krylov {
+
+class HybridSolver final : public Solver {
+ public:
+  std::string name() const override { return "hybrid"; }
+  SolveStats solve(Engine& engine, const Vec& b, Vec& x,
+                   const SolverOptions& opts) const override;
+};
+
+}  // namespace pipescg::krylov

@@ -1,0 +1,22 @@
+// PIPE-sCG: Pipelined s-step Conjugate Gradient, unpreconditioned
+// (paper Algorithm 5).
+//
+// One non-blocking allreduce per s iterations, overlapped with the s SPMVs
+// that extend the monomial basis to A^{2s} r.  PIPE-PsCG with the identity
+// preconditioner is mathematically identical; this dedicated implementation
+// carries a single power basis (no r-side/u-side twins), halving the memory
+// and the recurrence work, exactly as Alg. 5 does relative to Alg. 6.
+#pragma once
+
+#include "pipescg/krylov/solver.hpp"
+
+namespace pipescg::krylov {
+
+class PipeScgSolver final : public Solver {
+ public:
+  std::string name() const override { return "pipe-scg"; }
+  SolveStats solve(Engine& engine, const Vec& b, Vec& x,
+                   const SolverOptions& opts) const override;
+};
+
+}  // namespace pipescg::krylov

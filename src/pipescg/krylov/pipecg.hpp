@@ -1,0 +1,19 @@
+// Pipelined PCG (Ghysels & Vanroose 2014), the paper's reference [9].
+//
+// One non-blocking allreduce per iteration, overlapped with one PC and one
+// SPMV by carrying the auxiliary recurrences w = A u, s = A p, q = M^{-1} s,
+// z = A q.
+#pragma once
+
+#include "pipescg/krylov/solver.hpp"
+
+namespace pipescg::krylov {
+
+class PipeCgSolver final : public Solver {
+ public:
+  std::string name() const override { return "pipecg"; }
+  SolveStats solve(Engine& engine, const Vec& b, Vec& x,
+                   const SolverOptions& opts) const override;
+};
+
+}  // namespace pipescg::krylov

@@ -1,0 +1,26 @@
+// PIPECG-OATI: One Allreduce per Two Iterations (Tiwari & Vadhiyar,
+// HiPC 2020 -- the paper's reference [11]).
+//
+// Reconstruction: the original uses iteration combination plus
+// non-recurrence computations to launch one non-blocking allreduce every two
+// iterations and overlap it with two PCs and two SPMVs.  That communication
+// and overlap structure is exactly the depth-2 instance of the pipelined
+// preconditioned s-step core, which is what we run here (DESIGN.md,
+// "Substitutions").  Table I's published FLOP count (80 N per two
+// iterations) slightly exceeds this reconstruction's; the difference is
+// charged to the cost model so modeled runtimes match the published
+// accounting.
+#pragma once
+
+#include "pipescg/krylov/solver.hpp"
+
+namespace pipescg::krylov {
+
+class PipeCgOatiSolver final : public Solver {
+ public:
+  std::string name() const override { return "pipecg-oati"; }
+  SolveStats solve(Engine& engine, const Vec& b, Vec& x,
+                   const SolverOptions& opts) const override;
+};
+
+}  // namespace pipescg::krylov

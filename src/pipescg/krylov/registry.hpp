@@ -1,0 +1,23 @@
+// Solver registry: name -> implementation, used by benches and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipescg/krylov/solver.hpp"
+
+namespace pipescg::krylov {
+
+/// Known names: "pcg", "pipecg", "pipecg3", "pipecg-oati", "scg", "pscg",
+/// "scg-sspmv", "pipe-scg", "pipe-pscg", "hybrid".  Throws on unknown names.
+std::unique_ptr<Solver> make_solver(const std::string& name);
+
+/// All registered solver names, in a stable presentation order.
+std::vector<std::string> solver_names();
+
+/// True for the methods that apply a preconditioner (sCG family minus the
+/// unpreconditioned variants).
+bool solver_uses_preconditioner(const std::string& name);
+
+}  // namespace pipescg::krylov

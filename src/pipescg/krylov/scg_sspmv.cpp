@@ -1,0 +1,92 @@
+#include "pipescg/krylov/scg_sspmv.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "pipescg/base/error.hpp"
+#include "pipescg/krylov/sstep_common.hpp"
+
+namespace pipescg::krylov {
+
+SolveStats ScgSspmvSolver::solve(Engine& engine, const Vec& b, Vec& x,
+                                 const SolverOptions& opts) const {
+  using namespace sstep;
+  SolveStats stats;
+  stats.method = name();
+  stats.b_norm = detail::compute_b_norm(engine, b, opts.norm);
+  const double tol = detail::threshold(stats, opts);
+  const int s = opts.s;
+  const std::size_t su = static_cast<std::size_t>(s);
+
+  VecBlock basis = engine.new_block(su + 1),
+           basis_next = engine.new_block(su + 1);
+  VecBlock p_prev = engine.new_block(su), p_cur = engine.new_block(su);
+  VecBlock ap_prev = engine.new_block(su), ap_cur = engine.new_block(su);
+
+  {
+    Vec ax = engine.new_vec();
+    engine.apply_op(x, ax);
+    engine.waxpy(basis[0], -1.0, ax, b);
+  }
+  for (std::size_t j = 1; j <= su; ++j)
+    engine.apply_op(basis[j - 1], basis[j]);
+
+  const DotLayout layout{s, /*preconditioned=*/false};
+  std::vector<DotPair> pairs;
+  std::vector<double> values(layout.total());
+  build_dot_pairs(basis, ap_cur, pairs);
+  engine.dots(pairs, values);
+
+  ScalarWork scalar_work(s);
+  std::size_t iterations = 0;
+  double rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+  detail::checkpoint(stats, opts, 0, rnorm);
+
+  while (rnorm >= tol && iterations < opts.max_iterations) {
+    const la::DenseMatrix cross = layout.cross(values);
+    ScalarWork::Result sw = scalar_work.step(
+        std::span<const double>(values.data(), layout.moment_count()), cross);
+    if (!sw.ok) {
+      stats.breakdown = true;
+      stats.stagnated = true;
+      break;
+    }
+
+    // Direction block and AQ/AP recurrence (paper Alg. 4 lines 9-11).
+    copy_block(engine, basis, p_cur, su);
+    for (std::size_t c = 0; c < su; ++c)
+      engine.copy(basis[c + 1], ap_cur[c]);
+    if (iterations > 0) {
+      engine.block_maxpy(p_cur, p_prev, sw.b);
+      engine.block_maxpy(ap_cur, ap_prev, sw.b);
+    }
+
+    // x and the *recurred* residual (Alg. 4 lines 12-13): no SPMV here.
+    engine.block_axpy(x, p_cur, sw.alpha);
+    engine.block_combine(basis_next[0], basis[0], ap_cur, sw.alpha);
+
+    // Rebuild the powers from the recurred residual: s SPMVs (lines 14-15).
+    for (std::size_t j = 1; j <= su; ++j)
+      engine.apply_op(basis_next[j - 1], basis_next[j]);
+
+    build_dot_pairs(basis_next, ap_cur, pairs);
+    engine.dots(pairs, values);
+
+    iterations += su;
+    rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+    detail::checkpoint(stats, opts, iterations, rnorm);
+    engine.mark_iteration(iterations - 1, rnorm);
+
+    std::swap(basis, basis_next);
+    std::swap(p_prev, p_cur);
+    std::swap(ap_prev, ap_cur);
+  }
+
+  stats.converged = rnorm < tol;
+  stats.iterations = iterations;
+  stats.final_rnorm = rnorm;
+  detail::finalize_stats(engine, b, x, opts, stats);
+  return stats;
+}
+
+}  // namespace pipescg::krylov

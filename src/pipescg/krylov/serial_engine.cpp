@@ -1,0 +1,118 @@
+#include "pipescg/krylov/serial_engine.hpp"
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::krylov {
+
+SerialEngine::SerialEngine(const sparse::LinearOperator& a,
+                           const precond::Preconditioner* pc,
+                           sim::EventTrace* trace)
+    : a_(a), pc_(pc), trace_(trace) {
+  if (pc_ != nullptr) {
+    PIPESCG_CHECK(pc_->rows() == a_.rows(),
+                  "preconditioner/operator dimension mismatch");
+  }
+  if (trace_ != nullptr) {
+    op_index_ = trace_->register_operator(a_.stats());
+    if (pc_ != nullptr) pc_index_ = trace_->register_pc(pc_->cost_profile());
+  }
+}
+
+void SerialEngine::apply_op(const Vec& x, Vec& y) {
+  a_.apply(x.span(), y.span());
+  if (trace_ != nullptr) {
+    sim::Event e;
+    e.kind = sim::EventKind::kSpmv;
+    e.index = op_index_;
+    trace_->record(e);
+  }
+}
+
+void SerialEngine::apply_pc(const Vec& r, Vec& u) {
+  if (pc_ == nullptr) {
+    // Identity preconditioner: a copy, priced as stream traffic.
+    copy(r, u);
+    return;
+  }
+  pc_->apply(r.span(), u.span());
+  if (trace_ != nullptr) {
+    sim::Event e;
+    e.kind = sim::EventKind::kPcApply;
+    e.index = pc_index_;
+    trace_->record(e);
+  }
+}
+
+DotHandle SerialEngine::dot_post(std::span<const DotPair> pairs,
+                                 bool blocking) {
+  const std::uint64_t id = next_dot_id_++;
+  std::vector<double>& values = pending_values_[id % kMaxPending];
+  PIPESCG_CHECK(values.empty(), "too many in-flight dot batches");
+  values.resize(pairs.size());
+  const std::size_t n = local_size();
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const double* x = pairs[p].x->data();
+    const double* y = pairs[p].y->data();
+    PIPESCG_CHECK(pairs[p].x->size() == n && pairs[p].y->size() == n,
+                  "dot size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+    values[p] = acc;
+  }
+  if (trace_ != nullptr) {
+    // Local reduction work...
+    sim::Event work;
+    work.kind = sim::EventKind::kCompute;
+    work.flops = 2.0 * static_cast<double>(n) * pairs.size();
+    work.bytes = 16.0 * static_cast<double>(n) * pairs.size();
+    trace_->record(work);
+    // ...then the allreduce post.
+    sim::Event e;
+    e.kind = sim::EventKind::kAllreducePost;
+    e.id = id;
+    e.bytes = static_cast<double>(pairs.size());  // payload in doubles
+    e.value = blocking ? 1.0 : 0.0;
+    trace_->record(e);
+  }
+  DotHandle h;
+  h.id = id;
+  h.count = pairs.size();
+  h.active = true;
+  return h;
+}
+
+void SerialEngine::dot_wait(DotHandle& handle, std::span<double> out) {
+  PIPESCG_CHECK(handle.active, "dot_wait on inactive handle");
+  std::vector<double>& values = pending_values_[handle.id % kMaxPending];
+  PIPESCG_CHECK(values.size() == handle.count, "dot handle mismatch");
+  PIPESCG_CHECK(out.size() >= handle.count, "dot output too small");
+  for (std::size_t i = 0; i < handle.count; ++i) out[i] = values[i];
+  values.clear();
+  handle.active = false;
+  if (trace_ != nullptr) {
+    sim::Event e;
+    e.kind = sim::EventKind::kAllreduceWait;
+    e.id = handle.id;
+    trace_->record(e);
+  }
+}
+
+void SerialEngine::mark_iteration(std::uint64_t iter, double rnorm) {
+  if (trace_ == nullptr) return;
+  sim::Event e;
+  e.kind = sim::EventKind::kIterationMark;
+  e.id = iter;
+  e.value = rnorm;
+  trace_->record(e);
+}
+
+void SerialEngine::record_compute(double flops, double bytes) {
+  if (trace_ == nullptr) return;
+  sim::Event e;
+  e.kind = sim::EventKind::kCompute;
+  e.flops = flops;
+  e.bytes = bytes;
+  trace_->record(e);
+}
+
+}  // namespace pipescg::krylov

@@ -1,0 +1,52 @@
+// SerialEngine: executes a solver on whole vectors in one address space and
+// (optionally) records the event trace that the sim::Timeline replays to
+// price the run at any rank count.
+#pragma once
+
+#include <cstdint>
+
+#include "pipescg/krylov/engine.hpp"
+#include "pipescg/precond/preconditioner.hpp"
+#include "pipescg/sim/trace.hpp"
+#include "pipescg/sparse/operator.hpp"
+
+namespace pipescg::krylov {
+
+class SerialEngine final : public Engine {
+ public:
+  /// `pc` may be nullptr (identity preconditioner).  `trace` may be nullptr
+  /// (no recording).  Both must outlive the engine.
+  SerialEngine(const sparse::LinearOperator& a,
+               const precond::Preconditioner* pc = nullptr,
+               sim::EventTrace* trace = nullptr);
+
+  std::size_t local_size() const override { return a_.rows(); }
+  std::size_t global_size() const override { return a_.rows(); }
+  bool has_preconditioner() const override { return pc_ != nullptr; }
+
+  void apply_op(const Vec& x, Vec& y) override;
+  void apply_pc(const Vec& r, Vec& u) override;
+
+  DotHandle dot_post(std::span<const DotPair> pairs,
+                     bool blocking = false) override;
+  void dot_wait(DotHandle& handle, std::span<double> out) override;
+
+  void mark_iteration(std::uint64_t iter, double rnorm) override;
+
+ protected:
+  void record_compute(double flops, double bytes) override;
+  double global_scale() const override { return 1.0; }
+
+ private:
+  const sparse::LinearOperator& a_;
+  const precond::Preconditioner* pc_;
+  sim::EventTrace* trace_;
+  std::uint32_t op_index_ = 0;
+  std::uint32_t pc_index_ = 0;
+  std::uint64_t next_dot_id_ = 0;
+  // Results of posted-but-unwaited batches (ring keyed by id).
+  static constexpr std::size_t kMaxPending = 16;
+  std::vector<double> pending_values_[kMaxPending];
+};
+
+}  // namespace pipescg::krylov

@@ -1,0 +1,65 @@
+#include "pipescg/krylov/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::krylov {
+
+std::string to_string(NormType norm) {
+  switch (norm) {
+    case NormType::kPreconditioned:
+      return "preconditioned";
+    case NormType::kUnpreconditioned:
+      return "unpreconditioned";
+    case NormType::kNatural:
+      return "natural";
+  }
+  return "?";
+}
+
+namespace detail {
+
+double compute_b_norm(Engine& engine, const Vec& b, NormType norm) {
+  if (norm == NormType::kUnpreconditioned || !engine.has_preconditioner())
+    return std::sqrt(std::max(engine.dot(b, b), 0.0));
+  Vec u = engine.new_vec();
+  engine.apply_pc(b, u);
+  const Vec& x = norm == NormType::kPreconditioned ? u : b;
+  return std::sqrt(std::max(engine.dot(x, u), 0.0));
+}
+
+double threshold(const SolveStats& stats, const SolverOptions& opts) {
+  return std::max(opts.rtol * stats.b_norm, opts.atol);
+}
+
+void finalize_stats(Engine& engine, const Vec& b, const Vec& x,
+                    const SolverOptions& opts, SolveStats& stats) {
+  if (!opts.compute_true_residual) return;
+  Vec ax = engine.new_vec();
+  engine.apply_op(x, ax);
+  Vec r = engine.new_vec();
+  engine.waxpy(r, -1.0, ax, b);  // r = b - Ax
+  stats.true_residual = std::sqrt(std::max(engine.dot(r, r), 0.0));
+}
+
+void checkpoint(SolveStats& stats, const SolverOptions& opts,
+                std::size_t iteration, double rnorm) {
+  stats.history.emplace_back(iteration, rnorm);
+  if (opts.monitor) opts.monitor(IterationInfo{iteration, rnorm});
+}
+
+bool StallDetector::update(double rnorm) {
+  if (!std::isfinite(rnorm)) return true;
+  if (best_ < 0.0 || rnorm < best_ * improvement_) {
+    best_ = std::max(rnorm, 0.0);
+    since_improvement_ = 0;
+    return false;
+  }
+  ++since_improvement_;
+  return since_improvement_ >= window_;
+}
+
+}  // namespace detail
+}  // namespace pipescg::krylov

@@ -1,0 +1,141 @@
+// Solver framework: options, statistics, convergence tests.
+//
+// Conventions shared by all methods (following the paper, Section VI):
+//  * the system is A x = b with SPD A (and SPD M when preconditioned);
+//  * convergence:  ||res||_flavor < max(rtol * ||b||, atol)
+//    where the flavor is the preconditioned (||u||), unpreconditioned
+//    (||r||) or natural (sqrt((r, u))) residual norm -- one of PIPE-PsCG's
+//    selling points is supporting all three without extra kernels;
+//  * `iterations` counts CG-equivalent steps: one outer iteration of an
+//    s-step method counts as s.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pipescg/krylov/engine.hpp"
+
+namespace pipescg::krylov {
+
+enum class NormType { kPreconditioned, kUnpreconditioned, kNatural };
+
+std::string to_string(NormType norm);
+
+/// Passed to SolverOptions::monitor at every residual checkpoint.
+struct IterationInfo {
+  std::size_t iteration;  // CG-equivalent iteration count so far
+  double rnorm;           // residual norm in the convergence-test flavor
+};
+
+struct SolverOptions {
+  double rtol = 1e-5;
+  double atol = 1e-300;
+  std::size_t max_iterations = 20000;  // CG-equivalent steps
+  int s = 3;                           // depth for the s-step methods
+  NormType norm = NormType::kPreconditioned;
+
+  // Stagnation detection (pipelined s-step variants; drives Hybrid).
+  // Declared stagnated when the residual norm fails to improve by at least
+  // `stall_improvement` over `stall_window` consecutive *honest* residual
+  // checkpoints (truth-anchored iterations when replacement is active).
+  bool detect_stagnation = false;
+  double stall_improvement = 0.995;
+  int stall_window = 12;
+
+  // Pipelined s-step variants: rebuild the power basis explicitly from the
+  // recurred residual every `replacement_period` outer iterations, bounding
+  // the drift of the tower recurrences (reliable-update technique; costs s
+  // extra SPMVs+PCs per replacement, honestly recorded in the trace).
+  //   0  = auto: period 16 for s <= 3 (truth anchoring), 4 at s = 4,
+  //        1 at s >= 5 (measured stability limits)
+  //   <0 = always disabled (pure recurrences, exactly the paper's Alg. 5/6)
+  //   >0 = explicit period
+  int replacement_period = 0;
+
+  // Compute ||b - A x|| at the end (costs one extra SPMV; off for benches
+  // so traces stay clean).
+  bool compute_true_residual = false;
+
+  // PCG only: fuse the gamma and norm dot products into one allreduce
+  // (PETSc-style).  Default false to match the paper's 3-allreduce count.
+  bool fuse_cg_dots = false;
+
+  // PCG only: estimate the extreme eigenvalues of the preconditioned
+  // operator from the Lanczos tridiagonal that CG builds implicitly
+  // (PETSc KSPSetComputeEigenvalues-style; free, no extra kernels).
+  bool estimate_spectrum = false;
+
+  // Called at every residual checkpoint (PETSc KSPMonitor-style).  On the
+  // SPMD engine the callback runs on every rank.
+  std::function<void(const IterationInfo&)> monitor;
+};
+
+struct SolveStats {
+  std::string method;
+  bool converged = false;
+  bool stagnated = false;   // residual stalled before reaching the tolerance
+  bool breakdown = false;   // scalar-work failure (singular s x s system)
+  std::size_t iterations = 0;
+  double b_norm = 0.0;
+  double final_rnorm = 0.0;  // in the convergence-test flavor
+  double true_residual = -1.0;
+  // Lanczos estimates of the preconditioned operator's extreme eigenvalues
+  // and condition number (PCG with estimate_spectrum; -1 when not computed).
+  double lambda_min_est = -1.0;
+  double lambda_max_est = -1.0;
+  double condition_est = -1.0;
+  // (CG-equivalent iteration, residual norm) at every check point.
+  std::vector<std::pair<std::size_t, double>> history;
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+  virtual std::string name() const = 0;
+  /// Solve A x = b starting from the provided x (initial guess).
+  virtual SolveStats solve(Engine& engine, const Vec& b, Vec& x,
+                           const SolverOptions& opts) const = 0;
+};
+
+namespace detail {
+
+/// Convergence reference: ||b|| measured in the *same flavor* as the
+/// residual norm the test uses (||M^{-1}b|| for the preconditioned norm,
+/// sqrt(b^T M^{-1} b) for the natural norm), so rtol means the same thing
+/// across flavors.  Costs one setup dot (plus one PC application for the
+/// preconditioned/natural flavors).
+double compute_b_norm(Engine& engine, const Vec& b, NormType norm);
+
+/// Convergence threshold per the convention above.
+double threshold(const SolveStats& stats, const SolverOptions& opts);
+
+/// Fill stats.true_residual when requested.
+void finalize_stats(Engine& engine, const Vec& b, const Vec& x,
+                    const SolverOptions& opts, SolveStats& stats);
+
+/// Append a residual checkpoint to the history and fire the monitor.
+void checkpoint(SolveStats& stats, const SolverOptions& opts,
+                std::size_t iteration, double rnorm);
+
+/// Sliding-window stagnation detector.
+class StallDetector {
+ public:
+  StallDetector(double improvement, int window)
+      : improvement_(improvement), window_(window) {}
+
+  /// Feed one residual norm; returns true once stagnation is declared.
+  bool update(double rnorm);
+
+ private:
+  double improvement_;
+  int window_;
+  double best_ = -1.0;
+  int since_improvement_ = 0;
+};
+
+}  // namespace detail
+}  // namespace pipescg::krylov

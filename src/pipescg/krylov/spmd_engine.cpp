@@ -1,0 +1,71 @@
+#include "pipescg/krylov/spmd_engine.hpp"
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::krylov {
+
+SpmdEngine::SpmdEngine(par::Comm& comm, const sparse::DistCsr& dist,
+                       const precond::Preconditioner* local_pc)
+    : comm_(comm), dist_(dist), pc_(local_pc) {
+  if (pc_ != nullptr) {
+    PIPESCG_CHECK(pc_->rows() == dist_.local_rows(),
+                  "local preconditioner must act on the local slice");
+  }
+}
+
+void SpmdEngine::apply_op(const Vec& x, Vec& y) {
+  dist_.apply(comm_, x.span(), y.span(), ghost_scratch_);
+}
+
+void SpmdEngine::apply_pc(const Vec& r, Vec& u) {
+  if (pc_ == nullptr) {
+    copy(r, u);
+    return;
+  }
+  pc_->apply(r.span(), u.span());
+}
+
+DotHandle SpmdEngine::dot_post(std::span<const DotPair> pairs,
+                               bool /*blocking*/) {
+  const std::uint64_t id = next_dot_id_++;
+  Pending& slot = pending_[id % kMaxPending];
+  PIPESCG_CHECK(!slot.active, "too many in-flight dot batches");
+
+  partials_.resize(pairs.size());
+  const std::size_t n = local_size();
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    PIPESCG_CHECK(pairs[p].x->size() == n && pairs[p].y->size() == n,
+                  "dot size mismatch");
+    const double* x = pairs[p].x->data();
+    const double* y = pairs[p].y->data();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+    partials_[p] = acc;
+  }
+  slot.request = comm_.iallreduce_sum(
+      std::span<const double>(partials_.data(), partials_.size()));
+  slot.active = true;
+
+  DotHandle h;
+  h.id = id;
+  h.count = pairs.size();
+  h.active = true;
+  return h;
+}
+
+void SpmdEngine::dot_wait(DotHandle& handle, std::span<double> out) {
+  PIPESCG_CHECK(handle.active, "dot_wait on inactive handle");
+  Pending& slot = pending_[handle.id % kMaxPending];
+  PIPESCG_CHECK(slot.active, "dot handle does not match a pending batch");
+  comm_.wait(slot.request, out);
+  slot.active = false;
+  handle.active = false;
+}
+
+void SpmdEngine::mark_iteration(std::uint64_t, double) {
+  // No trace on the SPMD engine; SolveStats carries the residual history.
+}
+
+void SpmdEngine::record_compute(double, double) {}
+
+}  // namespace pipescg::krylov

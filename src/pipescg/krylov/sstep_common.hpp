@@ -1,0 +1,119 @@
+// Shared machinery for the s-step CG family (sCG, PsCG, sCG-sSPMV,
+// PIPE-sCG, PIPE-PsCG, PIPECG-OATI, PIPECG3).
+//
+// Formulation (block-Gram; see DESIGN.md section 6): per outer iteration i
+// the method builds a direction block P_i = S_i + P_{i-1} B_i from the
+// monomial basis S_i = [r_i, A r_i, ..., A^{s-1} r_i] (preconditioned:
+// V_i = [u_i, (M^{-1}A) u_i, ...]), where
+//
+//     B_i  solves  W_{i-1} B_i = -C_i,   C_i = (A P_{i-1})^T S_i
+//     a_i  solves  W_i a_i = g_i,        g_i = (m_0, ..., m_{s-1})^T
+//     W_i  = M_S + C_i^T B_i,            (M_S)_{jk} = m_{j+k+1}
+//
+// with moments m_j = (r_i, A^j r_i) (preconditioned: r^T (M^{-1}A)^j u).
+// All scalars needed by an outer iteration are 2s+1 moments plus the s x s
+// cross block C -- one allreduce, matching Alg. 2/3's single `vm` reduction.
+// (The original Chronopoulos-Gear scalar recurrences eliminate C
+// analytically; computing it as s^2 extra *local* dots in the same allreduce
+// keeps the communication structure identical and is numerically more
+// robust.  The identity B^T W_{i-1} B = -B^T C collapses the W update to the
+// single cross term above.)
+//
+// The pipelined variants additionally carry the power "towers"
+// T[j] = A^{j+1} P_i (preconditioned: (M^{-1}A)^{j+1} P_i and A-side twins),
+// updated by recurrence, so the next basis S_{i+1}[j] = S_i[j] - T[j] a_i
+// exists *before* any new SPMV -- the dot products post immediately and the
+// s SPMVs (+ s PCs) that extend the power basis to A^{2s} r_{i+1} overlap
+// the allreduce (paper Alg. 5/6/7).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pipescg/krylov/solver.hpp"
+#include "pipescg/la/dense_matrix.hpp"
+#include "pipescg/la/lu.hpp"
+
+namespace pipescg::krylov::sstep {
+
+/// The "Scalar Work" of Alg. 2 line 7: two s x s solves per outer iteration.
+class ScalarWork {
+ public:
+  explicit ScalarWork(int s);
+
+  struct Result {
+    la::DenseMatrix b;          // s x s conjugation coefficients (beta's)
+    std::vector<double> alpha;  // s step sizes
+    bool ok = false;            // false on singular/non-finite scalar work
+  };
+
+  /// moments m_0..m_2s (size 2s+1), cross C (s x s, C(k,j) = (AP_prev[k],
+  /// S_new[j])).  Maintains W_{i-1} across calls.
+  Result step(std::span<const double> moments, const la::DenseMatrix& cross);
+
+  bool first() const { return first_; }
+
+ private:
+  int s_;
+  bool first_ = true;
+  la::DenseMatrix w_prev_;
+};
+
+/// Layout of the single per-iteration dot batch.
+struct DotLayout {
+  int s;
+  bool preconditioned;  // adds (r,r) and (u,u) norm dots
+
+  std::size_t moment_count() const { return static_cast<std::size_t>(2 * s + 1); }
+  std::size_t cross_offset() const { return moment_count(); }
+  std::size_t cross_count() const { return static_cast<std::size_t>(s) * s; }
+  std::size_t norm_offset() const { return cross_offset() + cross_count(); }
+  std::size_t total() const {
+    return norm_offset() + (preconditioned ? 2 : 0);
+  }
+
+  /// Residual norm^2 in the requested flavor from the reduced values.
+  double norm_sq(std::span<const double> values, NormType norm) const;
+
+  /// Extract the cross block C from the reduced values.
+  la::DenseMatrix cross(std::span<const double> values) const;
+};
+
+/// Build the batch for the unpreconditioned methods: basis S has s+1
+/// columns [r, A r, ..., A^s r]; ap has s columns A P_cur.
+void build_dot_pairs(const VecBlock& s_basis, const VecBlock& ap,
+                     std::vector<DotPair>& out);
+
+/// Preconditioned: wb = r-side powers [(A M^{-1})^j r], v = u-side powers
+/// [(M^{-1}A)^j u] (s+1 columns each); apr = A P_cur (s columns, r-side).
+void build_dot_pairs(const VecBlock& wb, const VecBlock& v,
+                     const VecBlock& apr, std::vector<DotPair>& out);
+
+/// Resolve SolverOptions::replacement_period for depth s: explicit values
+/// pass through; auto (0) uses period 16 at s <= 3 (cheap truth anchoring),
+/// 4 at s = 4 and 1 at s >= 5 (measured stability limits of the
+/// monomial-basis tower recurrences; see DESIGN.md).
+int resolve_replacement_period(const SolverOptions& opts, int s);
+
+/// True residual norm in the requested flavor: r = b - A x (one SPMV),
+/// u = M^{-1} r when needed (one PC), one blocking dot.  Used for verified
+/// acceptance: a pipelined method's recurred residual may cross the
+/// threshold spuriously; convergence is only declared when the true
+/// residual confirms it.
+double true_flavored_norm(Engine& engine, const Vec& b, const Vec& x,
+                          NormType norm, Vec& scratch_r, Vec& scratch_u);
+
+/// Copy the first s columns of `src` into `dst` (block "slice" helper).
+void copy_block(Engine& engine, const VecBlock& src, VecBlock& dst,
+                std::size_t count);
+
+/// The preconditioned pipelined core (paper Alg. 6 + 7), parameterized so
+/// PIPE-PsCG (s = opts.s), PIPECG-OATI (s = 2) and PIPECG3 (s = 2 + extra
+/// charged FLOPs) share one implementation.
+SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
+                          const SolverOptions& opts, int s,
+                          const std::string& method_name,
+                          double extra_flops_per_outer = 0.0);
+
+}  // namespace pipescg::krylov::sstep

@@ -1,0 +1,37 @@
+// Vector type used by the solvers.
+//
+// A Vec is the rank-local part of a distributed vector: the whole vector on
+// the SerialEngine, a block-row slice on the SpmdEngine.  Solvers never index
+// across ranks; all cross-rank interaction goes through Engine collectives.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pipescg::krylov {
+
+class Vec {
+ public:
+  Vec() = default;
+  explicit Vec(std::size_t n) : data_(n, 0.0) {}
+
+  std::size_t size() const { return data_.size(); }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  std::span<double> span() { return {data_.data(), data_.size()}; }
+  std::span<const double> span() const { return {data_.data(), data_.size()}; }
+
+ private:
+  std::vector<double> data_;
+};
+
+/// A block of s column vectors (direction blocks, power bases).
+using VecBlock = std::vector<Vec>;
+
+}  // namespace pipescg::krylov

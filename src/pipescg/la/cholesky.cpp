@@ -1,0 +1,63 @@
+#include "pipescg/la/cholesky.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace pipescg::la {
+
+CholeskyFactorization::CholeskyFactorization(DenseMatrix a) : l_(std::move(a)) {
+  PIPESCG_CHECK(l_.rows() == l_.cols(), "Cholesky requires a square matrix");
+  const std::size_t n = l_.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = l_(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
+    PIPESCG_CHECK(d > 0.0 && std::isfinite(d),
+                  "Cholesky pivot non-positive: matrix is not SPD");
+    const double ljj = std::sqrt(d);
+    l_(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = l_(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= l_(i, k) * l_(j, k);
+      l_(i, j) = v * inv;
+    }
+    // Zero the strictly-upper part as we go so lower() is clean.
+    for (std::size_t i = 0; i < j; ++i) l_(i, j) = 0.0;
+  }
+}
+
+std::vector<double> CholeskyFactorization::solve(
+    const std::vector<double>& b) const {
+  const std::size_t n = dim();
+  PIPESCG_CHECK(b.size() == n, "Cholesky solve rhs size mismatch");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
+    y[i] = acc / l_(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l_(j, ii) * y[j];
+    y[ii] = acc / l_(ii, ii);
+  }
+  return y;
+}
+
+bool is_spd(const DenseMatrix& a, double symmetry_tol) {
+  if (a.rows() != a.cols()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j)
+      if (std::abs(a(i, j) - a(j, i)) >
+          symmetry_tol * (1.0 + std::abs(a(i, j))))
+        return false;
+  try {
+    CholeskyFactorization chol(a);
+    (void)chol;
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace pipescg::la

@@ -1,0 +1,33 @@
+// Dense Cholesky factorization (A = L L^T) for SPD systems.
+//
+// Used for multigrid coarse-grid solves and in tests to validate SPD-ness of
+// generated operators (a successful factorization is a constructive SPD
+// certificate).
+#pragma once
+
+#include <vector>
+
+#include "pipescg/la/dense_matrix.hpp"
+
+namespace pipescg::la {
+
+class CholeskyFactorization {
+ public:
+  /// Throws pipescg::Error if `a` is not (numerically) SPD.
+  explicit CholeskyFactorization(DenseMatrix a);
+
+  std::size_t dim() const { return l_.rows(); }
+
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  const DenseMatrix& lower() const { return l_; }
+
+ private:
+  DenseMatrix l_;
+};
+
+/// Returns true iff the dense matrix is symmetric positive definite (by
+/// attempting a Cholesky factorization).
+bool is_spd(const DenseMatrix& a, double symmetry_tol = 1e-12);
+
+}  // namespace pipescg::la

@@ -1,0 +1,67 @@
+#include "pipescg/la/tridiagonal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::la {
+
+std::size_t tridiagonal_sturm_count(std::span<const double> diag,
+                                    std::span<const double> offdiag,
+                                    double x) {
+  const std::size_t n = diag.size();
+  PIPESCG_CHECK(offdiag.size() + 1 == n || (n == 0 && offdiag.empty()),
+                "offdiag must have n-1 entries");
+  std::size_t count = 0;
+  double q = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double b2 = i == 0 ? 0.0 : offdiag[i - 1] * offdiag[i - 1];
+    // Sturm recurrence on the sequence of leading-principal-minor ratios.
+    double denom = q;
+    if (std::abs(denom) < std::numeric_limits<double>::min())
+      denom = std::copysign(std::numeric_limits<double>::min(), denom);
+    q = diag[i] - x - b2 / denom;
+    if (q < 0.0) ++count;
+  }
+  return count;
+}
+
+std::pair<double, double> tridiagonal_extreme_eigenvalues(
+    std::span<const double> diag, std::span<const double> offdiag,
+    double tol) {
+  const std::size_t n = diag.size();
+  PIPESCG_CHECK(n >= 1, "empty tridiagonal matrix");
+
+  // Gershgorin bounds.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    double radius = 0.0;
+    if (i > 0) radius += std::abs(offdiag[i - 1]);
+    if (i + 1 < n) radius += std::abs(offdiag[i]);
+    lo = std::min(lo, diag[i] - radius);
+    hi = std::max(hi, diag[i] + radius);
+  }
+  const double scale = std::max({std::abs(lo), std::abs(hi), 1.0});
+
+  auto bisect = [&](std::size_t target_count) {
+    // Smallest x with sturm_count(x) >= target_count + 1 approaches
+    // eigenvalue #target_count (0-based) from above.
+    double a = lo - scale * 1e-12, b = hi + scale * 1e-12;
+    while (b - a > tol * scale) {
+      const double mid = 0.5 * (a + b);
+      if (tridiagonal_sturm_count(diag, offdiag, mid) > target_count) {
+        b = mid;
+      } else {
+        a = mid;
+      }
+    }
+    return 0.5 * (a + b);
+  };
+
+  return {bisect(0), bisect(n - 1)};
+}
+
+}  // namespace pipescg::la

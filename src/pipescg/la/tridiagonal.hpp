@@ -1,0 +1,28 @@
+// Extreme eigenvalues of a symmetric tridiagonal matrix via Sturm-sequence
+// bisection.
+//
+// Used for the Lanczos matrix CG builds implicitly from its alpha/beta
+// coefficients: its extreme eigenvalues approximate the (preconditioned)
+// operator spectrum, giving the classical free condition-number estimate
+// (PETSc's KSPComputeExtremeSingularValues does the same).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+namespace pipescg::la {
+
+/// Number of eigenvalues of T strictly less than `x` (Sturm count).
+/// diag has n entries, offdiag n-1.
+std::size_t tridiagonal_sturm_count(std::span<const double> diag,
+                                    std::span<const double> offdiag,
+                                    double x);
+
+/// (lambda_min, lambda_max) of the symmetric tridiagonal matrix, to
+/// relative tolerance `tol`.
+std::pair<double, double> tridiagonal_extreme_eigenvalues(
+    std::span<const double> diag, std::span<const double> offdiag,
+    double tol = 1e-10);
+
+}  // namespace pipescg::la

@@ -1,0 +1,209 @@
+#include "pipescg/par/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::par {
+namespace {
+
+// Spin with progressively more yielding.  On oversubscribed machines (this
+// target has a single core) pure spinning would serialize horribly, so we
+// yield early and often.
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < 16) {
+      ++spins_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  int spins_ = 0;
+};
+
+}  // namespace
+
+RankRange block_range(std::size_t n, int rank, int size) {
+  PIPESCG_CHECK(size > 0 && rank >= 0 && rank < size,
+                "invalid rank/size in block_range");
+  const std::size_t p = static_cast<std::size_t>(size);
+  const std::size_t r = static_cast<std::size_t>(rank);
+  const std::size_t base = n / p;
+  const std::size_t extra = n % p;
+  const std::size_t begin = r * base + std::min(r, extra);
+  const std::size_t len = base + (r < extra ? 1 : 0);
+  return RankRange{begin, begin + len};
+}
+
+Team::Team(int num_ranks) : num_ranks_(num_ranks) {
+  PIPESCG_CHECK(num_ranks >= 1, "team needs at least one rank");
+  slots_.reserve(kMaxInflight);
+  for (std::size_t i = 0; i < kMaxInflight; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->generation.store(i, std::memory_order_relaxed);
+    slot->contributions.assign(
+        static_cast<std::size_t>(num_ranks) * kMaxPayload, 0.0);
+    slots_.push_back(std::move(slot));
+  }
+  windows_.assign(static_cast<std::size_t>(num_ranks), {});
+}
+
+void Team::barrier_impl() {
+  const int sense = barrier_sense_.load(std::memory_order_relaxed);
+  if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) ==
+      num_ranks_ - 1) {
+    barrier_count_.store(0, std::memory_order_relaxed);
+    barrier_sense_.store(1 - sense, std::memory_order_release);
+  } else {
+    Backoff backoff;
+    while (barrier_sense_.load(std::memory_order_acquire) == sense)
+      backoff.pause();
+  }
+}
+
+AllreduceRequest Team::post_impl(Comm& comm, std::span<const double> in) {
+  PIPESCG_CHECK(in.size() <= kMaxPayload,
+                "allreduce payload exceeds Team::kMaxPayload");
+  const std::uint64_t id = comm.next_op_id_++;
+  Slot& slot = *slots_[id % kMaxInflight];
+
+  // Backpressure: wait until the slot has been fully recycled for this
+  // generation (all ranks consumed the previous tenant).
+  Backoff backoff;
+  while (slot.generation.load(std::memory_order_acquire) != id)
+    backoff.pause();
+
+  slot.count = in.size();  // same value written by every rank
+  double* mine = slot.contributions.data() +
+                 static_cast<std::size_t>(comm.rank()) * kMaxPayload;
+  std::copy(in.begin(), in.end(), mine);
+  slot.contributed.fetch_add(1, std::memory_order_release);
+
+  AllreduceRequest req;
+  req.op_id = id;
+  req.count = in.size();
+  req.active = true;
+  return req;
+}
+
+void Team::wait_impl(const AllreduceRequest& req, std::span<double> out) {
+  Slot& slot = *slots_[req.op_id % kMaxInflight];
+  Backoff backoff;
+  while (slot.contributed.load(std::memory_order_acquire) != num_ranks_)
+    backoff.pause();
+
+  PIPESCG_CHECK(out.size() >= req.count, "allreduce output buffer too small");
+  // Fixed-order reduction: deterministic result independent of scheduling.
+  for (std::size_t j = 0; j < req.count; ++j) {
+    double acc = 0.0;
+    for (int r = 0; r < num_ranks_; ++r)
+      acc += slot.contributions[static_cast<std::size_t>(r) * kMaxPayload + j];
+    out[j] = acc;
+  }
+
+  // Last consumer recycles the slot for generation id + kMaxInflight.
+  if (slot.consumed.fetch_add(1, std::memory_order_acq_rel) ==
+      num_ranks_ - 1) {
+    slot.consumed.store(0, std::memory_order_relaxed);
+    slot.contributed.store(0, std::memory_order_relaxed);
+    slot.generation.store(req.op_id + kMaxInflight,
+                          std::memory_order_release);
+  }
+}
+
+void Team::run(int num_ranks, const std::function<void(Comm&)>& body) {
+  Team team(num_ranks);
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(num_ranks), nullptr);
+
+  if (num_ranks == 1) {
+    Comm comm(&team, 0);
+    body(comm);
+    return;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&team, &body, &errors, r]() {
+      try {
+        Comm comm(&team, r);
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+int Comm::size() const { return team_->num_ranks_; }
+
+void Comm::barrier() { team_->barrier_impl(); }
+
+void Comm::allreduce_sum(std::span<const double> in, std::span<double> out) {
+  AllreduceRequest req = team_->post_impl(*this, in);
+  team_->wait_impl(req, out);
+}
+
+AllreduceRequest Comm::iallreduce_sum(std::span<const double> in) {
+  return team_->post_impl(*this, in);
+}
+
+void Comm::wait(AllreduceRequest& req, std::span<double> out) {
+  PIPESCG_CHECK(req.active, "wait on inactive allreduce request");
+  team_->wait_impl(req, out);
+  req.active = false;
+}
+
+void Comm::broadcast(std::span<double> data, int root) {
+  PIPESCG_CHECK(root >= 0 && root < size(), "broadcast root out of range");
+  // Root exposes its buffer; everyone copies; epoch close synchronizes.
+  expose(std::span<const double>(data.data(), data.size()));
+  if (rank_ != root) peer_read(root, 0, data);
+  close_epoch();
+}
+
+double Comm::allreduce_max(double v) {
+  // Implemented on top of sum-allreduce machinery would change semantics;
+  // use the window mechanism instead: everyone exposes, everyone maxes.
+  expose(std::span<const double>(&v, 1));
+  double m = v;
+  for (int r = 0; r < size(); ++r) {
+    double peer_v = 0.0;
+    peer_read(r, 0, std::span<double>(&peer_v, 1));
+    m = std::max(m, peer_v);
+  }
+  close_epoch();
+  return m;
+}
+
+void Comm::expose(std::span<const double> window) {
+  team_->windows_[static_cast<std::size_t>(rank_)] = window;
+  team_->barrier_impl();  // opens the epoch: all windows published
+}
+
+void Comm::peer_read(int peer, std::size_t offset,
+                     std::span<double> out) const {
+  PIPESCG_CHECK(peer >= 0 && peer < size(), "peer_read peer out of range");
+  const std::span<const double>& w =
+      team_->windows_[static_cast<std::size_t>(peer)];
+  PIPESCG_CHECK(offset + out.size() <= w.size(),
+                "peer_read outside exposed window");
+  std::copy(w.begin() + static_cast<std::ptrdiff_t>(offset),
+            w.begin() + static_cast<std::ptrdiff_t>(offset + out.size()),
+            out.begin());
+}
+
+void Comm::close_epoch() {
+  team_->barrier_impl();  // all reads done before windows may change
+}
+
+}  // namespace pipescg::par

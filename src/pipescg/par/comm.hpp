@@ -1,0 +1,150 @@
+// In-process SPMD runtime: the library's substitute for MPI on this offline
+// target (see DESIGN.md, "Substitutions").
+//
+// A Team spawns P ranks (one std::thread each) that execute the same function
+// SPMD-style, communicating through a Comm handle.  The Comm provides the
+// collective operations the solvers need:
+//
+//  * barrier()                        -- synchronization
+//  * allreduce_sum()                  -- blocking allreduce (MPI_Allreduce)
+//  * iallreduce_sum() / wait()        -- non-blocking allreduce
+//                                        (MPI_Iallreduce + MPI_Wait)
+//  * broadcast()                      -- MPI_Bcast
+//  * expose() / peer_read()           -- RMA-style neighbor access used by
+//                                        the distributed SPMV halo exchange
+//                                        (models MPI_Get in an epoch)
+//
+// The non-blocking allreduce is genuinely non-blocking: posting stores the
+// local contribution into a per-rank slot with a release publication and
+// returns immediately; compute proceeds; wait() spins until all P ranks have
+// contributed and then performs a *fixed-order* summation so results are
+// bit-deterministic regardless of thread scheduling.
+//
+// Ordering contract (same as MPI): all ranks must post collectives in the
+// same order.  A bounded ring of in-flight operations provides backpressure;
+// exceeding kMaxInflight outstanding unposted generations simply makes the
+// poster spin until the slot is recycled.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace pipescg::par {
+
+class Team;
+
+/// Handle for an in-flight non-blocking allreduce.
+struct AllreduceRequest {
+  std::uint64_t op_id = 0;
+  std::size_t count = 0;
+  bool active = false;
+};
+
+/// Contiguous [begin, end) row range owned by a rank.
+struct RankRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Balanced block partition of n items over `size` ranks: the first
+/// n % size ranks get one extra item.
+RankRange block_range(std::size_t n, int rank, int size);
+
+/// Per-rank communicator handle.  Not copyable; owned by the Team's rank loop
+/// and passed to the SPMD body by reference.
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  void barrier();
+
+  /// Blocking sum-allreduce; in and out may alias.  All ranks must pass the
+  /// same count.
+  void allreduce_sum(std::span<const double> in, std::span<double> out);
+
+  /// Post a non-blocking sum-allreduce of `in`.  The contents of `in` are
+  /// copied at post time; the caller may reuse the buffer immediately.
+  AllreduceRequest iallreduce_sum(std::span<const double> in);
+
+  /// Complete a previously posted iallreduce; writes the reduced values.
+  void wait(AllreduceRequest& req, std::span<double> out);
+
+  /// Broadcast `data` from `root` to all ranks.
+  void broadcast(std::span<double> data, int root);
+
+  /// Max-allreduce of a single value (used for convergence flags/norms).
+  double allreduce_max(double v);
+
+  /// RMA-style exposure epoch: every rank publishes a read-only window, then
+  /// after the collective call any rank may peer_read() from any window
+  /// until close_epoch().  Models MPI_Win_fence + MPI_Get.
+  void expose(std::span<const double> window);
+  /// Read `count` entries starting at `offset` within `peer`'s window.
+  void peer_read(int peer, std::size_t offset, std::span<double> out) const;
+  void close_epoch();
+
+  /// Convenience: this rank's block range of n items.
+  RankRange my_range(std::size_t n) const {
+    return block_range(n, rank_, size());
+  }
+
+ private:
+  friend class Team;
+  Comm(Team* team, int rank) : team_(team), rank_(rank) {}
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  Team* team_;
+  int rank_;
+  std::uint64_t next_op_id_ = 0;
+};
+
+/// A team of P SPMD ranks.  Usage:
+///
+///   par::Team::run(4, [&](par::Comm& comm) { ... SPMD body ... });
+///
+/// The call returns when all ranks finish.  If any rank throws, the first
+/// exception (by rank order) is rethrown on the calling thread after all
+/// ranks have been joined.
+class Team {
+ public:
+  static void run(int num_ranks, const std::function<void(Comm&)>& body);
+
+  /// Maximum number of doubles per allreduce payload.
+  static constexpr std::size_t kMaxPayload = 4096;
+  /// Maximum in-flight allreduce generations before posting backpressures.
+  static constexpr std::size_t kMaxInflight = 8;
+
+ private:
+  friend class Comm;
+  explicit Team(int num_ranks);
+
+  struct Slot {
+    std::atomic<std::uint64_t> generation{0};
+    std::atomic<int> contributed{0};
+    std::atomic<int> consumed{0};
+    std::size_t count = 0;  // payload length; written by first contributor
+    std::vector<double> contributions;  // P * kMaxPayload
+  };
+
+  int num_ranks_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::span<const double>> windows_;
+
+  // Central barrier implemented with a sense-reversing counter so it can be
+  // reused without C++20 std::barrier template/functor friction.
+  std::atomic<int> barrier_count_{0};
+  std::atomic<int> barrier_sense_{0};
+
+  void barrier_impl();
+  AllreduceRequest post_impl(Comm& comm, std::span<const double> in);
+  void wait_impl(const AllreduceRequest& req, std::span<double> out);
+};
+
+}  // namespace pipescg::par

@@ -1,0 +1,25 @@
+#include "pipescg/precond/amg.hpp"
+
+namespace pipescg::precond {
+
+std::unique_ptr<MultigridPreconditioner> make_geometric_mg(
+    const sparse::CsrMatrix& a, MultigridPreconditioner::Options options) {
+  AggregationFn agg = [](const sparse::CsrMatrix& m) {
+    if (m.stats().kind != sparse::GridKind::kGeneral)
+      return aggregate_geometric(m);
+    return aggregate_greedy(m);
+  };
+  return std::make_unique<MultigridPreconditioner>(a, std::move(agg), options,
+                                                   "mg");
+}
+
+std::unique_ptr<MultigridPreconditioner> make_amg(
+    const sparse::CsrMatrix& a, MultigridPreconditioner::Options options) {
+  AggregationFn agg = [](const sparse::CsrMatrix& m) {
+    return aggregate_greedy(m);
+  };
+  return std::make_unique<MultigridPreconditioner>(a, std::move(agg), options,
+                                                   "gamg");
+}
+
+}  // namespace pipescg::precond

@@ -1,0 +1,24 @@
+// Convenience constructors for the two multigrid flavours of the paper's
+// Fig. 4: "MG" (geometric aggregation) and "GAMG" (smoothed-aggregation AMG
+// on the strength graph).
+#pragma once
+
+#include <memory>
+
+#include "pipescg/precond/multigrid.hpp"
+
+namespace pipescg::precond {
+
+/// Geometric multigrid; requires grid metadata on `a` (assembled stencils
+/// carry it).  Falls back to greedy aggregation below the first level only
+/// if the coarse metadata stops matching.
+std::unique_ptr<MultigridPreconditioner> make_geometric_mg(
+    const sparse::CsrMatrix& a,
+    MultigridPreconditioner::Options options = {});
+
+/// Smoothed-aggregation AMG (strength-graph greedy aggregation).
+std::unique_ptr<MultigridPreconditioner> make_amg(
+    const sparse::CsrMatrix& a,
+    MultigridPreconditioner::Options options = {});
+
+}  // namespace pipescg::precond

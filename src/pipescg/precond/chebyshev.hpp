@@ -1,0 +1,44 @@
+// Chebyshev polynomial preconditioner / smoother.
+//
+// Applies k steps of the Chebyshev iteration for A z = r on the interval
+// [lambda_max / ratio, lambda_max], with lambda_max estimated by power
+// iteration at setup.  Communication-free apart from the SPMVs inside (no
+// inner dot products), which is why it is the standard smoother choice for
+// communication-sensitive multigrid; also usable standalone.
+#pragma once
+
+#include <memory>
+
+#include "pipescg/precond/preconditioner.hpp"
+#include "pipescg/sparse/operator.hpp"
+
+namespace pipescg::precond {
+
+/// Power-iteration estimate of the largest eigenvalue of D^{-1}A (Jacobi-
+/// scaled operator), the quantity Chebyshev smoothing needs.
+double estimate_lambda_max(const sparse::CsrMatrix& a, int iterations = 20,
+                           std::uint64_t seed = 7777);
+
+class ChebyshevPreconditioner final : public Preconditioner {
+ public:
+  /// Keeps a reference to `a`.  `degree` SPMVs per application; the target
+  /// interval is [lambda_max/eig_ratio, lambda_max * safety].
+  explicit ChebyshevPreconditioner(const sparse::CsrMatrix& a, int degree = 4,
+                                   double eig_ratio = 30.0);
+
+  void apply(std::span<const double> r, std::span<double> u) const override;
+  std::size_t rows() const override { return a_.rows(); }
+  std::string name() const override { return "chebyshev"; }
+  sim::PcCostProfile cost_profile() const override;
+
+  double lambda_max() const { return lambda_max_; }
+
+ private:
+  const sparse::CsrMatrix& a_;
+  int degree_;
+  double lambda_min_, lambda_max_;
+  std::vector<double> inv_diag_;
+  mutable std::vector<double> z_, az_, p_;
+};
+
+}  // namespace pipescg::precond

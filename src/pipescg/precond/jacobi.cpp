@@ -1,0 +1,49 @@
+#include "pipescg/precond/jacobi.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::precond {
+
+JacobiPreconditioner::JacobiPreconditioner(const sparse::CsrMatrix& a)
+    : stats_(a.stats()) {
+  invert_diagonal(a.diagonal());
+}
+
+JacobiPreconditioner::JacobiPreconditioner(std::vector<double> diagonal,
+                                           sparse::OperatorStats stats)
+    : stats_(stats) {
+  invert_diagonal(diagonal);
+}
+
+void JacobiPreconditioner::invert_diagonal(
+    const std::vector<double>& diagonal) {
+  inv_diag_.resize(diagonal.size());
+  for (std::size_t i = 0; i < diagonal.size(); ++i) {
+    PIPESCG_CHECK(diagonal[i] > 0.0 && std::isfinite(diagonal[i]),
+                  "Jacobi requires a positive diagonal (SPD matrix)");
+    inv_diag_[i] = 1.0 / diagonal[i];
+  }
+}
+
+void JacobiPreconditioner::apply(std::span<const double> r,
+                                 std::span<double> u) const {
+  PIPESCG_CHECK(r.size() == inv_diag_.size() && u.size() == inv_diag_.size(),
+                "Jacobi apply size mismatch");
+  for (std::size_t i = 0; i < inv_diag_.size(); ++i) u[i] = r[i] * inv_diag_[i];
+}
+
+sim::PcCostProfile JacobiPreconditioner::cost_profile() const {
+  sim::PcCostProfile p;
+  p.name = name();
+  const double n = static_cast<double>(rows());
+  p.flops = n;
+  p.bytes = 24.0 * n;
+  p.halo_exchanges = 0.0;
+  p.stats = stats_;
+  return p;
+}
+
+}  // namespace pipescg::precond

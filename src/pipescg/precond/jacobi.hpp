@@ -1,0 +1,34 @@
+// Jacobi (diagonal) preconditioner: u = D^{-1} r.
+//
+// The paper's default preconditioner for the strong-scaling experiments
+// (Figs. 1-3); no communication, one vector pass per application.
+#pragma once
+
+#include <vector>
+
+#include "pipescg/precond/preconditioner.hpp"
+
+namespace pipescg::precond {
+
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const sparse::CsrMatrix& a);
+
+  /// Direct construction from a diagonal (lets matrix-free operators and
+  /// rank-local slices provide their diagonal without a CSR matrix).
+  JacobiPreconditioner(std::vector<double> diagonal,
+                       sparse::OperatorStats stats);
+
+  void apply(std::span<const double> r, std::span<double> u) const override;
+  std::size_t rows() const override { return inv_diag_.size(); }
+  std::string name() const override { return "jacobi"; }
+  sim::PcCostProfile cost_profile() const override;
+
+ private:
+  void invert_diagonal(const std::vector<double>& diagonal);
+
+  std::vector<double> inv_diag_;
+  sparse::OperatorStats stats_;
+};
+
+}  // namespace pipescg::precond

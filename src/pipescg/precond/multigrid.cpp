@@ -1,0 +1,314 @@
+#include "pipescg/precond/multigrid.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "pipescg/base/error.hpp"
+#include "pipescg/sparse/coo_builder.hpp"
+#include "pipescg/sparse/spgemm.hpp"
+
+namespace pipescg::precond {
+namespace {
+
+using sparse::CsrMatrix;
+
+/// Tentative prolongation from an aggregation map: column agg(i) gets
+/// 1/sqrt(|aggregate|) in row i (normalized piecewise-constant basis).
+CsrMatrix tentative_prolongation(const std::vector<std::size_t>& agg,
+                                 std::size_t num_aggregates) {
+  std::vector<std::size_t> sizes(num_aggregates, 0);
+  for (std::size_t a : agg) ++sizes[a];
+  sparse::CooBuilder builder(agg.size(), num_aggregates);
+  builder.reserve(agg.size());
+  for (std::size_t i = 0; i < agg.size(); ++i)
+    builder.add(i, agg[i], 1.0 / std::sqrt(static_cast<double>(sizes[agg[i]])));
+  return builder.build("P_tent");
+}
+
+/// P = (I - omega D^{-1} A) P_tent.
+CsrMatrix smooth_prolongation(const CsrMatrix& a, const CsrMatrix& p_tent,
+                              double damping) {
+  const double lmax = estimate_lambda_max(a);
+  const double omega = damping / lmax;
+  const std::vector<double> diag = a.diagonal();
+
+  // S = D^{-1} A scaled by omega, as CSR.
+  std::vector<CsrMatrix::Index> rp(a.row_ptr().begin(), a.row_ptr().end());
+  std::vector<CsrMatrix::Index> ci(a.col_indices().begin(),
+                                   a.col_indices().end());
+  std::vector<double> v(a.values().begin(), a.values().end());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (auto k = rp[i]; k < rp[i + 1]; ++k)
+      v[static_cast<std::size_t>(k)] *= omega / diag[i];
+  const CsrMatrix scaled(a.rows(), a.cols(), std::move(rp), std::move(ci),
+                         std::move(v), "wDinvA");
+
+  const CsrMatrix sp = sparse::multiply(scaled, p_tent);
+  // P = P_tent - sp (merge through a COO builder).
+  sparse::CooBuilder builder(p_tent.rows(), p_tent.cols());
+  builder.reserve(p_tent.nnz() + sp.nnz());
+  auto add_all = [&builder](const CsrMatrix& m, double scale) {
+    const auto mrp = m.row_ptr();
+    const auto mci = m.col_indices();
+    const auto mv = m.values();
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      for (auto k = mrp[i]; k < mrp[i + 1]; ++k)
+        builder.add(i,
+                    static_cast<std::size_t>(mci[static_cast<std::size_t>(k)]),
+                    scale * mv[static_cast<std::size_t>(k)]);
+  };
+  add_all(p_tent, 1.0);
+  add_all(sp, -1.0);
+  return builder.build("P_smoothed");
+}
+
+}  // namespace
+
+std::vector<std::size_t> aggregate_geometric(const sparse::CsrMatrix& a) {
+  const sparse::OperatorStats st = a.stats();
+  PIPESCG_CHECK(st.kind != sparse::GridKind::kGeneral,
+                "geometric aggregation needs grid metadata");
+  const std::size_t nx = st.nx, ny = st.ny;
+  const std::size_t nz = st.kind == sparse::GridKind::kGrid3d ? st.nz : 1;
+  PIPESCG_CHECK(nx * ny * nz == a.rows(), "grid metadata inconsistent");
+  const std::size_t cx = (nx + 1) / 2, cy = (ny + 1) / 2;
+  std::vector<std::size_t> agg(a.rows());
+  for (std::size_t k = 0; k < nz; ++k)
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t i = 0; i < nx; ++i)
+        agg[(k * ny + j) * nx + i] = ((k / 2) * cy + (j / 2)) * cx + (i / 2);
+  return agg;
+}
+
+std::vector<std::size_t> aggregate_greedy(const sparse::CsrMatrix& a,
+                                          double theta) {
+  const std::size_t n = a.rows();
+  const std::vector<double> diag = a.diagonal();
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_indices();
+  const auto v = a.values();
+  constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> agg(n, kUnset);
+  std::size_t next_agg = 0;
+
+  auto is_strong = [&](std::size_t i, std::size_t k) {
+    const std::size_t j =
+        static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+    if (j == i) return false;
+    const double aij = v[static_cast<std::size_t>(k)];
+    return std::abs(aij) > theta * std::sqrt(diag[i] * diag[j]);
+  };
+
+  // Pass 1: seed aggregates from nodes whose strong neighborhood is free.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (agg[i] != kUnset) continue;
+    bool free_neighborhood = true;
+    for (auto k = rp[i]; k < rp[i + 1]; ++k) {
+      if (is_strong(i, static_cast<std::size_t>(k)) &&
+          agg[static_cast<std::size_t>(
+              ci[static_cast<std::size_t>(k)])] != kUnset) {
+        free_neighborhood = false;
+        break;
+      }
+    }
+    if (!free_neighborhood) continue;
+    agg[i] = next_agg;
+    for (auto k = rp[i]; k < rp[i + 1]; ++k)
+      if (is_strong(i, static_cast<std::size_t>(k)))
+        agg[static_cast<std::size_t>(ci[static_cast<std::size_t>(k)])] =
+            next_agg;
+    ++next_agg;
+  }
+  // Pass 2: attach leftovers to a strongly-connected neighbor aggregate.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (agg[i] != kUnset) continue;
+    for (auto k = rp[i]; k < rp[i + 1]; ++k) {
+      const std::size_t j =
+          static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+      if (is_strong(i, static_cast<std::size_t>(k)) && agg[j] != kUnset) {
+        agg[i] = agg[j];
+        break;
+      }
+    }
+  }
+  // Pass 3: any remaining isolated nodes become singletons.
+  for (std::size_t i = 0; i < n; ++i)
+    if (agg[i] == kUnset) agg[i] = next_agg++;
+  return agg;
+}
+
+MultigridPreconditioner::MultigridPreconditioner(const sparse::CsrMatrix& a,
+                                                 AggregationFn aggregate,
+                                                 Options options,
+                                                 std::string name)
+    : fine_(a), name_(std::move(name)), options_(options) {
+  PIPESCG_CHECK(a.rows() == a.cols(), "multigrid requires a square matrix");
+  fine_smoother_ = std::make_unique<ChebyshevPreconditioner>(
+      fine_, options_.smoother_degree);
+  fine_scratch_.resize(fine_.rows());
+
+  const sparse::CsrMatrix* current = &fine_;
+  for (int level = 1; level < options_.max_levels; ++level) {
+    if (current->rows() <= options_.coarse_size) break;
+    std::vector<std::size_t> agg = aggregate(*current);
+    std::size_t num_agg = 0;
+    for (std::size_t id : agg) num_agg = std::max(num_agg, id + 1);
+    if (num_agg >= current->rows()) break;  // no coarsening progress
+
+    CsrMatrix p = tentative_prolongation(agg, num_agg);
+    if (options_.smoothed_prolongation)
+      p = smooth_prolongation(*current, p, options_.prolongation_damping);
+
+    Level lvl;
+    lvl.a = sparse::galerkin_product(*current, p);
+    // Propagate coarse grid metadata so geometric aggregation can recurse.
+    const sparse::OperatorStats st = current->stats();
+    if (st.kind != sparse::GridKind::kGeneral) {
+      const std::size_t cx = (st.nx + 1) / 2, cy = (st.ny + 1) / 2;
+      const std::size_t cz =
+          st.kind == sparse::GridKind::kGrid3d ? (st.nz + 1) / 2 : 1;
+      if (cx * cy * cz == lvl.a.rows())
+        lvl.a.set_grid_info(st.kind, cx, cy, cz, st.halo_width);
+    }
+    lvl.prolongation = std::move(p);
+    lvl.r.resize(lvl.a.rows());
+    lvl.u.resize(lvl.a.rows());
+    lvl.scratch.resize(lvl.a.rows());
+    coarse_.push_back(std::move(lvl));
+    current = &coarse_.back().a;
+  }
+  // Smoothers for intermediate coarse levels; direct solve on the last.
+  for (std::size_t l = 0; l + 1 < coarse_.size(); ++l) {
+    coarse_[l].smoother = std::make_unique<ChebyshevPreconditioner>(
+        coarse_[l].a, options_.smoother_degree);
+  }
+  const sparse::CsrMatrix& last = coarse_.empty() ? fine_ : coarse_.back().a;
+  PIPESCG_CHECK(last.rows() <= 4096,
+                "coarsest level too large for a dense direct solve");
+  la::DenseMatrix dense(last.rows(), last.cols());
+  const auto lrp = last.row_ptr();
+  const auto lci = last.col_indices();
+  const auto lv = last.values();
+  for (std::size_t i = 0; i < last.rows(); ++i)
+    for (auto k = lrp[i]; k < lrp[i + 1]; ++k)
+      dense(i, static_cast<std::size_t>(lci[static_cast<std::size_t>(k)])) =
+          lv[static_cast<std::size_t>(k)];
+  dense.symmetrize();
+  coarse_solver_ = std::make_unique<la::CholeskyFactorization>(dense);
+}
+
+std::size_t MultigridPreconditioner::rows() const { return fine_.rows(); }
+
+const sparse::CsrMatrix& MultigridPreconditioner::matrix_at(
+    std::size_t level) const {
+  return level == 0 ? fine_ : coarse_[level - 1].a;
+}
+
+const ChebyshevPreconditioner& MultigridPreconditioner::smoother_at(
+    std::size_t level) const {
+  return level == 0 ? *fine_smoother_ : *coarse_[level - 1].smoother;
+}
+
+void MultigridPreconditioner::cycle(std::size_t level,
+                                    std::span<const double> r,
+                                    std::span<double> u) const {
+  const std::size_t last = coarse_.size();
+  if (level == last) {
+    // Coarsest: direct solve.
+    const std::vector<double> rhs(r.begin(), r.end());
+    const std::vector<double> sol = coarse_solver_->solve(rhs);
+    std::copy(sol.begin(), sol.end(), u.begin());
+    return;
+  }
+  const sparse::CsrMatrix& a = matrix_at(level);
+  const sparse::CsrMatrix& p = coarse_[level].prolongation;
+  std::vector<double>& cr = coarse_[level].r;
+  std::vector<double>& cu = coarse_[level].u;
+  std::vector<double>& scratch =
+      level == 0 ? fine_scratch_ : coarse_[level - 1].scratch;
+
+  // Pre-smooth: u = Cheb(r) (zero initial guess folded into the smoother).
+  smoother_at(level).apply(r, u);
+
+  // Coarse-grid correction on the residual r - A u.
+  a.apply(u, scratch);
+  for (std::size_t i = 0; i < a.rows(); ++i) scratch[i] = r[i] - scratch[i];
+  // Restrict with P^T: cr = P^T scratch.
+  std::fill(cr.begin(), cr.end(), 0.0);
+  {
+    const auto prp = p.row_ptr();
+    const auto pci = p.col_indices();
+    const auto pv = p.values();
+    for (std::size_t i = 0; i < p.rows(); ++i)
+      for (auto k = prp[i]; k < prp[i + 1]; ++k)
+        cr[static_cast<std::size_t>(pci[static_cast<std::size_t>(k)])] +=
+            pv[static_cast<std::size_t>(k)] * scratch[i];
+  }
+  cycle(level + 1, cr, cu);
+  // Prolong and correct: u += P cu.
+  {
+    const auto prp = p.row_ptr();
+    const auto pci = p.col_indices();
+    const auto pv = p.values();
+    for (std::size_t i = 0; i < p.rows(); ++i) {
+      double acc = 0.0;
+      for (auto k = prp[i]; k < prp[i + 1]; ++k)
+        acc += pv[static_cast<std::size_t>(k)] *
+               cu[static_cast<std::size_t>(pci[static_cast<std::size_t>(k)])];
+      u[i] += acc;
+    }
+  }
+
+  // Post-smooth (symmetric cycle): u += Cheb(r - A u).  The smoother reads
+  // its input while writing a separate output, so a fresh buffer is needed
+  // for the correction.
+  a.apply(u, scratch);
+  for (std::size_t i = 0; i < a.rows(); ++i) scratch[i] = r[i] - scratch[i];
+  std::vector<double> post(a.rows());
+  smoother_at(level).apply(scratch, post);
+  for (std::size_t i = 0; i < a.rows(); ++i) u[i] += post[i];
+}
+
+void MultigridPreconditioner::apply(std::span<const double> r,
+                                    std::span<double> u) const {
+  PIPESCG_CHECK(r.size() == fine_.rows() && u.size() == fine_.rows(),
+                "multigrid apply size mismatch");
+  cycle(0, r, u);
+}
+
+double MultigridPreconditioner::operator_complexity() const {
+  double total = static_cast<double>(fine_.nnz());
+  for (const Level& l : coarse_) total += static_cast<double>(l.a.nnz());
+  return total / static_cast<double>(fine_.nnz());
+}
+
+sim::PcCostProfile MultigridPreconditioner::cost_profile() const {
+  sim::PcCostProfile profile;
+  profile.name = name_;
+  const int d = options_.smoother_degree;
+  double flops = 0.0, bytes = 0.0, halos = 0.0;
+  for (std::size_t level = 0; level <= coarse_.size(); ++level) {
+    const sparse::CsrMatrix& a = matrix_at(level);
+    const double nnz = static_cast<double>(a.nnz());
+    const double n = static_cast<double>(a.rows());
+    if (level == coarse_.size()) {
+      flops += n * n;  // dense triangular solves
+      bytes += 8.0 * n * n;
+      break;
+    }
+    // Two smoother applications (degree d SPMVs each) + 2 residuals +
+    // restriction + prolongation.
+    const double pnnz = static_cast<double>(coarse_[level].prolongation.nnz());
+    flops += 2.0 * d * (2.0 * nnz + 6.0 * n) + 2.0 * (2.0 * nnz + n) +
+             2.0 * 2.0 * pnnz;
+    bytes += (2.0 * d + 2.0) * (12.0 * nnz + 16.0 * n) + 2.0 * 12.0 * pnnz;
+    halos += 2.0 * d + 2.0;
+  }
+  profile.flops = flops;
+  profile.bytes = bytes;
+  profile.halo_exchanges = halos;
+  profile.stats = fine_.stats();
+  return profile;
+}
+
+}  // namespace pipescg::precond

@@ -1,0 +1,24 @@
+#include "pipescg/precond/preconditioner.hpp"
+
+#include "pipescg/base/error.hpp"
+#include "pipescg/precond/amg.hpp"
+#include "pipescg/precond/chebyshev.hpp"
+#include "pipescg/precond/jacobi.hpp"
+#include "pipescg/precond/ssor.hpp"
+
+namespace pipescg::precond {
+
+std::unique_ptr<Preconditioner> make_preconditioner(
+    const std::string& name, const sparse::CsrMatrix& a) {
+  if (name == "jacobi") return std::make_unique<JacobiPreconditioner>(a);
+  if (name == "ssor" || name == "sor")
+    return std::make_unique<SsorPreconditioner>(a);
+  if (name == "chebyshev")
+    return std::make_unique<ChebyshevPreconditioner>(a);
+  if (name == "mg") return make_geometric_mg(a);
+  if (name == "amg" || name == "gamg") return make_amg(a);
+  PIPESCG_FAIL("unknown preconditioner '" + name +
+               "'; known: jacobi ssor chebyshev mg gamg");
+}
+
+}  // namespace pipescg::precond

@@ -1,0 +1,72 @@
+#include "pipescg/precond/ssor.hpp"
+
+#include <cmath>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::precond {
+
+SsorPreconditioner::SsorPreconditioner(const sparse::CsrMatrix& a,
+                                       double omega)
+    : a_(a), omega_(omega), diag_(a.diagonal()) {
+  PIPESCG_CHECK(a.rows() == a.cols(), "SSOR requires a square matrix");
+  PIPESCG_CHECK(omega > 0.0 && omega < 2.0, "SSOR requires omega in (0, 2)");
+  for (double d : diag_)
+    PIPESCG_CHECK(d > 0.0 && std::isfinite(d),
+                  "SSOR requires a positive diagonal (SPD matrix)");
+  scratch_.resize(a.rows());
+}
+
+void SsorPreconditioner::apply(std::span<const double> r,
+                               std::span<double> u) const {
+  const std::size_t n = a_.rows();
+  PIPESCG_CHECK(r.size() == n && u.size() == n, "SSOR apply size mismatch");
+  const auto rp = a_.row_ptr();
+  const auto ci = a_.col_indices();
+  const auto v = a_.values();
+  std::vector<double>& z = scratch_;
+
+  // Forward sweep: (D/omega + L) z = r.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = r[i];
+    for (auto k = rp[i]; k < rp[i + 1]; ++k) {
+      const std::size_t j =
+          static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+      if (j >= i) break;  // columns sorted: strictly-lower part first
+      acc -= v[static_cast<std::size_t>(k)] * z[j];
+    }
+    z[i] = acc * omega_ / diag_[i];
+  }
+  // Diagonal scaling by D / (omega (2 - omega)) then backward sweep:
+  // (D/omega + U) u = D z / (omega (2 - omega)) * ... combining constants,
+  // u solves (D/omega + U) u = (1/(2 - omega)) D z / omega^0 ... we fold the
+  // scalar so that M^{-1} = omega(2-omega) (D+omega U)^{-1} D (D+omega L)^{-1}.
+  const double scale = (2.0 - omega_) / omega_;
+  for (std::size_t i = 0; i < n; ++i) z[i] *= diag_[i] * scale;
+  // Backward sweep: (D/omega + U) u = z.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = z[ii];
+    for (auto k = rp[ii + 1]; k-- > rp[ii];) {
+      const std::size_t j =
+          static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+      if (j <= ii) break;  // strictly-upper part is at the row tail
+      acc -= v[static_cast<std::size_t>(k)] * u[j];
+    }
+    u[ii] = acc * omega_ / diag_[ii];
+  }
+}
+
+sim::PcCostProfile SsorPreconditioner::cost_profile() const {
+  sim::PcCostProfile p;
+  p.name = name();
+  const double nnz = static_cast<double>(a_.nnz());
+  const double n = static_cast<double>(a_.rows());
+  // Two triangular sweeps touch every nonzero once plus diagonal work.
+  p.flops = 2.0 * nnz + 4.0 * n;
+  p.bytes = 12.0 * nnz + 5.0 * 8.0 * n;
+  p.halo_exchanges = 1.0;  // block-SSOR neighbor coupling per apply
+  p.stats = a_.stats();
+  return p;
+}
+
+}  // namespace pipescg::precond

@@ -1,0 +1,32 @@
+// SSOR (Symmetric Successive Over-Relaxation) preconditioner.
+//
+//   M = 1/(omega (2 - omega)) (D + omega L) D^{-1} (D + omega U)
+//
+// Symmetric (hence SPD-preserving for CG) for any omega in (0, 2); the
+// application is one forward and one backward triangular sweep.  This is the
+// "SOR" configuration of the paper's Fig. 4 (PETSc's PCSOR defaults to the
+// symmetric variant for CG).
+#pragma once
+
+#include "pipescg/precond/preconditioner.hpp"
+
+namespace pipescg::precond {
+
+class SsorPreconditioner final : public Preconditioner {
+ public:
+  /// Keeps a reference to `a`; the matrix must outlive the preconditioner.
+  explicit SsorPreconditioner(const sparse::CsrMatrix& a, double omega = 1.0);
+
+  void apply(std::span<const double> r, std::span<double> u) const override;
+  std::size_t rows() const override { return a_.rows(); }
+  std::string name() const override { return "ssor"; }
+  sim::PcCostProfile cost_profile() const override;
+
+ private:
+  const sparse::CsrMatrix& a_;
+  double omega_;
+  std::vector<double> diag_;
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace pipescg::precond

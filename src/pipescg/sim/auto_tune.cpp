@@ -1,0 +1,72 @@
+#include "pipescg/sim/auto_tune.hpp"
+
+#include <algorithm>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::sim {
+
+double pipe_pscg_seconds_per_iteration(const MachineModel& machine,
+                                       const sparse::OperatorStats& stats,
+                                       const PcCostProfile& pc, int ranks,
+                                       int s, bool include_anchoring) {
+  PIPESCG_CHECK(s >= 1, "s must be positive");
+  const double n = static_cast<double>(stats.rows);
+
+  const double spmv = machine.spmv_seconds(stats, ranks);
+  double pc_apply = machine.compute_seconds(pc.flops, pc.bytes, ranks);
+  if (ranks > 1 && pc.halo_exchanges > 0.0) {
+    pc_apply += pc.halo_exchanges *
+                (pc.stats.halo_messages_per_rank(ranks) *
+                     machine.neigh_latency +
+                 8.0 * pc.stats.halo_doubles_per_rank(ranks) /
+                     machine.link_bw);
+  }
+
+  // Dot batch: (2s+1) moments + s^2 cross + 2 norms.
+  const std::size_t payload = static_cast<std::size_t>(2 * s + 1 + s * s + 2);
+  const double g = machine.iallreduce_seconds(ranks, payload);
+
+  // Recurrence vector work per s iterations (Table I) as stream traffic.
+  const double flops =
+      (4.0 * s * s * s + 12.0 * s * s + 2.0 * s + 5.0) * n;
+  const double vector_work =
+      machine.compute_seconds(flops, 8.0 * flops, ranks);
+
+  // Stability anchoring (DESIGN.md): extra (s+1) SPMVs + PCs every
+  // `period` outer iterations.
+  double anchoring = 0.0;
+  if (include_anchoring) {
+    const int period = s <= 3 ? 16 : (s == 4 ? 4 : 1);
+    anchoring = (s + 1.0) * (spmv + pc_apply) / period;
+  }
+
+  const double overlap_compute = s * (pc_apply + spmv) + vector_work;
+  const double per_outer = machine.unoverlappable_fraction * g +
+                           std::max((1.0 - machine.unoverlappable_fraction) * g,
+                                    overlap_compute) +
+                           anchoring;
+  return per_outer / s;
+}
+
+SRecommendation suggest_s(const MachineModel& machine,
+                          const sparse::OperatorStats& stats,
+                          const PcCostProfile& pc, int ranks, int max_s) {
+  PIPESCG_CHECK(max_s >= 1 && max_s <= 16, "max_s out of range");
+  SRecommendation rec;
+  rec.per_s_seconds.reserve(static_cast<std::size_t>(max_s));
+  double best = 1e300;
+  for (int s = 1; s <= max_s; ++s) {
+    const double t =
+        pipe_pscg_seconds_per_iteration(machine, stats, pc, ranks, s);
+    rec.per_s_seconds.push_back(t);
+    if (t < best) {
+      best = t;
+      rec.s = s;
+      rec.seconds_per_iteration = t;
+    }
+  }
+  return rec;
+}
+
+}  // namespace pipescg::sim

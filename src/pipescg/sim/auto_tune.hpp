@@ -1,0 +1,45 @@
+// Automatic s selection -- the paper's future work, implemented.
+//
+// "We plan to devise a model which would give the optimum s value when the
+//  linear system dimensions, the number of cores [...] and the desired
+//  accuracy are given to it as input." (paper Section VII)
+//
+// The machine model prices one CG-equivalent iteration of PIPE-PsCG at
+// depth s:
+//
+//   t(s) = [ kappa G(s) + max((1 - kappa) G(s), s (PC + SPMV) + V(s)) ] / s
+//
+// where G(s) is the non-blocking allreduce latency for the depth-s dot
+// batch (payload (2s+1) + s^2 + 2 doubles), V(s) the recurrence vector work
+// (Table I: (4s^3 + 12s^2 + 2s + 5) N flops per s iterations), plus the
+// stability-anchoring kernels the implementation adds at s >= 4 (DESIGN.md
+// section 6).  suggest_s() returns the arg-min over the stable range.
+#pragma once
+
+#include "pipescg/sim/machine_model.hpp"
+#include "pipescg/sim/trace.hpp"
+
+namespace pipescg::sim {
+
+struct SRecommendation {
+  int s = 3;
+  double seconds_per_iteration = 0.0;     // modeled, at the chosen s
+  std::vector<double> per_s_seconds;      // index i -> s = i + 1
+};
+
+/// Modeled seconds per CG-equivalent iteration of PIPE-PsCG at depth `s`.
+/// `include_anchoring` adds this implementation's stability-replacement
+/// kernels; pass false for the paper's pure-recurrence cost (used by the
+/// Fig. 3 model-view, which exhibits the paper's s-crossover).
+double pipe_pscg_seconds_per_iteration(const MachineModel& machine,
+                                       const sparse::OperatorStats& stats,
+                                       const PcCostProfile& pc, int ranks,
+                                       int s, bool include_anchoring = true);
+
+/// Best depth for the given operator/preconditioner/node count, over
+/// s in [1, max_s] (default stability-capped at 5).
+SRecommendation suggest_s(const MachineModel& machine,
+                          const sparse::OperatorStats& stats,
+                          const PcCostProfile& pc, int ranks, int max_s = 5);
+
+}  // namespace pipescg::sim

@@ -1,0 +1,111 @@
+#include "pipescg/sim/cost_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::sim {
+namespace {
+
+double half_up(int s) { return std::ceil(static_cast<double>(s) / 2.0); }
+
+}  // namespace
+
+std::vector<CostRow> cost_table() {
+  std::vector<CostRow> rows;
+
+  rows.push_back(CostRow{
+      "pcg", "3s", "s(3G + PC + SPMV)", "12s", "4",
+      [](int s) { return 3.0 * s; },
+      [](int s, double g, double pc, double spmv) {
+        return s * (3.0 * g + pc + spmv);
+      },
+      [](int s) { return 12.0 * s; },
+      [](int) { return 4.0; }});
+
+  rows.push_back(CostRow{
+      "pipecg", "s", "s max(G, PC + SPMV)", "22s", "9",
+      [](int s) { return 1.0 * s; },
+      [](int s, double g, double pc, double spmv) {
+        return s * std::max(g, pc + spmv);
+      },
+      [](int s) { return 22.0 * s; },
+      [](int) { return 9.0; }});
+
+  rows.push_back(CostRow{
+      "pipelcg", "s", "max(G, s(PC + SPMV))", "6s^2 + 14s", "14",
+      [](int s) { return 1.0 * s; },
+      [](int s, double g, double pc, double spmv) {
+        return std::max(g, s * (pc + spmv));
+      },
+      [](int s) { return 6.0 * s * s + 14.0 * s; },
+      [](int) { return 14.0; }});
+
+  rows.push_back(CostRow{
+      "pipecg3", "ceil(s/2)", "ceil(s/2) max(G, 2(PC + SPMV))",
+      "90 ceil(s/2)", "25",
+      [](int s) { return half_up(s); },
+      [](int s, double g, double pc, double spmv) {
+        return half_up(s) * std::max(g, 2.0 * (pc + spmv));
+      },
+      [](int s) { return 90.0 * half_up(s); },
+      [](int) { return 25.0; }});
+
+  rows.push_back(CostRow{
+      "pipecg-oati", "ceil(s/2)", "ceil(s/2) max(G, 2(PC + SPMV))",
+      "80 ceil(s/2)", "19",
+      [](int s) { return half_up(s); },
+      [](int s, double g, double pc, double spmv) {
+        return half_up(s) * std::max(g, 2.0 * (pc + spmv));
+      },
+      [](int s) { return 80.0 * half_up(s); },
+      [](int) { return 19.0; }});
+
+  rows.push_back(CostRow{
+      "pscg", "1", "G + (s+1)(PC + SPMV)", "2s^2 + 4s + 2", "2s + 2",
+      [](int) { return 1.0; },
+      [](int s, double g, double pc, double spmv) {
+        return g + (s + 1.0) * (pc + spmv);
+      },
+      [](int s) { return 2.0 * s * s + 4.0 * s + 2.0; },
+      [](int s) { return 2.0 * s + 2.0; }});
+
+  rows.push_back(CostRow{
+      "pipe-pscg", "1", "max(G, s(PC + SPMV))", "4s^3 + 12s^2 + 2s + 5",
+      "4s^2 + 12s + 5",
+      [](int) { return 1.0; },
+      [](int s, double g, double pc, double spmv) {
+        return std::max(g, s * (pc + spmv));
+      },
+      [](int s) {
+        return 4.0 * s * s * s + 12.0 * s * s + 2.0 * s + 5.0;
+      },
+      [](int s) { return 4.0 * s * s + 12.0 * s + 5.0; }});
+
+  return rows;
+}
+
+const CostRow& cost_row(const std::string& method) {
+  static const std::vector<CostRow> rows = cost_table();
+  for (const CostRow& r : rows)
+    if (r.method == method) return r;
+  PIPESCG_FAIL("unknown cost-table method '" + method + "'");
+}
+
+void print_cost_table(std::ostream& os, int s, double g, double pc,
+                      double spmv) {
+  os << "Table I: cost per " << s << " iterations"
+     << "  (G=" << g << "s, PC=" << pc << "s, SPMV=" << spmv << "s)\n";
+  os << "method        #allr   time[s]      FLOPSxN   memory[vec]   formula\n";
+  for (const CostRow& r : cost_table()) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-13s %5.0f   %-12.4g %-9.0f %-13.0f %s\n",
+                  r.method.c_str(), r.allreduces(s), r.time(s, g, pc, spmv),
+                  r.flops(s), r.memory(s), r.time_formula.c_str());
+    os << buf;
+  }
+}
+
+}  // namespace pipescg::sim

@@ -1,0 +1,41 @@
+// Analytic cost comparison of the PCG variants -- the paper's Table I.
+//
+// Every row carries both the formula strings as printed in the paper and
+// evaluators so the benches can print the table for a concrete (s, G, PC,
+// SPMV) operating point and cross-check the counters recorded from the real
+// solver implementations.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pipescg::sim {
+
+struct CostRow {
+  std::string method;
+  std::string allreduces_formula;  // per s iterations
+  std::string time_formula;        // per s iterations
+  std::string flops_formula;       // x N, per s iterations
+  std::string memory_formula;      // vectors (excluding x and b)
+
+  std::function<double(int s)> allreduces;
+  // time(s, G, PC, SPMV) in the same unit as its inputs
+  std::function<double(int s, double g, double pc, double spmv)> time;
+  std::function<double(int s)> flops;
+  std::function<double(int s)> memory;
+};
+
+/// The seven methods of Table I, in the paper's order.
+std::vector<CostRow> cost_table();
+
+/// Look up one row by method name ("pcg", "pipecg", "pipelcg", "pipecg3",
+/// "pipecg-oati", "pscg", "pipe-pscg").  Throws on unknown names.
+const CostRow& cost_row(const std::string& method);
+
+/// Render the table for a concrete operating point.
+void print_cost_table(std::ostream& os, int s, double g, double pc,
+                      double spmv);
+
+}  // namespace pipescg::sim

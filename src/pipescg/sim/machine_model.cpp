@@ -1,0 +1,53 @@
+#include "pipescg/sim/machine_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pipescg::sim {
+
+double MachineModel::compute_seconds(double total_flops, double total_bytes,
+                                     int ranks) const {
+  const double flops = total_flops / ranks;
+  const double bytes = total_bytes / ranks;
+  // Cache regime: working set per *node* vs last-level cache.
+  const double bytes_per_node = total_bytes * cores_per_node / ranks;
+  const double bw = bytes_per_node <= llc_bytes ? mem_bw * cache_boost : mem_bw;
+  return std::max(flops / flop_rate, bytes / bw);
+}
+
+double MachineModel::spmv_seconds(const sparse::OperatorStats& stats,
+                                  int ranks) const {
+  const double nnz = static_cast<double>(stats.nnz);
+  const double n = static_cast<double>(stats.rows);
+  // CSR traffic: 12 bytes per nonzero (value + index) + vector streams.
+  const double flops = 2.0 * nnz;
+  const double bytes = 12.0 * nnz + 8.0 * 2.0 * n;
+  double t = compute_seconds(flops, bytes, ranks);
+  if (ranks > 1) {
+    const double halo_doubles = stats.halo_doubles_per_rank(ranks);
+    const double msgs = stats.halo_messages_per_rank(ranks);
+    t += msgs * neigh_latency + 8.0 * halo_doubles / link_bw;
+  }
+  return t;
+}
+
+double MachineModel::allreduce_seconds(int ranks, std::size_t doubles) const {
+  if (ranks <= 1) return 0.0;
+  // Continuous log2: tree depth effects average out over many collectives,
+  // and the quantized ceil() produces staircase scaling curves.
+  const double hops = std::log2(static_cast<double>(ranks));
+  return lat_base + lat_hop * std::pow(hops, hop_exponent) +
+         bytes_beta * 8.0 * static_cast<double>(doubles) * hops;
+}
+
+std::string MachineModel::describe() const {
+  std::ostringstream os;
+  os << "MachineModel{cores/node=" << cores_per_node
+     << ", flop_rate=" << flop_rate << ", mem_bw=" << mem_bw
+     << ", lat_hop=" << lat_hop << ", hop_exp=" << hop_exponent
+     << ", unoverlappable=" << unoverlappable_fraction << "}";
+  return os.str();
+}
+
+}  // namespace pipescg::sim

@@ -1,0 +1,90 @@
+#include "pipescg/sim/timeline.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::sim {
+
+TimelineResult Timeline::evaluate(const EventTrace& trace, int ranks) const {
+  PIPESCG_CHECK(ranks >= 1, "timeline needs at least one rank");
+  TimelineResult result;
+  double t = 0.0;
+
+  struct Pending {
+    double start;
+    double g;
+  };
+  std::unordered_map<std::uint64_t, Pending> pending;
+
+  const auto& ops = trace.operators();
+  const auto& pcs = trace.pcs();
+
+  for (const Event& e : trace.events()) {
+    switch (e.kind) {
+      case EventKind::kCompute: {
+        const double dt = machine_.compute_seconds(e.flops, e.bytes, ranks);
+        t += dt;
+        result.compute_seconds += dt;
+        break;
+      }
+      case EventKind::kSpmv: {
+        PIPESCG_CHECK(e.index < ops.size(), "spmv event: unknown operator");
+        const double dt = machine_.spmv_seconds(ops[e.index], ranks);
+        t += dt;
+        result.compute_seconds += dt;
+        break;
+      }
+      case EventKind::kPcApply: {
+        PIPESCG_CHECK(e.index < pcs.size(), "pc event: unknown profile");
+        const PcCostProfile& pc = pcs[e.index];
+        double dt = machine_.compute_seconds(pc.flops, pc.bytes, ranks);
+        if (ranks > 1 && pc.halo_exchanges > 0.0) {
+          const double halo =
+              pc.stats.halo_messages_per_rank(ranks) * machine_.neigh_latency +
+              8.0 * pc.stats.halo_doubles_per_rank(ranks) / machine_.link_bw;
+          dt += pc.halo_exchanges * halo;
+        }
+        t += dt;
+        result.compute_seconds += dt;
+        break;
+      }
+      case EventKind::kAllreducePost: {
+        const auto doubles = static_cast<std::size_t>(e.bytes);
+        const bool blocking = e.value > 0.5;
+        const double g = blocking
+                             ? machine_.allreduce_seconds(ranks, doubles)
+                             : machine_.iallreduce_seconds(ranks, doubles);
+        pending[e.id] = Pending{t, g};
+        result.allreduce_total_seconds += g;
+        if (!blocking) {
+          // Async-progress software overhead charged to the poster.
+          const double ovh = machine_.unoverlappable_fraction * g;
+          t += ovh;
+          result.compute_seconds += ovh;
+        }
+        break;
+      }
+      case EventKind::kAllreduceWait: {
+        const auto it = pending.find(e.id);
+        PIPESCG_CHECK(it != pending.end(), "wait without matching post");
+        const double done = it->second.start + it->second.g;
+        if (done > t) {
+          result.allreduce_wait_seconds += done - t;
+          t = done;
+        }
+        pending.erase(it);
+        break;
+      }
+      case EventKind::kIterationMark: {
+        result.marks.push_back(TimelineResult::Mark{t, e.id, e.value});
+        break;
+      }
+    }
+  }
+  result.seconds = t;
+  return result;
+}
+
+}  // namespace pipescg::sim

@@ -1,0 +1,55 @@
+// Timeline replay: turn an EventTrace into elapsed seconds for P ranks.
+//
+// One representative rank clock is advanced through the trace (the SPMD
+// ranks are symmetric under a balanced partition):
+//
+//   compute/spmv/pc : t += kernel cost at `ranks`
+//   post(id)        : start[id] = t; non-blocking posts also charge the
+//                     unoverlappable fraction of G (async progress cost)
+//   wait(id)        : t = max(t, start[id] + G)
+// where G is the blocking or non-blocking collective latency per the
+// event's tag (see sim::MachineModel::nonblocking_penalty)
+//
+// so overlap falls out of the *recorded structure*: whatever compute the
+// solver actually issued between post and wait hides that much of G.
+#pragma once
+
+#include <vector>
+
+#include "pipescg/sim/machine_model.hpp"
+#include "pipescg/sim/trace.hpp"
+
+namespace pipescg::sim {
+
+struct TimelineResult {
+  double seconds = 0.0;
+  double compute_seconds = 0.0;     // kernels incl. unoverlappable post cost
+  double allreduce_wait_seconds = 0.0;  // time actually stalled in waits
+  double allreduce_total_seconds = 0.0; // sum of G over all allreduces
+  // (time, iteration, residual) at every iteration mark; drives Fig. 5.
+  struct Mark {
+    double time;
+    std::uint64_t iteration;
+    double residual;
+  };
+  std::vector<Mark> marks;
+};
+
+class Timeline {
+ public:
+  explicit Timeline(MachineModel machine) : machine_(machine) {}
+
+  TimelineResult evaluate(const EventTrace& trace, int ranks) const;
+
+  /// Convenience: seconds at `nodes` full nodes.
+  double seconds_at_nodes(const EventTrace& trace, int nodes) const {
+    return evaluate(trace, machine_.ranks_for_nodes(nodes)).seconds;
+  }
+
+  const MachineModel& machine() const { return machine_; }
+
+ private:
+  MachineModel machine_;
+};
+
+}  // namespace pipescg::sim

@@ -1,0 +1,44 @@
+#include "pipescg/sim/trace.hpp"
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::sim {
+
+std::uint32_t EventTrace::register_operator(
+    const sparse::OperatorStats& stats) {
+  operators_.push_back(stats);
+  return static_cast<std::uint32_t>(operators_.size() - 1);
+}
+
+std::uint32_t EventTrace::register_pc(const PcCostProfile& profile) {
+  pcs_.push_back(profile);
+  return static_cast<std::uint32_t>(pcs_.size() - 1);
+}
+
+EventTrace::Counters EventTrace::counters() const {
+  Counters c;
+  for (const Event& e : events_) {
+    switch (e.kind) {
+      case EventKind::kSpmv:
+        ++c.spmvs;
+        break;
+      case EventKind::kPcApply:
+        ++c.pc_applies;
+        break;
+      case EventKind::kAllreducePost:
+        ++c.allreduces;
+        break;
+      case EventKind::kCompute:
+        c.vector_flops += e.flops;
+        break;
+      case EventKind::kIterationMark:
+        c.iterations = static_cast<std::size_t>(e.id) + 1;
+        break;
+      case EventKind::kAllreduceWait:
+        break;
+    }
+  }
+  return c;
+}
+
+}  // namespace pipescg::sim

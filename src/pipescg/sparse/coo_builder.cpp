@@ -1,0 +1,52 @@
+#include "pipescg/sparse/coo_builder.hpp"
+
+#include <algorithm>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::sparse {
+
+void CooBuilder::add(std::size_t i, std::size_t j, double value) {
+  PIPESCG_CHECK(i < nrows_ && j < ncols_, "COO entry out of range");
+  entries_.push_back(Entry{i, j, value});
+}
+
+void CooBuilder::add_symmetric(std::size_t i, std::size_t j, double value) {
+  add(i, j, value);
+  if (i != j) add(j, i, value);
+}
+
+CsrMatrix CooBuilder::build(std::string name) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  std::vector<CsrMatrix::Index> row_ptr(nrows_ + 1, 0);
+  std::vector<CsrMatrix::Index> cols;
+  std::vector<double> values;
+  cols.reserve(entries_.size());
+  values.reserve(entries_.size());
+
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < nrows_; ++i) {
+    while (k < entries_.size() && entries_[k].row == i) {
+      const std::size_t col = entries_[k].col;
+      double acc = 0.0;
+      while (k < entries_.size() && entries_[k].row == i &&
+             entries_[k].col == col) {
+        acc += entries_[k].value;
+        ++k;
+      }
+      cols.push_back(static_cast<CsrMatrix::Index>(col));
+      values.push_back(acc);
+    }
+    row_ptr[i + 1] = static_cast<CsrMatrix::Index>(cols.size());
+  }
+  entries_.clear();
+  entries_.shrink_to_fit();
+  return CsrMatrix(nrows_, ncols_, std::move(row_ptr), std::move(cols),
+                   std::move(values), std::move(name));
+}
+
+}  // namespace pipescg::sparse

@@ -1,0 +1,125 @@
+#include "pipescg/sparse/dist_csr.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::sparse {
+
+DistCsr::DistCsr(const CsrMatrix& global, const Partition& partition, int rank)
+    : partition_(partition), rank_(rank) {
+  PIPESCG_CHECK(global.rows() == global.cols(),
+                "distributed matrix must be square");
+  PIPESCG_CHECK(global.rows() == partition.global_size(),
+                "partition size mismatch");
+  PIPESCG_CHECK(rank >= 0 && rank < partition.ranks(), "rank out of range");
+
+  const std::size_t row_begin = partition.begin(rank);
+  const std::size_t row_end = partition.end(rank);
+  const std::size_t nlocal = row_end - row_begin;
+
+  // Pass 1: collect ghost column ids (owned by other ranks).
+  const auto rp = global.row_ptr();
+  const auto ci = global.col_indices();
+  const auto vals = global.values();
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    for (auto k = rp[i]; k < rp[i + 1]; ++k) {
+      const std::size_t col =
+          static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+      if (col < row_begin || col >= row_end) ghost_globals_.push_back(col);
+    }
+  }
+  std::sort(ghost_globals_.begin(), ghost_globals_.end());
+  ghost_globals_.erase(
+      std::unique(ghost_globals_.begin(), ghost_globals_.end()),
+      ghost_globals_.end());
+
+  // Ghost id -> compact ghost index.
+  std::map<std::size_t, std::size_t> ghost_index;
+  for (std::size_t g = 0; g < ghost_globals_.size(); ++g)
+    ghost_index[ghost_globals_[g]] = g;
+
+  // Pass 2: build the remapped local CSR.
+  std::vector<CsrMatrix::Index> lrp(nlocal + 1, 0);
+  std::vector<CsrMatrix::Index> lci;
+  std::vector<double> lv;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    // Owned columns first then ghosts would break the sortedness contract of
+    // CsrMatrix, so remap while keeping global order: owned columns map to
+    // col - row_begin, ghosts to nlocal + ghost_index.  Global order within
+    // a row is not monotone under this map, so collect and sort pairs.
+    std::vector<std::pair<CsrMatrix::Index, double>> row_entries;
+    row_entries.reserve(static_cast<std::size_t>(rp[i + 1] - rp[i]));
+    for (auto k = rp[i]; k < rp[i + 1]; ++k) {
+      const std::size_t col =
+          static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+      CsrMatrix::Index mapped;
+      if (col >= row_begin && col < row_end) {
+        mapped = static_cast<CsrMatrix::Index>(col - row_begin);
+      } else {
+        mapped = static_cast<CsrMatrix::Index>(nlocal + ghost_index[col]);
+      }
+      row_entries.emplace_back(mapped, vals[static_cast<std::size_t>(k)]);
+    }
+    std::sort(row_entries.begin(), row_entries.end());
+    for (const auto& [c, v] : row_entries) {
+      lci.push_back(c);
+      lv.push_back(v);
+    }
+    lrp[i - row_begin + 1] = static_cast<CsrMatrix::Index>(lci.size());
+  }
+  local_ = CsrMatrix(nlocal, nlocal + ghost_globals_.size(), std::move(lrp),
+                     std::move(lci), std::move(lv),
+                     global.name() + "_rank" + std::to_string(rank));
+
+  // Pass 3: coalesce ghosts into per-owner contiguous runs.
+  std::size_t g = 0;
+  while (g < ghost_globals_.size()) {
+    const int owner = partition.owner(ghost_globals_[g]);
+    const std::size_t owner_begin = partition.begin(owner);
+    std::size_t len = 1;
+    while (g + len < ghost_globals_.size() &&
+           ghost_globals_[g + len] == ghost_globals_[g] + len &&
+           partition.owner(ghost_globals_[g + len]) == owner) {
+      ++len;
+    }
+    runs_.push_back(GhostRun{owner, ghost_globals_[g] - owner_begin, g, len});
+    g += len;
+  }
+}
+
+void DistCsr::apply(par::Comm& comm, std::span<const double> x_local,
+                    std::span<double> y_local,
+                    std::vector<double>& ghost_scratch) const {
+  PIPESCG_CHECK(x_local.size() == local_rows() && y_local.size() == local_rows(),
+                "distributed spmv size mismatch");
+  // Halo exchange: expose local slice, pull ghost runs, close the epoch.
+  ghost_scratch.resize(ghost_globals_.size());
+  comm.expose(x_local);
+  for (const GhostRun& run : runs_) {
+    comm.peer_read(run.owner, run.remote_offset,
+                   std::span<double>(ghost_scratch.data() + run.local_offset,
+                                     run.length));
+  }
+  comm.close_epoch();
+
+  // Local SPMV on [x_local ; ghosts].
+  const auto rp = local_.row_ptr();
+  const auto ci = local_.col_indices();
+  const auto v = local_.values();
+  const std::size_t nlocal = local_rows();
+  for (std::size_t i = 0; i < nlocal; ++i) {
+    double acc = 0.0;
+    for (auto k = rp[i]; k < rp[i + 1]; ++k) {
+      const std::size_t c =
+          static_cast<std::size_t>(ci[static_cast<std::size_t>(k)]);
+      const double xv =
+          c < nlocal ? x_local[c] : ghost_scratch[c - nlocal];
+      acc += v[static_cast<std::size_t>(k)] * xv;
+    }
+    y_local[i] = acc;
+  }
+}
+
+}  // namespace pipescg::sparse

@@ -1,0 +1,119 @@
+#include "pipescg/sparse/dist_stencil.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::sparse {
+
+DistStencil3D::DistStencil3D(Stencil3D stencil, std::size_t nx,
+                             std::size_t ny, std::size_t nz, int rank,
+                             int ranks)
+    : stencil_(std::move(stencil)), nx_(nx), ny_(ny), nz_(nz), rank_(rank),
+      ranks_(ranks) {
+  const par::RankRange range = par::block_range(nz, rank, ranks);
+  z_begin_ = range.begin;
+  z_end_ = range.end;
+  const std::size_t reach = static_cast<std::size_t>(stencil_.reach);
+  PIPESCG_CHECK(range.size() >= reach || ranks == 1,
+                "each rank must own at least `reach` z-planes");
+  ghosted_.assign((local_planes() + 2 * reach) * nx_ * ny_, 0.0);
+}
+
+void DistStencil3D::apply(par::Comm& comm, std::span<const double> x_local,
+                          std::span<double> y_local) {
+  PIPESCG_CHECK(x_local.size() == local_rows() &&
+                    y_local.size() == local_rows(),
+                "distributed stencil apply size mismatch");
+  const std::size_t reach = static_cast<std::size_t>(stencil_.reach);
+  const std::size_t plane = nx_ * ny_;
+
+  // Stage owned planes into the center of the ghosted buffer.
+  std::copy(x_local.begin(), x_local.end(),
+            ghosted_.begin() + static_cast<std::ptrdiff_t>(reach * plane));
+
+  // Ghost exchange: every rank exposes its owned slab; neighbors pull the
+  // boundary planes they need (RMA-style, like the DistCsr halo).
+  comm.expose(x_local);
+  if (comm.size() > 1) {
+    // Planes below (from rank - 1): the *last* `reach` planes of that rank.
+    if (z_begin_ > 0) {
+      const int peer = rank_ - 1;
+      const par::RankRange peer_range =
+          par::block_range(nz_, peer, ranks_);
+      const std::size_t have =
+          std::min<std::size_t>(reach, peer_range.size());
+      const std::size_t offset = (peer_range.size() - have) * plane;
+      comm.peer_read(peer, offset,
+                     std::span<double>(ghosted_.data() +
+                                           (reach - have) * plane,
+                                       have * plane));
+    }
+    // Planes above (from rank + 1): the first `reach` planes of that rank.
+    if (z_end_ < nz_) {
+      const int peer = rank_ + 1;
+      const par::RankRange peer_range =
+          par::block_range(nz_, peer, ranks_);
+      const std::size_t have =
+          std::min<std::size_t>(reach, peer_range.size());
+      comm.peer_read(
+          peer, 0,
+          std::span<double>(
+              ghosted_.data() + (reach + local_planes()) * plane,
+              have * plane));
+    }
+  }
+  comm.close_epoch();
+
+  // Apply the stencil on owned rows; x/y offsets are bounds-checked against
+  // the global grid, z offsets read the ghosted buffer (global-z checked).
+  const int r = stencil_.reach;
+  for (std::size_t kz = 0; kz < local_planes(); ++kz) {
+    const std::size_t gz = z_begin_ + kz;
+    for (std::size_t j = 0; j < ny_; ++j) {
+      for (std::size_t i = 0; i < nx_; ++i) {
+        double acc = 0.0;
+        for (int dk = -r; dk <= r; ++dk) {
+          const std::ptrdiff_t gkz = static_cast<std::ptrdiff_t>(gz) + dk;
+          if (gkz < 0 || gkz >= static_cast<std::ptrdiff_t>(nz_)) continue;
+          const std::size_t zslab =
+              kz + static_cast<std::size_t>(r) +
+              static_cast<std::size_t>(dk);
+          for (int dj = -r; dj <= r; ++dj) {
+            const std::ptrdiff_t jj = static_cast<std::ptrdiff_t>(j) + dj;
+            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(ny_)) continue;
+            for (int di = -r; di <= r; ++di) {
+              const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(i) + di;
+              if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(nx_)) continue;
+              const double w = stencil_at(di, dj, dk);
+              if (w == 0.0) continue;
+              acc += w * ghosted_[(zslab * ny_ +
+                                   static_cast<std::size_t>(jj)) *
+                                      nx_ +
+                                  static_cast<std::size_t>(ii)];
+            }
+          }
+        }
+        y_local[(kz * ny_ + j) * nx_ + i] = acc;
+      }
+    }
+  }
+}
+
+OperatorStats DistStencil3D::stats() const {
+  OperatorStats s;
+  s.rows = global_rows();
+  std::size_t taps = 0;
+  for (double w : stencil_.weights)
+    if (w != 0.0) ++taps;
+  s.nnz = s.rows * taps;
+  s.kind = GridKind::kGrid3d;
+  s.nx = nx_;
+  s.ny = ny_;
+  s.nz = nz_;
+  s.halo_width = stencil_.reach;
+  return s;
+}
+
+}  // namespace pipescg::sparse

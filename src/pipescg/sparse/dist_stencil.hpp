@@ -1,0 +1,53 @@
+// Distributed matrix-free 3D stencil operator.
+//
+// The paper's primary workload (the 125-pt Poisson operator) distributed by
+// z-slabs: each rank owns a contiguous range of z-planes and exchanges
+// `reach` ghost planes with its up/down neighbors per apply -- the classic
+// structured-grid halo pattern.  Matrix-free: no CSR storage, so the
+// 100^3-scale problems fit easily.
+//
+// Use with the SpmdEngine through the DistStencilApplier adapter in tests/
+// examples: vectors are the rank's owned planes, flattened.
+#pragma once
+
+#include <vector>
+
+#include "pipescg/par/comm.hpp"
+#include "pipescg/sparse/stencil.hpp"
+
+namespace pipescg::sparse {
+
+class DistStencil3D {
+ public:
+  /// Grid nx x ny x nz partitioned into `ranks` z-slabs; this instance is
+  /// rank `rank`'s part.  Every rank must own at least `reach` planes
+  /// (i.e. nz >= ranks * reach) so neighbor exchanges stay nearest-neighbor.
+  DistStencil3D(Stencil3D stencil, std::size_t nx, std::size_t ny,
+                std::size_t nz, int rank, int ranks);
+
+  std::size_t local_rows() const { return nx_ * ny_ * local_planes(); }
+  std::size_t global_rows() const { return nx_ * ny_ * nz_; }
+  std::size_t local_planes() const { return z_end_ - z_begin_; }
+  std::size_t z_begin() const { return z_begin_; }
+
+  /// y_local = A x_local with ghost-plane exchange over `comm`.
+  /// Collective: all ranks of the slab partition must call it.
+  void apply(par::Comm& comm, std::span<const double> x_local,
+             std::span<double> y_local);
+
+  OperatorStats stats() const;
+
+ private:
+  double stencil_at(int di, int dj, int dk) const {
+    return stencil_.at(di, dj, dk);
+  }
+
+  Stencil3D stencil_;
+  std::size_t nx_, ny_, nz_;
+  int rank_, ranks_;
+  std::size_t z_begin_, z_end_;
+  // Owned planes plus `reach` ghost planes on each side.
+  std::vector<double> ghosted_;
+};
+
+}  // namespace pipescg::sparse

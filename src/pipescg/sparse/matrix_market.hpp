@@ -1,0 +1,27 @@
+// Matrix Market (.mtx) I/O for `coordinate real {general,symmetric}` files.
+//
+// The paper's SuiteSparse experiments (ecology2, thermal2, Serena) use this
+// format; when the real files are available they can be dropped into the
+// benches via --matrix, otherwise the synthetic surrogates from
+// surrogates.hpp stand in (see DESIGN.md).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pipescg/sparse/csr_matrix.hpp"
+
+namespace pipescg::sparse {
+
+/// Parse a Matrix Market stream.  Supported qualifiers:
+/// `matrix coordinate real|integer general|symmetric`.
+/// Symmetric files are expanded to full storage.
+CsrMatrix read_matrix_market(std::istream& in, std::string name = "mtx");
+
+/// Convenience file loader; throws pipescg::Error when unreadable.
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Write in `coordinate real general` format (1-based indices).
+void write_matrix_market(std::ostream& out, const CsrMatrix& m);
+
+}  // namespace pipescg::sparse

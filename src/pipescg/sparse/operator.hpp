@@ -1,0 +1,57 @@
+// Abstract linear operator interface.
+//
+// Solvers see operators only through apply() plus metadata used by the
+// machine-model timeline (see sim/) to price an SPMV at a given rank count.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace pipescg::sparse {
+
+class CsrMatrix;
+
+/// Geometry tag used by the cost model to estimate halo-exchange volume for
+/// a row-block (slab) partition.
+enum class GridKind {
+  kGeneral,  // unstructured: halo estimated from bandwidth
+  kGrid2d,   // nx * ny structured grid, slab partition along y
+  kGrid3d,   // nx * ny * nz structured grid, slab partition along z
+};
+
+struct OperatorStats {
+  std::size_t rows = 0;
+  std::size_t nnz = 0;
+  GridKind kind = GridKind::kGeneral;
+  std::size_t nx = 0, ny = 0, nz = 0;
+  // Number of grid layers a neighbor needs (stencil reach); e.g. 2 for a
+  // 125-pt (5-wide) stencil, 1 for a 27-pt stencil.
+  int halo_width = 1;
+
+  /// Estimated doubles exchanged per rank per SPMV under a P-way row-block
+  /// partition (both directions combined).
+  double halo_doubles_per_rank(int num_ranks) const;
+  /// Estimated number of neighbor messages per rank per SPMV.
+  double halo_messages_per_rank(int num_ranks) const;
+};
+
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  virtual std::size_t rows() const = 0;
+
+  /// y = A x.  x.size() == y.size() == rows().  x and y must not alias.
+  virtual void apply(std::span<const double> x, std::span<double> y) const = 0;
+
+  virtual OperatorStats stats() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Explicit CSR view when available (preconditioner setup needs entries);
+  /// nullptr for matrix-free operators.
+  virtual const CsrMatrix* as_csr() const { return nullptr; }
+};
+
+}  // namespace pipescg::sparse

@@ -1,0 +1,23 @@
+#include "pipescg/sparse/partition.hpp"
+
+#include <algorithm>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::sparse {
+
+Partition::Partition(std::size_t n, int ranks) : n_(n) {
+  PIPESCG_CHECK(ranks >= 1, "partition needs at least one rank");
+  offsets_.resize(static_cast<std::size_t>(ranks) + 1);
+  for (int r = 0; r < ranks; ++r)
+    offsets_[static_cast<std::size_t>(r)] = par::block_range(n, r, ranks).begin;
+  offsets_[static_cast<std::size_t>(ranks)] = n;
+}
+
+int Partition::owner(std::size_t i) const {
+  PIPESCG_CHECK(i < n_, "owner query out of range");
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), i);
+  return static_cast<int>(it - offsets_.begin()) - 1;
+}
+
+}  // namespace pipescg::sparse

@@ -1,0 +1,35 @@
+#include "pipescg/sparse/poisson125.hpp"
+
+#include <string>
+
+namespace pipescg::sparse {
+
+Stencil3D stencil_poisson125() {
+  // Pentadiagonal 1D factors, indices -2..2.
+  const double k1[5] = {1.0 / 12.0, -16.0 / 12.0, 30.0 / 12.0, -16.0 / 12.0,
+                        1.0 / 12.0};
+  const double m1[5] = {1.0 / 120.0, 26.0 / 120.0, 66.0 / 120.0, 26.0 / 120.0,
+                        1.0 / 120.0};
+  Stencil3D st(2);
+  for (int dk = -2; dk <= 2; ++dk)
+    for (int dj = -2; dj <= 2; ++dj)
+      for (int di = -2; di <= 2; ++di)
+        st.at(di, dj, dk) =
+            k1[di + 2] * m1[dj + 2] * m1[dk + 2] +
+            m1[di + 2] * k1[dj + 2] * m1[dk + 2] +
+            m1[di + 2] * m1[dj + 2] * k1[dk + 2];
+  return st;
+}
+
+std::unique_ptr<StencilOperator3D> make_poisson125_operator(std::size_t n) {
+  return std::make_unique<StencilOperator3D>(
+      stencil_poisson125(), n, n, n,
+      "poisson125_" + std::to_string(n) + "^3");
+}
+
+CsrMatrix make_poisson125_csr(std::size_t n) {
+  return assemble_stencil3d(stencil_poisson125(), n, n, n,
+                            "poisson125_" + std::to_string(n) + "^3");
+}
+
+}  // namespace pipescg::sparse

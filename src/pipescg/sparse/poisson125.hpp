@@ -1,0 +1,32 @@
+// The paper's primary workload: a 3D Poisson problem discretized with a
+// 125-point stencil (Section VI-A).
+//
+// We realize the 125-point stencil as a fourth-order tensor-product
+// operator A = K (x) M (x) M + M (x) K (x) M + M (x) M (x) K built from
+// pentadiagonal 1D factors:
+//   K = [1, -16, 30, -16, 1] / 12   (4th-order 1D Laplacian; SPD symbol
+//                                    (c-1)(c-7)/3 >= 0)
+//   M = [1, 26, 66, 26, 1] / 120    (quartic B-spline mass; symbol > 0)
+// Both 1D symbols are nonnegative and not identically zero, so their
+// Dirichlet truncations are SPD, and sums of Kronecker products of SPD
+// factors are SPD.  Interior rows have exactly 5*5*5 = 125 nonzeros.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "pipescg/sparse/stencil.hpp"
+#include "pipescg/sparse/stencil_operator.hpp"
+
+namespace pipescg::sparse {
+
+/// The 125-point stencil weights (reach 2).
+Stencil3D stencil_poisson125();
+
+/// Matrix-free operator on an n x n x n grid (used by the scaling benches).
+std::unique_ptr<StencilOperator3D> make_poisson125_operator(std::size_t n);
+
+/// Explicit CSR assembly (small grids: tests, preconditioner setup).
+CsrMatrix make_poisson125_csr(std::size_t n);
+
+}  // namespace pipescg::sparse

@@ -1,0 +1,67 @@
+#include "pipescg/sparse/spgemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::sparse {
+
+CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b) {
+  PIPESCG_CHECK(a.cols() == b.rows(), "spgemm shape mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t n = b.cols();
+
+  std::vector<CsrMatrix::Index> row_ptr(m + 1, 0);
+  std::vector<CsrMatrix::Index> cols;
+  std::vector<double> values;
+
+  // Gustavson: dense accumulator with a touched-column list per row.
+  std::vector<double> acc(n, 0.0);
+  std::vector<CsrMatrix::Index> touched;
+  std::vector<bool> seen(n, false);
+
+  const auto arp = a.row_ptr();
+  const auto aci = a.col_indices();
+  const auto av = a.values();
+  const auto brp = b.row_ptr();
+  const auto bci = b.col_indices();
+  const auto bv = b.values();
+
+  for (std::size_t i = 0; i < m; ++i) {
+    touched.clear();
+    for (auto ka = arp[i]; ka < arp[i + 1]; ++ka) {
+      const std::size_t k =
+          static_cast<std::size_t>(aci[static_cast<std::size_t>(ka)]);
+      const double aik = av[static_cast<std::size_t>(ka)];
+      for (auto kb = brp[k]; kb < brp[k + 1]; ++kb) {
+        const CsrMatrix::Index j = bci[static_cast<std::size_t>(kb)];
+        const std::size_t ju = static_cast<std::size_t>(j);
+        if (!seen[ju]) {
+          seen[ju] = true;
+          acc[ju] = 0.0;
+          touched.push_back(j);
+        }
+        acc[ju] += aik * bv[static_cast<std::size_t>(kb)];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (CsrMatrix::Index j : touched) {
+      const std::size_t ju = static_cast<std::size_t>(j);
+      cols.push_back(j);
+      values.push_back(acc[ju]);
+      seen[ju] = false;
+    }
+    row_ptr[i + 1] = static_cast<CsrMatrix::Index>(cols.size());
+  }
+  return CsrMatrix(m, n, std::move(row_ptr), std::move(cols),
+                   std::move(values), a.name() + "*" + b.name());
+}
+
+CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p) {
+  const CsrMatrix ap = multiply(a, p);
+  const CsrMatrix pt = p.transposed();
+  return multiply(pt, ap);
+}
+
+}  // namespace pipescg::sparse

@@ -1,0 +1,15 @@
+// Sparse matrix-matrix products (SpGEMM) used by the multigrid setup:
+// Galerkin coarse operators A_c = R A P with R = P^T.
+#pragma once
+
+#include "pipescg/sparse/csr_matrix.hpp"
+
+namespace pipescg::sparse {
+
+/// C = A * B.  Classical Gustavson row-merge algorithm.
+CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Galerkin triple product P^T A P.
+CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p);
+
+}  // namespace pipescg::sparse

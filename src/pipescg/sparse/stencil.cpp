@@ -1,0 +1,145 @@
+#include "pipescg/sparse/stencil.hpp"
+
+#include <cmath>
+
+#include "pipescg/base/error.hpp"
+#include "pipescg/sparse/coo_builder.hpp"
+
+namespace pipescg::sparse {
+
+std::size_t Stencil2D::point_count() const {
+  std::size_t c = 0;
+  for (double w : weights)
+    if (w != 0.0) ++c;
+  return c;
+}
+
+std::size_t Stencil3D::point_count() const {
+  std::size_t c = 0;
+  for (double w : weights)
+    if (w != 0.0) ++c;
+  return c;
+}
+
+Stencil2D stencil_poisson5() {
+  Stencil2D st(1);
+  st.at(0, 0) = 4.0;
+  st.at(-1, 0) = st.at(1, 0) = st.at(0, -1) = st.at(0, 1) = -1.0;
+  return st;
+}
+
+Stencil2D stencil_poisson9() {
+  // Compact 9-point Laplacian: 8/3 center, -1/3 edge, -1/3 corner scaled.
+  Stencil2D st(1);
+  for (int dj = -1; dj <= 1; ++dj)
+    for (int di = -1; di <= 1; ++di) {
+      if (di == 0 && dj == 0) {
+        st.at(di, dj) = 8.0 / 3.0;
+      } else if (di == 0 || dj == 0) {
+        st.at(di, dj) = -1.0 / 3.0;
+      } else {
+        st.at(di, dj) = -1.0 / 3.0;
+      }
+    }
+  return st;
+}
+
+Stencil3D stencil_poisson7() {
+  Stencil3D st(1);
+  st.at(0, 0, 0) = 6.0;
+  st.at(-1, 0, 0) = st.at(1, 0, 0) = -1.0;
+  st.at(0, -1, 0) = st.at(0, 1, 0) = -1.0;
+  st.at(0, 0, -1) = st.at(0, 0, 1) = -1.0;
+  return st;
+}
+
+Stencil3D stencil_poisson27() {
+  // Tensor-product of the 1D [-1, 2, -1] Laplacian with [1/8, 6/8, 1/8]
+  // mass factors: A = K (x) M (x) M + M (x) K (x) M + M (x) M (x) K.
+  // (Mass weight 1/8 rather than the FEM 1/6: the 1/6 choice makes the six
+  // face couplings cancel exactly, collapsing the stencil to 21 points.)
+  const double k[3] = {-1.0, 2.0, -1.0};
+  const double m[3] = {1.0 / 8.0, 6.0 / 8.0, 1.0 / 8.0};
+  Stencil3D st(1);
+  for (int dk = -1; dk <= 1; ++dk)
+    for (int dj = -1; dj <= 1; ++dj)
+      for (int di = -1; di <= 1; ++di)
+        st.at(di, dj, dk) = k[di + 1] * m[dj + 1] * m[dk + 1] +
+                            m[di + 1] * k[dj + 1] * m[dk + 1] +
+                            m[di + 1] * m[dj + 1] * k[dk + 1];
+  return st;
+}
+
+CsrMatrix assemble_stencil2d(const Stencil2D& st, std::size_t nx,
+                             std::size_t ny, const std::string& name) {
+  PIPESCG_CHECK(nx > 0 && ny > 0, "grid dimensions must be positive");
+  const std::size_t n = nx * ny;
+  CooBuilder builder(n, n);
+  builder.reserve(n * st.point_count());
+  const int r = st.reach;
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t row = j * nx + i;
+      for (int dj = -r; dj <= r; ++dj) {
+        const std::ptrdiff_t jj = static_cast<std::ptrdiff_t>(j) + dj;
+        if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(ny)) continue;
+        for (int di = -r; di <= r; ++di) {
+          const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(i) + di;
+          if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(nx)) continue;
+          const double w = st.at(di, dj);
+          if (w == 0.0) continue;
+          builder.add(row,
+                      static_cast<std::size_t>(jj) * nx +
+                          static_cast<std::size_t>(ii),
+                      w);
+        }
+      }
+    }
+  }
+  CsrMatrix m = builder.build(name);
+  m.set_grid_info(GridKind::kGrid2d, nx, ny, 1, st.reach);
+  return m;
+}
+
+CsrMatrix assemble_stencil3d(const Stencil3D& st, std::size_t nx,
+                             std::size_t ny, std::size_t nz,
+                             const std::string& name) {
+  PIPESCG_CHECK(nx > 0 && ny > 0 && nz > 0,
+                "grid dimensions must be positive");
+  const std::size_t n = nx * ny * nz;
+  CooBuilder builder(n, n);
+  builder.reserve(n * st.point_count());
+  const int r = st.reach;
+  for (std::size_t k = 0; k < nz; ++k) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t row = (k * ny + j) * nx + i;
+        for (int dk = -r; dk <= r; ++dk) {
+          const std::ptrdiff_t kk = static_cast<std::ptrdiff_t>(k) + dk;
+          if (kk < 0 || kk >= static_cast<std::ptrdiff_t>(nz)) continue;
+          for (int dj = -r; dj <= r; ++dj) {
+            const std::ptrdiff_t jj = static_cast<std::ptrdiff_t>(j) + dj;
+            if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(ny)) continue;
+            for (int di = -r; di <= r; ++di) {
+              const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(i) + di;
+              if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(nx)) continue;
+              const double w = st.at(di, dj, dk);
+              if (w == 0.0) continue;
+              builder.add(row,
+                          (static_cast<std::size_t>(kk) * ny +
+                           static_cast<std::size_t>(jj)) *
+                                  nx +
+                              static_cast<std::size_t>(ii),
+                          w);
+            }
+          }
+        }
+      }
+    }
+  }
+  CsrMatrix m = builder.build(name);
+  m.set_grid_info(GridKind::kGrid3d, nx, ny, nz, st.reach);
+  return m;
+}
+
+}  // namespace pipescg::sparse

@@ -1,0 +1,78 @@
+// Structured-grid stencil descriptions and CSR assembly.
+//
+// A StencilNd holds the weight cube w[di][dj][dk] for offsets in
+// [-reach, reach]^d.  Dirichlet boundary conditions are imposed by
+// truncation: offsets falling outside the grid are dropped (the classical
+// "eliminate boundary unknowns" discretization, which keeps symmetry).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pipescg/sparse/csr_matrix.hpp"
+
+namespace pipescg::sparse {
+
+struct Stencil2D {
+  int reach = 1;
+  std::vector<double> weights;  // (2r+1)^2, row-major (dj, di)
+
+  explicit Stencil2D(int r) : reach(r) {
+    const std::size_t w = static_cast<std::size_t>(2 * r + 1);
+    weights.assign(w * w, 0.0);
+  }
+
+  double& at(int di, int dj) {
+    const int w = 2 * reach + 1;
+    return weights[static_cast<std::size_t>((dj + reach) * w + (di + reach))];
+  }
+  double at(int di, int dj) const {
+    const int w = 2 * reach + 1;
+    return weights[static_cast<std::size_t>((dj + reach) * w + (di + reach))];
+  }
+
+  std::size_t point_count() const;
+};
+
+struct Stencil3D {
+  int reach = 1;
+  std::vector<double> weights;  // (2r+1)^3, (dk, dj, di) order
+
+  explicit Stencil3D(int r) : reach(r) {
+    const std::size_t w = static_cast<std::size_t>(2 * r + 1);
+    weights.assign(w * w * w, 0.0);
+  }
+
+  double& at(int di, int dj, int dk) {
+    const int w = 2 * reach + 1;
+    return weights[static_cast<std::size_t>(((dk + reach) * w + (dj + reach)) *
+                                                w +
+                                            (di + reach))];
+  }
+  double at(int di, int dj, int dk) const {
+    const int w = 2 * reach + 1;
+    return weights[static_cast<std::size_t>(((dk + reach) * w + (dj + reach)) *
+                                                w +
+                                            (di + reach))];
+  }
+
+  std::size_t point_count() const;
+};
+
+/// Classic stencils.
+Stencil2D stencil_poisson5();   //  5-pt 2D Laplacian
+Stencil2D stencil_poisson9();   //  9-pt 2D Laplacian (compact)
+Stencil3D stencil_poisson7();   //  7-pt 3D Laplacian
+Stencil3D stencil_poisson27();  // 27-pt 3D Laplacian (compact)
+
+/// Assemble the stencil into CSR on an nx x ny grid (Dirichlet truncation).
+CsrMatrix assemble_stencil2d(const Stencil2D& st, std::size_t nx,
+                             std::size_t ny, const std::string& name);
+
+/// Assemble the stencil into CSR on an nx x ny x nz grid.
+CsrMatrix assemble_stencil3d(const Stencil3D& st, std::size_t nx,
+                             std::size_t ny, std::size_t nz,
+                             const std::string& name);
+
+}  // namespace pipescg::sparse

@@ -1,0 +1,269 @@
+#include "pipescg/sparse/surrogates.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "pipescg/base/error.hpp"
+#include "pipescg/base/rng.hpp"
+#include "pipescg/sparse/coo_builder.hpp"
+
+namespace pipescg::sparse {
+namespace {
+
+// Smooth lognormal field: a few random plane waves plus white noise in the
+// exponent.  Deterministic given the seed.
+class LognormalField2D {
+ public:
+  LognormalField2D(std::size_t nx, std::size_t ny, double sigma_smooth,
+                   double sigma_noise, std::uint64_t seed)
+      : nx_(nx), ny_(ny), sigma_noise_(sigma_noise), rng_(seed) {
+    Rng wave_rng = rng_.split(1);
+    for (int w = 0; w < 6; ++w) {
+      waves_.push_back(Wave{
+          wave_rng.uniform(1.0, 6.0) * 2.0 * M_PI,
+          wave_rng.uniform(1.0, 6.0) * 2.0 * M_PI,
+          wave_rng.uniform(0.0, 2.0 * M_PI),
+          sigma_smooth * wave_rng.uniform(0.3, 1.0),
+      });
+    }
+  }
+
+  double operator()(std::size_t i, std::size_t j) {
+    const double x = static_cast<double>(i) / static_cast<double>(nx_);
+    const double y = static_cast<double>(j) / static_cast<double>(ny_);
+    double e = 0.0;
+    for (const Wave& w : waves_)
+      e += w.amp * std::sin(w.kx * x + w.ky * y + w.phase);
+    // Per-cell white noise, hashed so the field is order-independent.
+    Rng cell = rng_.split((static_cast<std::uint64_t>(j) << 32) | i);
+    e += sigma_noise_ * cell.next_normal();
+    return std::exp(e);
+  }
+
+ private:
+  struct Wave {
+    double kx, ky, phase, amp;
+  };
+  std::size_t nx_, ny_;
+  double sigma_noise_;
+  Rng rng_;
+  std::vector<Wave> waves_;
+};
+
+double harmonic_mean(double a, double b) { return 2.0 * a * b / (a + b); }
+
+}  // namespace
+
+CsrMatrix make_ecology2_like(std::size_t nx, std::size_t ny,
+                             std::uint64_t seed) {
+  PIPESCG_CHECK(nx >= 4 && ny >= 4, "ecology2-like grid too small");
+  const std::size_t n = nx * ny;
+  LognormalField2D kappa(nx, ny, 1.4, 0.5, seed);
+
+  // Cache the coefficient field (each cell queried up to 5 times otherwise).
+  std::vector<double> field(n);
+  double mean = 0.0;
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double v = kappa(i, j);
+      field[j * nx + i] = v;
+      mean += v;
+    }
+  mean /= static_cast<double>(n);
+
+  // Graph Laplacian over grid edges, grounded at the domain boundary (the
+  // landscape-resistance circuit problems ecology2 comes from are grounded
+  // at their terminals), plus a tiny zero-order term.  Very ill-conditioned
+  // -- interior modes see only the weak boundary coupling -- but not
+  // numerically singular.
+  const double shift = 1e-10 * mean;
+  CooBuilder builder(n, n);
+  builder.reserve(5 * n);
+  std::vector<double> diag(n, shift);
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i)
+      if (i == 0 || j == 0 || i + 1 == nx || j + 1 == ny)
+        diag[j * nx + i] += field[j * nx + i];
+  auto add_edge = [&](std::size_t a, std::size_t b, double c) {
+    builder.add(a, b, -c);
+    builder.add(b, a, -c);
+    diag[a] += c;
+    diag[b] += c;
+  };
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t cell = j * nx + i;
+      if (i + 1 < nx)
+        add_edge(cell, cell + 1,
+                 harmonic_mean(field[cell], field[cell + 1]));
+      if (j + 1 < ny)
+        add_edge(cell, cell + nx,
+                 harmonic_mean(field[cell], field[cell + nx]));
+    }
+  for (std::size_t c = 0; c < n; ++c) builder.add(c, c, diag[c]);
+  CsrMatrix m = builder.build("ecology2_like_" + std::to_string(nx) + "x" +
+                              std::to_string(ny));
+  m.set_grid_info(GridKind::kGrid2d, nx, ny, 1, 1);
+  return m;
+}
+
+CsrMatrix make_thermal2_like(std::size_t nx, std::size_t ny, double jump,
+                             std::uint64_t seed) {
+  PIPESCG_CHECK(nx >= 4 && ny >= 4, "thermal2-like grid too small");
+  PIPESCG_CHECK(jump >= 1.0, "jump ratio must be >= 1");
+  const std::size_t n = nx * ny;
+  Rng rng(seed);
+
+  // Piecewise-constant conductivity: random blobs of "hot" material.
+  const int num_blobs = 24;
+  struct Blob {
+    double cx, cy, r2;
+  };
+  std::vector<Blob> blobs;
+  for (int b = 0; b < num_blobs; ++b) {
+    const double r = rng.uniform(0.03, 0.12);
+    blobs.push_back(Blob{rng.next_double(), rng.next_double(), r * r});
+  }
+  auto conductivity = [&](std::size_t i, std::size_t j) {
+    const double x = static_cast<double>(i) / static_cast<double>(nx);
+    const double y = static_cast<double>(j) / static_cast<double>(ny);
+    for (const Blob& b : blobs) {
+      const double dx = x - b.cx, dy = y - b.cy;
+      if (dx * dx + dy * dy < b.r2) return jump;
+    }
+    return 1.0;
+  };
+  std::vector<double> field(n);
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i) field[j * nx + i] = conductivity(i, j);
+
+  // 9-point coupling: axis edges weight 2/3, diagonal edges weight 1/6
+  // (compact 9-pt Laplacian split as a graph Laplacian), harmonically
+  // averaged material coefficient, a small reaction term, and fixed
+  // temperature (Dirichlet) boundaries as in the steady-state thermal
+  // problem thermal2 comes from.
+  CooBuilder builder(n, n);
+  builder.reserve(9 * n);
+  std::vector<double> diag(n, 1e-6);
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i)
+      if (i == 0 || j == 0 || i + 1 == nx || j + 1 == ny)
+        diag[j * nx + i] += field[j * nx + i];
+  auto add_edge = [&](std::size_t a, std::size_t b, double c) {
+    builder.add(a, b, -c);
+    builder.add(b, a, -c);
+    diag[a] += c;
+    diag[b] += c;
+  };
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t cell = j * nx + i;
+      const double fc = field[cell];
+      if (i + 1 < nx)
+        add_edge(cell, cell + 1,
+                 (2.0 / 3.0) * harmonic_mean(fc, field[cell + 1]));
+      if (j + 1 < ny)
+        add_edge(cell, cell + nx,
+                 (2.0 / 3.0) * harmonic_mean(fc, field[cell + nx]));
+      if (i + 1 < nx && j + 1 < ny)
+        add_edge(cell, cell + nx + 1,
+                 (1.0 / 6.0) * harmonic_mean(fc, field[cell + nx + 1]));
+      if (i > 0 && j + 1 < ny)
+        add_edge(cell, cell + nx - 1,
+                 (1.0 / 6.0) * harmonic_mean(fc, field[cell + nx - 1]));
+    }
+  for (std::size_t c = 0; c < n; ++c) builder.add(c, c, diag[c]);
+  CsrMatrix m = builder.build("thermal2_like_" + std::to_string(nx) + "x" +
+                              std::to_string(ny));
+  m.set_grid_info(GridKind::kGrid2d, nx, ny, 1, 1);
+  return m;
+}
+
+CsrMatrix make_serena_like(std::size_t n, double stiff_ratio,
+                           std::uint64_t seed) {
+  PIPESCG_CHECK(n >= 4, "serena-like grid too small");
+  PIPESCG_CHECK(stiff_ratio >= 1.0, "stiff ratio must be >= 1");
+  const std::size_t total = n * n * n;
+  Rng rng(seed);
+
+  const int num_inclusions = 16;
+  struct Sphere {
+    double cx, cy, cz, r2;
+  };
+  std::vector<Sphere> spheres;
+  for (int s = 0; s < num_inclusions; ++s) {
+    const double r = rng.uniform(0.05, 0.18);
+    spheres.push_back(Sphere{rng.next_double(), rng.next_double(),
+                             rng.next_double(), r * r});
+  }
+  auto stiffness = [&](std::size_t i, std::size_t j, std::size_t k) {
+    const double x = static_cast<double>(i) / static_cast<double>(n);
+    const double y = static_cast<double>(j) / static_cast<double>(n);
+    const double z = static_cast<double>(k) / static_cast<double>(n);
+    for (const Sphere& s : spheres) {
+      const double dx = x - s.cx, dy = y - s.cy, dz = z - s.cz;
+      if (dx * dx + dy * dy + dz * dz < s.r2) return stiff_ratio;
+    }
+    return 1.0;
+  };
+
+  std::vector<double> field(total);
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i)
+        field[(k * n + j) * n + i] = stiffness(i, j, k);
+
+  // 27-point graph Laplacian: edge weight ~ 1/dist^2 class (faces 1,
+  // edges 1/2, corners 1/3), material by harmonic mean, reaction 1e-4,
+  // and clamped (Dirichlet) domain boundaries as in the structural
+  // mechanics problem Serena comes from.
+  CooBuilder builder(total, total);
+  builder.reserve(27 * total);
+  std::vector<double> diag(total, 1e-4);
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i)
+        if (i == 0 || j == 0 || k == 0 || i + 1 == n || j + 1 == n ||
+            k + 1 == n)
+          diag[(k * n + j) * n + i] += field[(k * n + j) * n + i];
+  auto add_edge = [&](std::size_t a, std::size_t b, double c) {
+    builder.add(a, b, -c);
+    builder.add(b, a, -c);
+    diag[a] += c;
+    diag[b] += c;
+  };
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t cell = (k * n + j) * n + i;
+        // Enumerate forward neighbors only; symmetry handled by add_edge.
+        for (int dk = 0; dk <= 1; ++dk)
+          for (int dj = (dk == 0 ? 0 : -1); dj <= 1; ++dj)
+            for (int di = ((dk == 0 && dj == 0) ? 1 : -1); di <= 1; ++di) {
+              const std::ptrdiff_t ii = static_cast<std::ptrdiff_t>(i) + di;
+              const std::ptrdiff_t jj = static_cast<std::ptrdiff_t>(j) + dj;
+              const std::ptrdiff_t kk = static_cast<std::ptrdiff_t>(k) + dk;
+              if (ii < 0 || jj < 0 || kk < 0 ||
+                  ii >= static_cast<std::ptrdiff_t>(n) ||
+                  jj >= static_cast<std::ptrdiff_t>(n) ||
+                  kk >= static_cast<std::ptrdiff_t>(n))
+                continue;
+              const int dist = std::abs(di) + std::abs(dj) + std::abs(dk);
+              const double geom = dist == 1 ? 1.0 : (dist == 2 ? 0.5 : 1.0 / 3);
+              const std::size_t other =
+                  (static_cast<std::size_t>(kk) * n +
+                   static_cast<std::size_t>(jj)) *
+                      n +
+                  static_cast<std::size_t>(ii);
+              add_edge(cell, other,
+                       geom * harmonic_mean(field[cell], field[other]));
+            }
+      }
+  for (std::size_t c = 0; c < total; ++c) builder.add(c, c, diag[c]);
+  CsrMatrix m = builder.build("serena_like_" + std::to_string(n) + "^3");
+  m.set_grid_info(GridKind::kGrid3d, n, n, n, 1);
+  return m;
+}
+
+}  // namespace pipescg::sparse

@@ -1,0 +1,126 @@
+// Tests for the block-Jacobi composition and the solver monitor callback.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+
+#include "pipescg/krylov/registry.hpp"
+#include "pipescg/krylov/serial_engine.hpp"
+#include "pipescg/krylov/spmd_engine.hpp"
+#include "pipescg/par/comm.hpp"
+#include "pipescg/precond/block_jacobi.hpp"
+#include "pipescg/precond/ssor.hpp"
+#include "pipescg/sparse/dist_csr.hpp"
+#include "pipescg/sparse/stencil.hpp"
+#include "pipescg/sparse/surrogates.hpp"
+
+namespace pipescg::precond {
+namespace {
+
+TEST(DiagonalBlockTest, ExtractsExactSubmatrix) {
+  const sparse::CsrMatrix a = sparse::make_thermal2_like(8, 8);
+  const sparse::Partition part(a.rows(), 3);
+  for (int rank = 0; rank < 3; ++rank) {
+    const sparse::CsrMatrix block = extract_diagonal_block(a, part, rank);
+    const std::size_t begin = part.begin(rank);
+    ASSERT_EQ(block.rows(), part.local_size(rank));
+    for (std::size_t i = 0; i < block.rows(); ++i)
+      for (std::size_t j = 0; j < block.cols(); ++j)
+        EXPECT_DOUBLE_EQ(block.entry(i, j), a.entry(begin + i, begin + j));
+  }
+}
+
+TEST(DiagonalBlockTest, BlocksOfSpdMatrixAreSpd) {
+  // Principal submatrices of an SPD matrix are SPD, so every inner
+  // preconditioner that requires SPD input must accept them.
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson9(), 12, 12, "p9");
+  const sparse::Partition part(a.rows(), 4);
+  for (int rank = 0; rank < 4; ++rank) {
+    EXPECT_NO_THROW({
+      BlockJacobiPreconditioner pc(a, part, rank, "ssor");
+      (void)pc;
+    });
+  }
+}
+
+TEST(BlockJacobiTest, SingleRankEqualsInnerPreconditioner) {
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson5(), 10, 10, "p");
+  const sparse::Partition part(a.rows(), 1);
+  BlockJacobiPreconditioner block(a, part, 0, "ssor");
+  SsorPreconditioner plain(a);
+  std::vector<double> r(a.rows()), u1(a.rows()), u2(a.rows());
+  for (std::size_t i = 0; i < r.size(); ++i)
+    r[i] = std::sin(0.3 * static_cast<double>(i));
+  block.apply(r, u1);
+  plain.apply(r, u2);
+  for (std::size_t i = 0; i < r.size(); ++i) EXPECT_DOUBLE_EQ(u1[i], u2[i]);
+}
+
+TEST(BlockJacobiTest, NameAndProfileReflectInner) {
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson5(), 8, 8, "p");
+  const sparse::Partition part(a.rows(), 2);
+  BlockJacobiPreconditioner pc(a, part, 0, "ssor");
+  EXPECT_EQ(pc.name(), "block-jacobi(ssor)");
+  EXPECT_DOUBLE_EQ(pc.cost_profile().halo_exchanges, 0.0);
+}
+
+TEST(BlockJacobiTest, SpmdSolveWithSsorBlocksConverges) {
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson5(), 16, 16, "p");
+  const int ranks = 3;
+  const sparse::Partition part(a.rows(), ranks);
+  std::mutex mutex;
+  bool all_converged = true;
+  par::Team::run(ranks, [&](par::Comm& comm) {
+    const sparse::DistCsr dist(a, part, comm.rank());
+    BlockJacobiPreconditioner pc(a, part, comm.rank(), "ssor");
+    krylov::SpmdEngine engine(comm, dist, &pc);
+    krylov::Vec ones = engine.new_vec();
+    for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
+    krylov::Vec b = engine.new_vec();
+    engine.apply_op(ones, b);
+    krylov::Vec x = engine.new_vec();
+    krylov::SolverOptions opts;
+    opts.rtol = 1e-8;
+    const auto stats =
+        krylov::make_solver("pipe-pscg")->solve(engine, b, x, opts);
+    double err = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      err = std::max(err, std::abs(x[i] - 1.0));
+    std::lock_guard<std::mutex> lock(mutex);
+    all_converged = all_converged && stats.converged && err < 1e-5;
+  });
+  EXPECT_TRUE(all_converged);
+}
+
+TEST(MonitorTest, FiresAtEveryCheckpointInOrder) {
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson5(), 12, 12, "p");
+  for (const char* method : {"pcg", "pipecg", "pipe-pscg", "scg"}) {
+    krylov::SerialEngine engine(a);
+    krylov::Vec b = engine.new_vec();
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0;
+    krylov::Vec x = engine.new_vec();
+    krylov::SolverOptions opts;
+    opts.rtol = 1e-7;
+    std::vector<krylov::IterationInfo> seen;
+    opts.monitor = [&seen](const krylov::IterationInfo& info) {
+      seen.push_back(info);
+    };
+    const auto stats = krylov::make_solver(method)->solve(engine, b, x, opts);
+    ASSERT_TRUE(stats.converged) << method;
+    ASSERT_EQ(seen.size(), stats.history.size()) << method;
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i].iteration, stats.history[i].first) << method;
+      if (i > 0) {
+        EXPECT_GE(seen[i].iteration, seen[i - 1].iteration);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pipescg::precond

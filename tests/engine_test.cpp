@@ -1,0 +1,221 @@
+// Tests for the engine layer: BLAS-1/block kernels, dot batches, trace
+// recording, and Serial/SPMD engine equivalence at the kernel level.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipescg/base/rng.hpp"
+#include "pipescg/krylov/serial_engine.hpp"
+#include "pipescg/krylov/spmd_engine.hpp"
+#include "pipescg/precond/jacobi.hpp"
+#include "pipescg/sparse/stencil.hpp"
+#include "pipescg/sparse/surrogates.hpp"
+
+namespace pipescg::krylov {
+namespace {
+
+sparse::CsrMatrix test_matrix() {
+  return sparse::assemble_stencil2d(sparse::stencil_poisson5(), 6, 6, "p");
+}
+
+Vec random_vec(Engine& engine, std::uint64_t seed) {
+  Rng rng(seed);
+  Vec v = engine.new_vec();
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = rng.uniform(-1, 1);
+  return v;
+}
+
+TEST(SerialEngineTest, Blas1KernelsMatchManual) {
+  const sparse::CsrMatrix a = test_matrix();
+  SerialEngine engine(a);
+  Vec x = random_vec(engine, 1);
+  Vec y = random_vec(engine, 2);
+  Vec y0 = engine.new_vec();
+  engine.copy(y, y0);
+
+  engine.axpy(y, 2.5, x);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y[i], y0[i] + 2.5 * x[i], 1e-15);
+
+  Vec z = engine.new_vec();
+  engine.waxpy(z, -1.0, x, y);  // z = y - x
+  for (std::size_t i = 0; i < z.size(); ++i)
+    EXPECT_NEAR(z[i], y[i] - x[i], 1e-15);
+
+  engine.aypx(z, 0.5, x);  // z = x + 0.5 z
+  Vec w = engine.new_vec();
+  engine.set_all(w, 3.0);
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_DOUBLE_EQ(w[i], 3.0);
+  engine.scale(w, -2.0);
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_DOUBLE_EQ(w[i], -6.0);
+}
+
+TEST(SerialEngineTest, DotBatchesMatchManual) {
+  const sparse::CsrMatrix a = test_matrix();
+  SerialEngine engine(a);
+  Vec x = random_vec(engine, 3);
+  Vec y = random_vec(engine, 4);
+  double ref_xy = 0.0, ref_xx = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ref_xy += x[i] * y[i];
+    ref_xx += x[i] * x[i];
+  }
+  const DotPair pairs[2] = {{&x, &y}, {&x, &x}};
+  double vals[2];
+  engine.dots(pairs, vals);
+  EXPECT_NEAR(vals[0], ref_xy, 1e-13);
+  EXPECT_NEAR(vals[1], ref_xx, 1e-13);
+  EXPECT_NEAR(engine.dot(x, y), ref_xy, 1e-13);
+}
+
+TEST(SerialEngineTest, BlockKernelsMatchManual) {
+  const sparse::CsrMatrix a = test_matrix();
+  SerialEngine engine(a);
+  const std::size_t s = 3;
+  VecBlock xb = engine.new_block(s);
+  VecBlock yb = engine.new_block(s);
+  for (std::size_t k = 0; k < s; ++k) {
+    xb[k] = random_vec(engine, 10 + k);
+    yb[k] = random_vec(engine, 20 + k);
+  }
+  VecBlock yb0 = engine.new_block(s);
+  for (std::size_t k = 0; k < s; ++k) engine.copy(yb[k], yb0[k]);
+
+  la::DenseMatrix b(s, s);
+  Rng rng(30);
+  for (std::size_t i = 0; i < s; ++i)
+    for (std::size_t j = 0; j < s; ++j) b(i, j) = rng.uniform(-1, 1);
+
+  engine.block_maxpy(yb, xb, b);
+  for (std::size_t j = 0; j < s; ++j)
+    for (std::size_t i = 0; i < yb[j].size(); ++i) {
+      double expect = yb0[j][i];
+      for (std::size_t k = 0; k < s; ++k) expect += xb[k][i] * b(k, j);
+      ASSERT_NEAR(yb[j][i], expect, 1e-13);
+    }
+
+  const double coeff[3] = {0.5, -1.5, 2.0};
+  Vec base = random_vec(engine, 40);
+  Vec out = engine.new_vec();
+  engine.block_combine(out, base, xb, coeff);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    double expect = base[i];
+    for (std::size_t k = 0; k < s; ++k) expect -= coeff[k] * xb[k][i];
+    ASSERT_NEAR(out[i], expect, 1e-13);
+  }
+
+  Vec acc = engine.new_vec();
+  engine.block_axpy(acc, xb, coeff);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    double expect = 0.0;
+    for (std::size_t k = 0; k < s; ++k) expect += coeff[k] * xb[k][i];
+    ASSERT_NEAR(acc[i], expect, 1e-13);
+  }
+}
+
+TEST(SerialEngineTest, BlockCombineSupportsAliasedOutput) {
+  const sparse::CsrMatrix a = test_matrix();
+  SerialEngine engine(a);
+  VecBlock t = engine.new_block(2);
+  t[0] = random_vec(engine, 50);
+  t[1] = random_vec(engine, 51);
+  Vec base = random_vec(engine, 52);
+  Vec expect = engine.new_vec();
+  const double coeff[2] = {1.25, -0.5};
+  engine.block_combine(expect, base, t, coeff);
+  // Aliased: out == base.
+  engine.block_combine(base, base, t, coeff);
+  for (std::size_t i = 0; i < base.size(); ++i)
+    ASSERT_DOUBLE_EQ(base[i], expect[i]);
+}
+
+TEST(SerialEngineTest, TraceRecordsKernelInvocations) {
+  const sparse::CsrMatrix a = test_matrix();
+  precond::JacobiPreconditioner pc(a);
+  sim::EventTrace trace;
+  SerialEngine engine(a, &pc, &trace);
+  Vec x = random_vec(engine, 5);
+  Vec y = engine.new_vec();
+  engine.apply_op(x, y);
+  engine.apply_op(y, x);
+  engine.apply_pc(x, y);
+  const DotPair p{&x, &y};
+  double v;
+  DotHandle h = engine.dot_post(std::span(&p, 1));
+  engine.dot_wait(h, std::span(&v, 1));
+  engine.mark_iteration(0, 1.0);
+
+  const sim::EventTrace::Counters c = trace.counters();
+  EXPECT_EQ(c.spmvs, 2u);
+  EXPECT_EQ(c.pc_applies, 1u);
+  EXPECT_EQ(c.allreduces, 1u);
+  EXPECT_EQ(c.iterations, 1u);
+}
+
+TEST(SerialEngineTest, IdentityPcIsCopy) {
+  const sparse::CsrMatrix a = test_matrix();
+  SerialEngine engine(a);  // no preconditioner
+  EXPECT_FALSE(engine.has_preconditioner());
+  Vec x = random_vec(engine, 6);
+  Vec y = engine.new_vec();
+  engine.apply_pc(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+TEST(SerialEngineTest, MismatchedPcThrows) {
+  const sparse::CsrMatrix a = test_matrix();
+  const sparse::CsrMatrix small =
+      sparse::assemble_stencil2d(sparse::stencil_poisson5(), 3, 3, "s");
+  precond::JacobiPreconditioner pc(small);
+  EXPECT_THROW(SerialEngine(a, &pc), Error);
+}
+
+class SpmdKernelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpmdKernelTest, DotsMatchSerialEngine) {
+  const int p = GetParam();
+  const sparse::CsrMatrix a = sparse::make_thermal2_like(9, 8);
+  SerialEngine serial(a);
+  Vec gx = random_vec(serial, 60);
+  Vec gy = random_vec(serial, 61);
+  const double ref = serial.dot(gx, gy);
+
+  const sparse::Partition part(a.rows(), p);
+  par::Team::run(p, [&](par::Comm& comm) {
+    const sparse::DistCsr dist(a, part, comm.rank());
+    SpmdEngine engine(comm, dist);
+    Vec x = engine.new_vec(), y = engine.new_vec();
+    const std::size_t begin = part.begin(comm.rank());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = gx[begin + i];
+      y[i] = gy[begin + i];
+    }
+    EXPECT_NEAR(engine.dot(x, y), ref, 1e-11 * (1.0 + std::abs(ref)));
+  });
+}
+
+TEST_P(SpmdKernelTest, SpmvMatchesSerialEngine) {
+  const int p = GetParam();
+  const sparse::CsrMatrix a = sparse::make_thermal2_like(9, 8);
+  SerialEngine serial(a);
+  Vec gx = random_vec(serial, 62);
+  Vec gy = serial.new_vec();
+  serial.apply_op(gx, gy);
+
+  const sparse::Partition part(a.rows(), p);
+  par::Team::run(p, [&](par::Comm& comm) {
+    const sparse::DistCsr dist(a, part, comm.rank());
+    SpmdEngine engine(comm, dist);
+    Vec x = engine.new_vec(), y = engine.new_vec();
+    const std::size_t begin = part.begin(comm.rank());
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = gx[begin + i];
+    engine.apply_op(x, y);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      ASSERT_NEAR(y[i], gy[begin + i], 1e-11 * (1.0 + std::abs(gy[begin + i])));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SpmdKernelTest, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace pipescg::krylov

@@ -1,0 +1,140 @@
+// Edge-path tests: timeline preconditioner halo pricing, 2D halo estimates,
+// hybrid history continuity, large dot batches on the SPMD engine, window
+// bounds checking in the runtime.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipescg/krylov/registry.hpp"
+#include "pipescg/krylov/serial_engine.hpp"
+#include "pipescg/krylov/spmd_engine.hpp"
+#include "pipescg/par/comm.hpp"
+#include "pipescg/precond/jacobi.hpp"
+#include "pipescg/sim/timeline.hpp"
+#include "pipescg/sparse/dist_csr.hpp"
+#include "pipescg/sparse/stencil.hpp"
+#include "pipescg/sparse/surrogates.hpp"
+
+namespace pipescg {
+namespace {
+
+TEST(TimelineEdgeTest, PcHaloExchangesArePriced) {
+  sim::MachineModel m;
+  sparse::OperatorStats st;
+  st.rows = 1 << 20;
+  st.nnz = st.rows * 5;
+  st.kind = sparse::GridKind::kGrid2d;
+  st.nx = 1024;
+  st.ny = 1024;
+  st.halo_width = 1;
+
+  sim::PcCostProfile with_halo;
+  with_halo.flops = 1e6;
+  with_halo.bytes = 1e7;
+  with_halo.halo_exchanges = 4.0;
+  with_halo.stats = st;
+  sim::PcCostProfile without = with_halo;
+  without.halo_exchanges = 0.0;
+
+  auto seconds = [&](const sim::PcCostProfile& prof) {
+    sim::EventTrace trace;
+    const std::uint32_t idx = trace.register_pc(prof);
+    sim::Event e;
+    e.kind = sim::EventKind::kPcApply;
+    e.index = idx;
+    trace.record(e);
+    return sim::Timeline(m).evaluate(trace, 960).seconds;
+  };
+  EXPECT_GT(seconds(with_halo), seconds(without));
+  // At one rank there is no halo, so both cost the same.
+  auto seconds_1rank = [&](const sim::PcCostProfile& prof) {
+    sim::EventTrace trace;
+    const std::uint32_t idx = trace.register_pc(prof);
+    sim::Event e;
+    e.kind = sim::EventKind::kPcApply;
+    e.index = idx;
+    trace.record(e);
+    return sim::Timeline(m).evaluate(trace, 1).seconds;
+  };
+  EXPECT_DOUBLE_EQ(seconds_1rank(with_halo), seconds_1rank(without));
+}
+
+TEST(HaloEstimateTest, Grid2dSurfaceScalesAsSqrtOfLocalSize) {
+  sparse::OperatorStats st;
+  st.rows = 1 << 20;
+  st.kind = sparse::GridKind::kGrid2d;
+  st.nx = st.ny = 1024;
+  st.halo_width = 1;
+  const double h16 = st.halo_doubles_per_rank(16);
+  const double h64 = st.halo_doubles_per_rank(64);
+  // 4x more ranks -> local size /4 -> boundary /2.
+  EXPECT_NEAR(h16 / h64, 2.0, 0.01);
+  EXPECT_DOUBLE_EQ(st.halo_messages_per_rank(16), 4.0);
+}
+
+TEST(HybridHistoryTest, IterationIndicesAreMonotoneAcrossPhases) {
+  const sparse::CsrMatrix a = sparse::make_ecology2_like(64, 64);
+  precond::JacobiPreconditioner pc(a);
+  krylov::SerialEngine engine(a, &pc);
+  krylov::Vec ones = engine.new_vec();
+  for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
+  krylov::Vec b = engine.new_vec();
+  engine.apply_op(ones, b);
+  krylov::Vec x = engine.new_vec();
+  krylov::SolverOptions opts;
+  opts.rtol = 1e-7;
+  opts.max_iterations = 100000;
+  const auto stats = krylov::make_solver("hybrid")->solve(engine, b, x, opts);
+  ASSERT_TRUE(stats.converged);
+  ASSERT_GE(stats.history.size(), 2u);
+  for (std::size_t i = 1; i < stats.history.size(); ++i)
+    EXPECT_GE(stats.history[i].first, stats.history[i - 1].first)
+        << "history must stay monotone across the phase switch";
+  EXPECT_EQ(stats.history.back().first, stats.iterations);
+}
+
+TEST(SpmdEdgeTest, LargeDotBatchWithinPayloadLimit) {
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson5(), 8, 8, "p");
+  const sparse::Partition part(a.rows(), 2);
+  par::Team::run(2, [&](par::Comm& comm) {
+    const sparse::DistCsr dist(a, part, comm.rank());
+    krylov::SpmdEngine engine(comm, dist);
+    // s = 6-sized batch: 13 moments + 36 cross + 2 norms = 51 pairs.
+    krylov::VecBlock block = engine.new_block(51);
+    for (std::size_t k = 0; k < block.size(); ++k)
+      for (std::size_t i = 0; i < block[k].size(); ++i)
+        block[k][i] = static_cast<double>(k + 1);
+    std::vector<krylov::DotPair> pairs;
+    for (std::size_t k = 0; k < block.size(); ++k)
+      pairs.push_back(krylov::DotPair{&block[k], &block[k]});
+    std::vector<double> out(pairs.size());
+    engine.dots(pairs, out);
+    for (std::size_t k = 0; k < out.size(); ++k)
+      ASSERT_NEAR(out[k],
+                  static_cast<double>((k + 1) * (k + 1)) * a.rows(), 1e-9);
+  });
+}
+
+TEST(RuntimeEdgeTest, PeerReadOutsideWindowThrows) {
+  par::Team::run(2, [](par::Comm& comm) {
+    std::vector<double> window(4, 1.0);
+    comm.expose(window);
+    double out[8];
+    EXPECT_THROW(comm.peer_read(1 - comm.rank(), 2, out), Error);
+    comm.close_epoch();
+  });
+}
+
+TEST(RuntimeEdgeTest, WaitOnInactiveRequestThrows) {
+  par::Team::run(1, [](par::Comm& comm) {
+    const double v = 1.0;
+    par::AllreduceRequest req = comm.iallreduce_sum(std::span(&v, 1));
+    double out = 0.0;
+    comm.wait(req, std::span(&out, 1));
+    EXPECT_THROW(comm.wait(req, std::span(&out, 1)), Error);
+  });
+}
+
+}  // namespace
+}  // namespace pipescg

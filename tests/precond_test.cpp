@@ -1,0 +1,234 @@
+// Preconditioner tests: correctness of each application, SPD/symmetry
+// preservation (required by CG), and effectiveness (iteration reduction).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipescg/base/rng.hpp"
+#include "pipescg/krylov/cg.hpp"
+#include "pipescg/krylov/serial_engine.hpp"
+#include "pipescg/la/cholesky.hpp"
+#include "pipescg/precond/amg.hpp"
+#include "pipescg/precond/chebyshev.hpp"
+#include "pipescg/precond/jacobi.hpp"
+#include "pipescg/precond/preconditioner.hpp"
+#include "pipescg/precond/ssor.hpp"
+#include "pipescg/sparse/coo_builder.hpp"
+#include "pipescg/sparse/poisson125.hpp"
+#include "pipescg/sparse/stencil.hpp"
+#include "pipescg/sparse/surrogates.hpp"
+
+namespace pipescg::precond {
+namespace {
+
+sparse::CsrMatrix poisson2d(std::size_t n) {
+  return sparse::assemble_stencil2d(sparse::stencil_poisson5(), n, n, "p2d");
+}
+
+/// Symmetry check via random vectors: (x, M^{-1} y) == (y, M^{-1} x).
+void expect_symmetric_apply(const Preconditioner& pc, std::uint64_t seed,
+                            double tol) {
+  const std::size_t n = pc.rows();
+  Rng rng(seed);
+  std::vector<double> x(n), y(n), mx(n), my(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(-1, 1);
+    y[i] = rng.uniform(-1, 1);
+  }
+  pc.apply(x, mx);
+  pc.apply(y, my);
+  double x_my = 0.0, y_mx = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x_my += x[i] * my[i];
+    y_mx += y[i] * mx[i];
+    scale += std::abs(x[i] * my[i]);
+  }
+  EXPECT_NEAR(x_my, y_mx, tol * (1.0 + scale)) << pc.name();
+}
+
+/// Positive definiteness spot check: (x, M^{-1} x) > 0 for random x.
+void expect_positive_apply(const Preconditioner& pc, std::uint64_t seed) {
+  const std::size_t n = pc.rows();
+  Rng rng(seed);
+  std::vector<double> x(n), mx(n);
+  for (int trial = 0; trial < 5; ++trial) {
+    for (std::size_t i = 0; i < n; ++i) x[i] = rng.uniform(-1, 1);
+    pc.apply(x, mx);
+    double quad = 0.0;
+    for (std::size_t i = 0; i < n; ++i) quad += x[i] * mx[i];
+    EXPECT_GT(quad, 0.0) << pc.name();
+  }
+}
+
+std::size_t cg_iterations(const sparse::CsrMatrix& a,
+                          const Preconditioner* pc) {
+  krylov::SerialEngine engine(a, pc);
+  krylov::Vec ones = engine.new_vec();
+  for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
+  krylov::Vec b = engine.new_vec();
+  a.apply(ones.span(), b.span());
+  krylov::Vec x = engine.new_vec();
+  krylov::SolverOptions opts;
+  opts.rtol = 1e-8;
+  opts.max_iterations = 10000;
+  const krylov::SolveStats stats =
+      krylov::CgSolver().solve(engine, b, x, opts);
+  EXPECT_TRUE(stats.converged);
+  return stats.iterations;
+}
+
+TEST(JacobiTest, AppliesInverseDiagonal) {
+  const sparse::CsrMatrix a = poisson2d(4);
+  JacobiPreconditioner pc(a);
+  std::vector<double> r(a.rows(), 8.0), u(a.rows());
+  pc.apply(r, u);
+  for (double v : u) EXPECT_DOUBLE_EQ(v, 2.0);  // diag = 4
+}
+
+TEST(JacobiTest, RejectsNonPositiveDiagonal) {
+  sparse::CooBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, -1.0);
+  const sparse::CsrMatrix m = b.build();
+  EXPECT_THROW(JacobiPreconditioner{m}, Error);
+}
+
+TEST(SsorTest, SolvesExactlyOnDiagonalMatrix) {
+  // For a diagonal matrix SSOR reduces to the exact inverse.
+  sparse::CooBuilder b(3, 3);
+  b.add(0, 0, 2.0);
+  b.add(1, 1, 4.0);
+  b.add(2, 2, 8.0);
+  const sparse::CsrMatrix m = b.build();
+  SsorPreconditioner pc(m);
+  std::vector<double> r{2.0, 4.0, 8.0}, u(3);
+  pc.apply(r, u);
+  EXPECT_NEAR(u[0], 1.0, 1e-14);
+  EXPECT_NEAR(u[1], 1.0, 1e-14);
+  EXPECT_NEAR(u[2], 1.0, 1e-14);
+}
+
+TEST(SsorTest, SymmetricAndPositive) {
+  const sparse::CsrMatrix a = poisson2d(8);
+  const SsorPreconditioner pc(a);
+  expect_symmetric_apply(pc, 1, 1e-12);
+  expect_positive_apply(pc, 2);
+}
+
+TEST(SsorTest, RejectsBadOmega) {
+  const sparse::CsrMatrix a = poisson2d(4);
+  EXPECT_THROW(SsorPreconditioner(a, 0.0), Error);
+  EXPECT_THROW(SsorPreconditioner(a, 2.0), Error);
+}
+
+TEST(SsorTest, ReducesIterationsVsJacobi) {
+  const sparse::CsrMatrix a = poisson2d(24);
+  JacobiPreconditioner jacobi(a);
+  SsorPreconditioner ssor(a);
+  const std::size_t it_jacobi = cg_iterations(a, &jacobi);
+  const std::size_t it_ssor = cg_iterations(a, &ssor);
+  EXPECT_LT(it_ssor, it_jacobi);
+}
+
+TEST(ChebyshevTest, LambdaMaxEstimateIsAccurate) {
+  // 5-pt Laplacian scaled by D^{-1}: lambda_max is a touch below 2.
+  const sparse::CsrMatrix a = poisson2d(16);
+  const double lmax = estimate_lambda_max(a, 30);
+  EXPECT_GT(lmax, 1.5);
+  EXPECT_LT(lmax, 2.05);
+}
+
+TEST(ChebyshevTest, SymmetricPositiveAndEffective) {
+  const sparse::CsrMatrix a = poisson2d(16);
+  const ChebyshevPreconditioner pc(a, /*degree=*/4);
+  expect_symmetric_apply(pc, 3, 1e-11);
+  expect_positive_apply(pc, 4);
+  JacobiPreconditioner jacobi(a);
+  EXPECT_LT(cg_iterations(a, &pc), cg_iterations(a, &jacobi));
+}
+
+TEST(AggregationTest, GeometricCoversAllRowsAndCoarsens) {
+  const sparse::CsrMatrix a = poisson2d(9);
+  const std::vector<std::size_t> agg = aggregate_geometric(a);
+  ASSERT_EQ(agg.size(), 81u);
+  std::size_t max_id = 0;
+  for (std::size_t id : agg) max_id = std::max(max_id, id);
+  EXPECT_EQ(max_id + 1, 25u);  // ceil(9/2)^2
+}
+
+TEST(AggregationTest, GreedyCoversAllRowsAndCoarsens) {
+  const sparse::CsrMatrix a = poisson2d(12);
+  const std::vector<std::size_t> agg = aggregate_greedy(a);
+  ASSERT_EQ(agg.size(), 144u);
+  std::size_t max_id = 0;
+  for (std::size_t id : agg) max_id = std::max(max_id, id);
+  EXPECT_LT(max_id + 1, 144u / 2);  // meaningful coarsening
+}
+
+TEST(MultigridTest, GeometricMgSolvesPoissonFast) {
+  const sparse::CsrMatrix a = poisson2d(32);
+  auto mg = make_geometric_mg(a);
+  EXPECT_GE(mg->num_levels(), 3u);
+  const std::size_t it = cg_iterations(a, mg.get());
+  EXPECT_LT(it, 25u);  // MG-preconditioned CG: grid-size independent-ish
+  JacobiPreconditioner jacobi(a);
+  EXPECT_LT(it, cg_iterations(a, &jacobi) / 3);
+}
+
+TEST(MultigridTest, AmgSolvesJumpCoefficientProblem) {
+  const sparse::CsrMatrix a = sparse::make_thermal2_like(24, 24);
+  auto amg = make_amg(a);
+  const std::size_t it = cg_iterations(a, amg.get());
+  JacobiPreconditioner jacobi(a);
+  EXPECT_LT(it, cg_iterations(a, &jacobi));
+}
+
+TEST(MultigridTest, SymmetricCycle) {
+  const sparse::CsrMatrix a = poisson2d(12);
+  auto mg = make_geometric_mg(a);
+  expect_symmetric_apply(*mg, 5, 1e-10);
+  expect_positive_apply(*mg, 6);
+  auto amg = make_amg(a);
+  expect_symmetric_apply(*amg, 7, 1e-10);
+  expect_positive_apply(*amg, 8);
+}
+
+TEST(MultigridTest, OperatorComplexityIsBounded) {
+  const sparse::CsrMatrix a = poisson2d(32);
+  auto mg = make_geometric_mg(a);
+  EXPECT_GT(mg->operator_complexity(), 1.0);
+  EXPECT_LT(mg->operator_complexity(), 3.5);
+}
+
+TEST(MultigridTest, CostProfileScalesWithHierarchy) {
+  const sparse::CsrMatrix a = poisson2d(24);
+  auto mg = make_geometric_mg(a);
+  const sim::PcCostProfile prof = mg->cost_profile();
+  // A V-cycle costs several SPMV equivalents.
+  EXPECT_GT(prof.flops, 2.0 * 2.0 * static_cast<double>(a.nnz()));
+  EXPECT_GT(prof.halo_exchanges, 2.0);
+}
+
+TEST(FactoryTest, MakesAllKnownKinds) {
+  const sparse::CsrMatrix a = poisson2d(12);
+  for (const char* name : {"jacobi", "ssor", "chebyshev", "mg", "gamg"}) {
+    auto pc = make_preconditioner(name, a);
+    ASSERT_NE(pc, nullptr) << name;
+    EXPECT_EQ(pc->rows(), a.rows()) << name;
+    expect_positive_apply(*pc, 99);
+  }
+  EXPECT_THROW(make_preconditioner("ilu", a), Error);
+}
+
+TEST(FactoryTest, CostProfilesOrderedByExpense) {
+  // Fig. 4's premise: jacobi << ssor < mg <= gamg in per-apply cost.
+  const sparse::CsrMatrix a = poisson2d(24);
+  const double jacobi = make_preconditioner("jacobi", a)->cost_profile().flops;
+  const double ssor = make_preconditioner("ssor", a)->cost_profile().flops;
+  const double mg = make_preconditioner("mg", a)->cost_profile().flops;
+  EXPECT_LT(jacobi, ssor);
+  EXPECT_LT(ssor, mg);
+}
+
+}  // namespace
+}  // namespace pipescg::precond

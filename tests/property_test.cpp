@@ -1,0 +1,259 @@
+// Property-based tests:
+//  * cross-method agreement on random SPD problems (all methods solve the
+//    same system to the same answer);
+//  * steady-state kernel counts per iteration match the paper's Table I
+//    accounting (SPMVs, PCs, allreduces) for every method;
+//  * Galerkin/orthogonality invariants of the s-step scalar work.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipescg/base/rng.hpp"
+#include "pipescg/krylov/registry.hpp"
+#include "pipescg/krylov/serial_engine.hpp"
+#include "pipescg/krylov/sstep_common.hpp"
+#include "pipescg/la/dense_matrix.hpp"
+#include "pipescg/la/lu.hpp"
+#include "pipescg/precond/jacobi.hpp"
+#include "pipescg/sparse/stencil.hpp"
+#include "pipescg/sparse/surrogates.hpp"
+
+namespace pipescg::krylov {
+namespace {
+
+struct ProblemCase {
+  std::string method;
+  std::uint64_t seed;
+};
+
+class RandomProblemTest : public ::testing::TestWithParam<ProblemCase> {};
+
+TEST_P(RandomProblemTest, AllMethodsAgreeWithPcgSolution) {
+  const auto [method, seed] = GetParam();
+  // Well-conditioned operator (Dirichlet Poisson): this property is about
+  // mathematical equivalence of the methods, not their finite-precision
+  // stagnation floors on near-singular systems (those are covered by the
+  // stagnation tests and the paper's Fig. 2 discussion).  The randomness is
+  // in the manufactured solution.
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson9(), 15, 13, "p9");
+  precond::JacobiPreconditioner pc(a);
+
+  auto solve = [&](const std::string& m) {
+    SerialEngine engine(a, solver_uses_preconditioner(m) ? &pc : nullptr);
+    Rng rng(seed ^ 0xabcd);
+    Vec x_true = engine.new_vec();
+    for (std::size_t i = 0; i < x_true.size(); ++i)
+      x_true[i] = rng.uniform(-2.0, 2.0);
+    Vec b = engine.new_vec();
+    engine.apply_op(x_true, b);
+    Vec x = engine.new_vec();
+    SolverOptions opts;
+    opts.rtol = 1e-9;
+    opts.max_iterations = 20000;
+    const SolveStats stats = make_solver(m)->solve(engine, b, x, opts);
+    EXPECT_TRUE(stats.converged) << m;
+    std::vector<double> out(x.data(), x.data() + x.size());
+    return out;
+  };
+
+  const std::vector<double> ref = solve("pcg");
+  const std::vector<double> got = solve(method);
+  double err = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    err = std::max(err, std::abs(ref[i] - got[i]));
+    scale = std::max(scale, std::abs(ref[i]));
+  }
+  EXPECT_LT(err, 1e-4 * (1.0 + scale)) << method;
+}
+
+std::vector<ProblemCase> random_cases() {
+  std::vector<ProblemCase> cases;
+  for (const char* m :
+       {"pipecg", "pipecg3", "pipecg-oati", "scg", "pscg", "scg-sspmv",
+        "pipe-scg", "pipe-pscg", "hybrid"}) {
+    for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+      cases.push_back(ProblemCase{m, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomProblemTest,
+                         ::testing::ValuesIn(random_cases()),
+                         [](const auto& info) {
+                           std::string n =
+                               info.param.method + "_seed" +
+                               std::to_string(info.param.seed);
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+// ---------------------------------------------------------------------------
+// Steady-state kernel counts per CG-equivalent iteration (Table I check).
+// Counts are measured as the *difference* between a long and a short run,
+// which cancels the setup kernels exactly.
+// ---------------------------------------------------------------------------
+
+struct KernelBudget {
+  std::string method;
+  double spmv_per_iter;
+  double pc_per_iter;
+  double allreduce_per_iter;
+};
+
+class KernelCountTest : public ::testing::TestWithParam<KernelBudget> {};
+
+sim::EventTrace::Counters run_counted(const std::string& method,
+                                      std::size_t max_iters) {
+  // A slowly converging problem so both runs stop on max_iterations.
+  const sparse::CsrMatrix a = sparse::make_ecology2_like(40, 40);
+  precond::JacobiPreconditioner pc(a);
+  sim::EventTrace trace;
+  SerialEngine engine(a,
+                      solver_uses_preconditioner(method) ? &pc : nullptr,
+                      &trace);
+  Vec ones = engine.new_vec();
+  for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
+  Vec b = engine.new_vec();
+  engine.apply_op(ones, b);
+  Vec x = engine.new_vec();
+  SolverOptions opts;
+  opts.rtol = 1e-30;  // never reached
+  opts.atol = 0.0;
+  opts.max_iterations = max_iters;
+  opts.replacement_period = -1;  // pure recurrences for exact Table-I counts
+  const SolveStats stats = make_solver(method)->solve(engine, b, x, opts);
+  EXPECT_FALSE(stats.converged);
+  return trace.counters();
+}
+
+TEST_P(KernelCountTest, SteadyStateCountsMatchTableI) {
+  const KernelBudget budget = GetParam();
+  const std::size_t short_iters = 30, long_iters = 90;
+  const auto c_short = run_counted(budget.method, short_iters);
+  const auto c_long = run_counted(budget.method, long_iters);
+  const double iters = static_cast<double>(long_iters - short_iters);
+
+  EXPECT_NEAR((static_cast<double>(c_long.spmvs) - c_short.spmvs) / iters,
+              budget.spmv_per_iter, 0.05)
+      << budget.method << " spmv";
+  EXPECT_NEAR(
+      (static_cast<double>(c_long.pc_applies) - c_short.pc_applies) / iters,
+      budget.pc_per_iter, 0.05)
+      << budget.method << " pc";
+  EXPECT_NEAR(
+      (static_cast<double>(c_long.allreduces) - c_short.allreduces) / iters,
+      budget.allreduce_per_iter, 0.05)
+      << budget.method << " allreduce";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, KernelCountTest,
+    ::testing::Values(
+        // method, SPMV/iter, PC/iter, allreduce/iter (CG-equivalent iters)
+        KernelBudget{"pcg", 1.0, 1.0, 3.0},
+        KernelBudget{"pipecg", 1.0, 1.0, 1.0},  // m = M^{-1}w, n = A m
+        KernelBudget{"scg", (3.0 + 1) / 3, 0.0, 1.0 / 3},
+        KernelBudget{"pscg", (3.0 + 1) / 3, (3.0 + 1) / 3, 1.0 / 3},
+        KernelBudget{"scg-sspmv", 1.0, 0.0, 1.0 / 3},
+        KernelBudget{"pipe-scg", 1.0, 0.0, 1.0 / 3},
+        KernelBudget{"pipe-pscg", 1.0, 1.0, 1.0 / 3},
+        KernelBudget{"pipecg-oati", 1.0, 1.0, 1.0 / 2},
+        KernelBudget{"pipecg3", 1.0, 1.0, 1.0 / 2}),
+    [](const auto& info) {
+      std::string n = info.param.method;
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+// ---------------------------------------------------------------------------
+// Scalar-work invariant: on the first outer iteration the computed alpha is
+// the Galerkin projection, so the new residual is orthogonal to the basis.
+// ---------------------------------------------------------------------------
+
+class ScalarWorkPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalarWorkPropertyTest, FirstStepResidualOrthogonalToBasis) {
+  const int s = GetParam();
+  const std::size_t n = 24;
+  Rng rng(777 + static_cast<std::uint64_t>(s));
+  // Small dense SPD A and random r.
+  la::DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1, 1);
+  a = a * a.transposed();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  std::vector<double> r(n);
+  for (auto& v : r) v = rng.uniform(-1, 1);
+
+  // Power basis and moments.
+  std::vector<std::vector<double>> powers(2 * s + 1);
+  powers[0] = r;
+  for (int j = 1; j <= 2 * s; ++j)
+    powers[static_cast<std::size_t>(j)] =
+        a.apply(powers[static_cast<std::size_t>(j - 1)]);
+  std::vector<double> moments(static_cast<std::size_t>(2 * s + 1));
+  for (int j = 0; j <= 2 * s; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      acc += r[i] * powers[static_cast<std::size_t>(j)][i];
+    moments[static_cast<std::size_t>(j)] = acc;
+  }
+
+  sstep::ScalarWork work(s);
+  la::DenseMatrix zero_cross(static_cast<std::size_t>(s),
+                             static_cast<std::size_t>(s));
+  const auto result = work.step(moments, zero_cross);
+  ASSERT_TRUE(result.ok);
+
+  // r_new = r - sum_k alpha_k A^{k+1} r must be orthogonal to A^j r, j < s.
+  std::vector<double> r_new = r;
+  for (int k = 0; k < s; ++k)
+    for (std::size_t i = 0; i < n; ++i)
+      r_new[i] -= result.alpha[static_cast<std::size_t>(k)] *
+                  powers[static_cast<std::size_t>(k + 1)][i];
+  for (int j = 0; j < s; ++j) {
+    double dot = 0.0, scale = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dot += r_new[i] * powers[static_cast<std::size_t>(j)][i];
+      scale += std::abs(powers[static_cast<std::size_t>(j)][i]);
+    }
+    EXPECT_NEAR(dot / (1.0 + scale), 0.0, 1e-9) << "s=" << s << " j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ScalarWorkPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ScalarWorkTest, SingularMomentsReportBreakdown) {
+  sstep::ScalarWork work(2);
+  // r = 0 => all moments zero => singular W.
+  const double moments[5] = {0, 0, 0, 0, 0};
+  la::DenseMatrix cross(2, 2);
+  const auto result = work.step(moments, cross);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(ScalarWorkTest, NonFiniteInputsReportBreakdown) {
+  sstep::ScalarWork work(2);
+  const double moments[5] = {1, 2, std::nan(""), 3, 4};
+  la::DenseMatrix cross(2, 2);
+  EXPECT_FALSE(work.step(moments, cross).ok);
+}
+
+TEST(DotLayoutTest, OffsetsAreConsistent) {
+  const sstep::DotLayout lp{3, true};
+  EXPECT_EQ(lp.moment_count(), 7u);
+  EXPECT_EQ(lp.cross_offset(), 7u);
+  EXPECT_EQ(lp.cross_count(), 9u);
+  EXPECT_EQ(lp.norm_offset(), 16u);
+  EXPECT_EQ(lp.total(), 18u);
+  const sstep::DotLayout lu{3, false};
+  EXPECT_EQ(lu.total(), 16u);
+}
+
+}  // namespace
+}  // namespace pipescg::krylov
