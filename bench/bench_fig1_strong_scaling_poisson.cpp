@@ -22,6 +22,9 @@ int main(int argc, char** argv) {
   cli.add_option("s", "3", "s-step depth for the s-step methods");
   cli.add_option("max-nodes", "120", "largest node count in the sweep");
   cli.add_option("csv", "", "optional CSV output path for the figure data");
+  cli.add_option("trace-nodes", "40",
+                 "node count the modeled --trace-out schedule is priced at");
+  cli.add_observability_options();
   if (!cli.parse(argc, argv)) return 0;
 
   const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
@@ -57,6 +60,13 @@ int main(int argc, char** argv) {
   bench::print_scaling_report(
       report, "Fig. 1: speedup vs PCG@1node, 125-pt Poisson");
   bench::write_scaling_csv(report, cli.str("csv"));
+  if (cli.flag("profile")) bench::print_run_counters(runs);
+  bench::write_modeled_trace(runs, timeline,
+                             static_cast<int>(cli.integer("trace-nodes")),
+                             cli.str("trace-out"));
+  bench::write_bench_report(runs, report,
+                            "Fig. 1: strong scaling, 125-pt Poisson",
+                            cli.str("report-out"));
 
   // Paper landmarks for comparison (100^3, SahasraT): PCG peaks ~11.3x at 40
   // nodes; PIPECG 14.79x; PIPECG3 17.77x; OATI 19.76x; PsCG 12.79x;

@@ -24,6 +24,9 @@ int main(int argc, char** argv) {
   cli.add_option("s", "3", "s-step depth");
   cli.add_option("max-nodes", "120", "largest node count in the sweep");
   cli.add_option("csv", "", "optional CSV output path for the figure data");
+  cli.add_option("trace-nodes", "40",
+                 "node count the modeled --trace-out schedule is priced at");
+  cli.add_observability_options();
   if (!cli.parse(argc, argv)) return 0;
 
   sparse::CsrMatrix a =
@@ -58,6 +61,13 @@ int main(int argc, char** argv) {
   bench::print_scaling_report(report,
                               "Fig. 2: speedup vs PCG@1node, ecology2-like");
   bench::write_scaling_csv(report, cli.str("csv"));
+  if (cli.flag("profile")) bench::print_run_counters(runs);
+  bench::write_modeled_trace(runs, timeline,
+                             static_cast<int>(cli.integer("trace-nodes")),
+                             cli.str("trace-out"));
+  bench::write_bench_report(runs, report,
+                            "Fig. 2: strong scaling, ecology2-like",
+                            cli.str("report-out"));
 
   // Paper landmarks (real ecology2, 120 nodes): PIPE-PsCG 2.9x vs PCG,
   // 2.15x vs PIPECG, 1.4x vs PIPECG3, 1.2x vs OATI, 2.43x vs PsCG.

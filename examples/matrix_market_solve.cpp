@@ -3,9 +3,17 @@
 //
 //   ./matrix_market_solve [--matrix path.mtx] [--surrogate thermal2]
 //                         [--rtol 1e-5] [--pc jacobi]
+//                         [--profile] [--trace-out trace.json]
+//                         [--report-out report.json] [--trace-nodes 4]
 //
 // This is the workflow for reproducing the paper's SuiteSparse experiments
 // with the real matrices once they are available offline.
+//
+// Observability: --profile prints each method's kernel counters from the
+// recorded event trace; --trace-out writes the machine-model schedule of
+// every method at --trace-nodes nodes as one Chrome trace-event file (one
+// process per method, comparable side by side in Perfetto); --report-out
+// writes all solve statistics as structured JSON.
 #include <cstdio>
 
 #include "pipescg/pipescg.hpp"
@@ -22,6 +30,9 @@ int main(int argc, char** argv) {
   cli.add_option("size", "96", "surrogate grid size per dimension");
   cli.add_option("rtol", "1e-5", "relative tolerance");
   cli.add_option("pc", "jacobi", "preconditioner: jacobi|ssor|chebyshev|mg|gamg");
+  cli.add_option("trace-nodes", "4",
+                 "node count the modeled --trace-out schedule is priced at");
+  cli.add_observability_options();
   if (!cli.parse(argc, argv)) return 0;
 
   sparse::CsrMatrix a = [&]() {
@@ -64,22 +75,86 @@ int main(int argc, char** argv) {
   opts.max_iterations = 200000;
   opts.compute_true_residual = true;
 
+  const bool profile = cli.flag("profile");
+  const bool want_trace = !cli.str("trace-out").empty();
+  const bool want_report = !cli.str("report-out").empty();
+  const bool record = profile || want_trace || want_report;
+
+  const sim::Timeline timeline(sim::MachineModel::cray_xc40_like());
+  const int trace_ranks = timeline.machine().ranks_for_nodes(
+      static_cast<int>(cli.integer("trace-nodes")));
+
+  obs::ChromeTraceBuilder trace_builder;
+  obs::json::Value report = obs::json::Value::object();
+  report.set("program", "matrix_market_solve");
+  report.set("matrix", a.name());
+  report.set("rows", a.rows());
+  report.set("nnz", a.nnz());
+  report.set("preconditioner", cli.str("pc"));
+  report.set("rtol", cli.real("rtol"));
+  obs::json::Value method_reports = obs::json::Value::array();
+
   std::printf("%-14s %10s %12s %12s %8s\n", "method", "iters", "rnorm",
               "true_res", "status");
+  int pid = 0;
   for (const std::string& name : krylov::solver_names()) {
+    sim::EventTrace trace;
+    double wall = 0.0;
     krylov::SerialEngine engine(
-        a, krylov::solver_uses_preconditioner(name) ? pc.get() : nullptr);
+        a, krylov::solver_uses_preconditioner(name) ? pc.get() : nullptr,
+        record ? &trace : nullptr);
     krylov::Vec ones = engine.new_vec();
     for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
     krylov::Vec b = engine.new_vec();
     engine.apply_op(ones, b);
     krylov::Vec x = engine.new_vec();
-    const krylov::SolveStats stats =
-        krylov::make_solver(name)->solve(engine, b, x, opts);
+    krylov::SolveStats stats;
+    {
+      ScopedTimer timer(wall);
+      stats = krylov::make_solver(name)->solve(engine, b, x, opts);
+    }
     std::printf("%-14s %10zu %12.3e %12.3e %8s\n", name.c_str(),
                 stats.iterations, stats.final_rnorm, stats.true_residual,
                 stats.converged ? "ok"
                                 : (stats.stagnated ? "stall" : "maxit"));
+    if (profile) {
+      const sim::EventTrace::Counters c = trace.counters();
+      std::printf("  counters: spmvs=%zu pc_applies=%zu allreduces=%zu "
+                  "iterations=%zu (wall %.3fs)\n",
+                  c.spmvs, c.pc_applies, c.allreduces, c.iterations, wall);
+    }
+    if (want_trace) {
+      std::vector<sim::ScheduledSpan> schedule;
+      timeline.evaluate(trace, trace_ranks, &schedule);
+      obs::add_schedule(trace_builder, schedule, pid,
+                        name + " @ " + std::to_string(trace_ranks) +
+                            " ranks (modeled)");
+      ++pid;
+    }
+    if (want_report) {
+      obs::json::Value entry = obs::solve_report(stats, nullptr);
+      entry.set("trace_counters", obs::counters_to_json(trace.counters()));
+      entry.set("wall_seconds", wall);
+      const sim::TimelineResult modeled = timeline.evaluate(trace, trace_ranks);
+      obs::json::Value m = obs::json::Value::object();
+      m.set("ranks", trace_ranks);
+      m.set("seconds", modeled.seconds);
+      m.set("compute_seconds", modeled.compute_seconds);
+      m.set("allreduce_wait_seconds", modeled.allreduce_wait_seconds);
+      entry.set("modeled", std::move(m));
+      method_reports.push_back(std::move(entry));
+    }
+  }
+
+  if (want_trace) {
+    obs::json::write_file(cli.str("trace-out"), trace_builder.build());
+    std::printf("wrote modeled Chrome trace to %s (load in Perfetto)\n",
+                cli.str("trace-out").c_str());
+  }
+  if (want_report) {
+    report.set("methods", std::move(method_reports));
+    obs::json::write_file(cli.str("report-out"), report);
+    std::printf("wrote solve report to %s\n", cli.str("report-out").c_str());
   }
   return 0;
 }

@@ -4,8 +4,20 @@
 // iteration counts and to rounding in the solution.
 //
 //   ./runtime_tour [--n 48] [--method pipe-pscg] [--max-ranks 4]
+//                  [--profile] [--trace-out trace.json]
+//                  [--report-out report.json]
+//
+// With --profile, every SPMD run is measured with the per-rank kernel
+// profiler (see obs/) and a compute/halo/wait breakdown is printed.
+// --trace-out writes a Chrome trace-event file for the largest rank count
+// containing the *measured* per-rank tracks next to the *modeled*
+// machine-model schedule of the same solve -- load it in Perfetto to see
+// how well the analytic timeline predicts the real overlap.  --report-out
+// writes a structured JSON report including the serial-vs-SPMD kernel
+// counter cross-check.
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 
 #include "pipescg/pipescg.hpp"
@@ -18,10 +30,13 @@ int main(int argc, char** argv) {
   cli.add_option("n", "48", "2D grid size (n x n unknowns)");
   cli.add_option("method", "pipe-pscg", "solver name");
   cli.add_option("max-ranks", "4", "largest rank count to demo");
+  cli.add_observability_options();
   if (!cli.parse(argc, argv)) return 0;
 
   const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
   const std::string method = cli.str("method");
+  const bool profile = cli.flag("profile") || !cli.str("trace-out").empty() ||
+                       !cli.str("report-out").empty();
   const sparse::CsrMatrix a = sparse::make_thermal2_like(n, n);
   const bool use_pc = krylov::solver_uses_preconditioner(method);
 
@@ -32,29 +47,48 @@ int main(int argc, char** argv) {
   // otherwise take visibly different trajectories.
   opts.replacement_period = 4;
 
-  // Reference: serial engine.
+  // Reference: serial engine, with the event trace recorded so the SPMD
+  // profiler's counters can be cross-checked and the machine model can
+  // render the modeled schedule.
+  sim::EventTrace serial_trace;
   std::vector<double> x_serial;
   std::size_t iters_serial = 0;
+  krylov::SolveStats serial_stats;
+  double serial_wall = 0.0;
   {
     precond::JacobiPreconditioner pc(a);
-    krylov::SerialEngine engine(a, use_pc ? &pc : nullptr);
+    krylov::SerialEngine engine(a, use_pc ? &pc : nullptr, &serial_trace);
     krylov::Vec ones = engine.new_vec();
     for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
     krylov::Vec b = engine.new_vec();
     engine.apply_op(ones, b);
     krylov::Vec x = engine.new_vec();
-    const auto stats = krylov::make_solver(method)->solve(engine, b, x, opts);
-    iters_serial = stats.iterations;
+    {
+      ScopedTimer timer(serial_wall);
+      serial_stats = krylov::make_solver(method)->solve(engine, b, x, opts);
+    }
+    iters_serial = serial_stats.iterations;
     x_serial.assign(x.data(), x.data() + x.size());
     std::printf("serial      : %zu unknowns, %zu iterations, converged=%s\n",
-                a.rows(), stats.iterations, stats.converged ? "yes" : "no");
+                a.rows(), serial_stats.iterations,
+                serial_stats.converged ? "yes" : "no");
   }
+  const sim::EventTrace::Counters serial_counters = serial_trace.counters();
+
+  // Kept from the largest rank count for the exports.
+  std::unique_ptr<obs::SolveProfile> last_profile;
+  krylov::SolveStats last_stats;
+  int last_ranks = 0;
+  double last_max_diff = 0.0;
 
   for (int ranks = 2; ranks <= cli.integer("max-ranks"); ++ranks) {
     const sparse::Partition part(a.rows(), ranks);
     std::vector<double> x_dist(a.rows(), 0.0);
     std::size_t iters_dist = 0;
+    krylov::SolveStats dist_stats;
     std::mutex mutex;
+    auto solve_profile =
+        profile ? std::make_unique<obs::SolveProfile>(ranks) : nullptr;
     par::Team::run(ranks, [&](par::Comm& comm) {
       const sparse::DistCsr dist(a, part, comm.rank());
       const std::size_t begin = part.begin(comm.rank());
@@ -64,7 +98,9 @@ int main(int argc, char** argv) {
           full_diag.begin() + static_cast<std::ptrdiff_t>(begin),
           full_diag.begin() + static_cast<std::ptrdiff_t>(begin + len));
       precond::JacobiPreconditioner local_pc(std::move(local_diag), a.stats());
-      krylov::SpmdEngine engine(comm, dist, use_pc ? &local_pc : nullptr);
+      krylov::SpmdEngine engine(
+          comm, dist, use_pc ? &local_pc : nullptr,
+          solve_profile ? &solve_profile->rank(comm.rank()) : nullptr);
       krylov::Vec ones = engine.new_vec();
       for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
       krylov::Vec b = engine.new_vec();
@@ -76,6 +112,7 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < len; ++i) x_dist[begin + i] = x[i];
       if (comm.rank() == 0) {
         iters_dist = stats.iterations;
+        dist_stats = stats;
         if (!stats.converged)
           std::printf("%d ranks     : DID NOT CONVERGE\n", comm.size());
       }
@@ -86,8 +123,72 @@ int main(int argc, char** argv) {
     std::printf(
         "%d ranks     : %zu iterations (serial: %zu), max |dx| = %.2e\n",
         ranks, iters_dist, iters_serial, max_diff);
+    if (solve_profile) {
+      const auto& c0 = solve_profile->rank(0).counters();
+      const bool match = solve_profile->counters_uniform() &&
+                         c0.spmvs == serial_counters.spmvs &&
+                         c0.pc_applies == serial_counters.pc_applies &&
+                         c0.allreduces == serial_counters.allreduces &&
+                         c0.iterations == serial_counters.iterations;
+      std::printf(
+          "  counters   : spmvs=%zu pc=%zu allreduces=%zu iters=%zu "
+          "(serial trace parity: %s)\n",
+          c0.spmvs, c0.pc_applies, c0.allreduces, c0.iterations,
+          match ? "ok" : "MISMATCH");
+      std::fputs(solve_profile->summary().c_str(), stdout);
+      last_profile = std::move(solve_profile);
+      last_stats = dist_stats;
+      last_ranks = ranks;
+      last_max_diff = max_diff;
+    }
   }
   std::printf("\n(rank counts change only the reduction rounding; with "
               "truth anchoring the trajectories agree to rounding)\n");
+
+  if ((!cli.str("trace-out").empty() || !cli.str("report-out").empty()) &&
+      !last_profile)
+    std::printf("no SPMD run was profiled (--max-ranks < 2): skipping "
+                "--trace-out/--report-out\n");
+
+  if (!cli.str("trace-out").empty() && last_profile) {
+    obs::ChromeTraceBuilder builder;
+    obs::add_profile(builder, *last_profile, /*pid=*/0,
+                     "measured: " + method + " on " +
+                         std::to_string(last_ranks) + " in-process ranks");
+    std::vector<sim::ScheduledSpan> schedule;
+    const sim::Timeline timeline(sim::MachineModel::cray_xc40_like());
+    timeline.evaluate(serial_trace, last_ranks, &schedule);
+    obs::add_schedule(builder, schedule, /*pid=*/1,
+                      "modeled: " + method + " at " +
+                          std::to_string(last_ranks) + " ranks (machine model)");
+    obs::json::write_file(cli.str("trace-out"), builder.build());
+    std::printf("wrote Chrome trace to %s (load in Perfetto)\n",
+                cli.str("trace-out").c_str());
+  }
+
+  if (!cli.str("report-out").empty() && last_profile) {
+    obs::json::Value report = obs::json::Value::object();
+    report.set("program", "runtime_tour");
+    report.set("method", method);
+    report.set("unknowns", a.rows());
+    report.set("ranks", last_ranks);
+    report.set("max_abs_diff_vs_serial", last_max_diff);
+    report.set("serial_wall_seconds", serial_wall);
+    obs::json::Value serial = obs::json::Value::object();
+    serial.set("stats", obs::stats_to_json(serial_stats));
+    serial.set("trace_counters", obs::counters_to_json(serial_counters));
+    report.set("serial", std::move(serial));
+    obs::json::Value spmd = obs::solve_report(last_stats, last_profile.get());
+    const auto& c0 = last_profile->rank(0).counters();
+    report.set("counters_match_serial_trace",
+               last_profile->counters_uniform() &&
+                   c0.spmvs == serial_counters.spmvs &&
+                   c0.pc_applies == serial_counters.pc_applies &&
+                   c0.allreduces == serial_counters.allreduces &&
+                   c0.iterations == serial_counters.iterations);
+    report.set("spmd", std::move(spmd));
+    obs::json::write_file(cli.str("report-out"), report);
+    std::printf("wrote solve report to %s\n", cli.str("report-out").c_str());
+  }
   return 0;
 }

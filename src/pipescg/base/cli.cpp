@@ -28,6 +28,13 @@ void CliParser::add_option(const std::string& name,
   order_.push_back(name);
 }
 
+void CliParser::add_observability_options() {
+  add_flag("profile", "enable per-rank kernel profiling / counter output");
+  add_option("trace-out", "",
+             "write a Chrome trace-event JSON file (load in Perfetto)");
+  add_option("report-out", "", "write a structured JSON solve report");
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];

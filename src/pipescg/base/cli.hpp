@@ -23,6 +23,13 @@ class CliParser {
   void add_option(const std::string& name, const std::string& default_value,
                   const std::string& doc);
 
+  /// Register the standard observability flags shared by the examples and
+  /// bench harnesses (see obs/):
+  ///   --profile           enable per-rank kernel profiling / counter output
+  ///   --trace-out <path>  write a Chrome trace-event JSON file (Perfetto)
+  ///   --report-out <path> write a structured JSON solve report
+  void add_observability_options();
+
   /// Parse argv.  Returns false if --help was requested (help printed).
   /// Throws pipescg::Error on malformed/unknown arguments.
   bool parse(int argc, const char* const* argv);

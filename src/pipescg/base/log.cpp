@@ -9,6 +9,7 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_mutex;
+thread_local int g_rank = -1;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -30,10 +31,21 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
+void set_log_rank(int rank) { g_rank = rank < 0 ? -1 : rank; }
+
+int log_rank() { return g_rank; }
+
 void log_line(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  // One fprintf per line under the mutex: the whole line (prefix + optional
+  // rank tag + message + newline) is emitted atomically.
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[pipescg %s] %s\n", level_tag(level), msg.c_str());
+  if (g_rank >= 0) {
+    std::fprintf(stderr, "[pipescg %s r%d] %s\n", level_tag(level), g_rank,
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[pipescg %s] %s\n", level_tag(level), msg.c_str());
+  }
 }
 
 }  // namespace pipescg

@@ -13,7 +13,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one line at `level` (newline appended).
+/// Tag every line emitted by the *calling thread* with an SPMD rank
+/// (rendered as "r<rank>"), so interleaved lines from a par::Team body are
+/// attributable.  Thread-local; a negative rank clears the tag.  par::Team
+/// sets this automatically for its rank threads.
+void set_log_rank(int rank);
+int log_rank();
+
+/// Emit one line at `level` (newline appended).  The full line -- prefix,
+/// optional rank tag, message, newline -- is written atomically under a
+/// mutex, so concurrent callers never interleave within a line.
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -22,4 +22,25 @@ class WallTimer {
   clock::time_point start_;
 };
 
+/// RAII timer that adds the scope's elapsed seconds to an accumulator on
+/// destruction, so repeated entries into the same region sum up:
+///
+///   double spmv_seconds = 0.0;
+///   for (...) { ScopedTimer t(spmv_seconds); a.apply(x, y); }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& accumulator) : accumulator_(accumulator) {}
+  ~ScopedTimer() { accumulator_ += timer_.seconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed so far in this scope (not yet accumulated).
+  double seconds() const { return timer_.seconds(); }
+
+ private:
+  double& accumulator_;
+  WallTimer timer_;
+};
+
 }  // namespace pipescg

@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "pipescg/base/error.hpp"
+#include "pipescg/obs/chrome_trace.hpp"
+#include "pipescg/obs/report.hpp"
 
 namespace pipescg::bench {
 
@@ -110,6 +112,78 @@ void print_run_summaries(const std::vector<RunRecord>& runs) {
                 s.stagnated ? "stagnated " : "",
                 s.breakdown ? "breakdown" : "");
   }
+}
+
+void print_run_counters(const std::vector<RunRecord>& runs) {
+  std::printf("\nkernel counters\n");
+  std::printf("%-14s %10s %12s %12s %12s %14s\n", "method", "spmvs",
+              "pc_applies", "allreduces", "iterations", "vector_flops");
+  for (const RunRecord& run : runs) {
+    const sim::EventTrace::Counters c = run.trace.counters();
+    std::printf("%-14s %10zu %12zu %12zu %12zu %14.4e\n", run.method.c_str(),
+                c.spmvs, c.pc_applies, c.allreduces, c.iterations,
+                c.vector_flops);
+  }
+}
+
+void write_modeled_trace(const std::vector<RunRecord>& runs,
+                         const sim::Timeline& timeline, int nodes,
+                         const std::string& path) {
+  if (path.empty()) return;
+  const int ranks = timeline.machine().ranks_for_nodes(nodes);
+  obs::ChromeTraceBuilder builder;
+  int pid = 0;
+  for (const RunRecord& run : runs) {
+    std::vector<sim::ScheduledSpan> schedule;
+    timeline.evaluate(run.trace, ranks, &schedule);
+    obs::add_schedule(builder, schedule, pid,
+                      run.method + " @ " + std::to_string(nodes) +
+                          " nodes (modeled)");
+    ++pid;
+  }
+  obs::json::write_file(path, builder.build());
+  std::printf("wrote modeled Chrome trace (%d nodes, %d ranks) to %s\n",
+              nodes, ranks, path.c_str());
+}
+
+void write_bench_report(const std::vector<RunRecord>& runs,
+                        const ScalingReport& report, const std::string& title,
+                        const std::string& path) {
+  if (path.empty()) return;
+  obs::json::Value doc = obs::json::Value::object();
+  doc.set("title", title);
+
+  obs::json::Value methods = obs::json::Value::array();
+  for (const RunRecord& run : runs) {
+    obs::json::Value entry = obs::solve_report(run.stats, nullptr);
+    entry.set("trace_counters", obs::counters_to_json(run.trace.counters()));
+    methods.push_back(std::move(entry));
+  }
+  doc.set("methods", std::move(methods));
+
+  obs::json::Value scaling = obs::json::Value::object();
+  obs::json::Value nodes = obs::json::Value::array();
+  for (int n : report.nodes) nodes.push_back(n);
+  scaling.set("nodes", std::move(nodes));
+  scaling.set("baseline_seconds", report.baseline_seconds);
+  obs::json::Value per_method = obs::json::Value::object();
+  for (std::size_t mi = 0; mi < report.methods.size(); ++mi) {
+    obs::json::Value entry = obs::json::Value::object();
+    obs::json::Value seconds = obs::json::Value::array();
+    obs::json::Value speedups = obs::json::Value::array();
+    for (std::size_t ni = 0; ni < report.nodes.size(); ++ni) {
+      seconds.push_back(report.seconds[mi][ni]);
+      speedups.push_back(report.speedup(mi, ni));
+    }
+    entry.set("modeled_seconds", std::move(seconds));
+    entry.set("speedup", std::move(speedups));
+    per_method.set(report.methods[mi], std::move(entry));
+  }
+  scaling.set("methods", std::move(per_method));
+  doc.set("scaling", std::move(scaling));
+
+  obs::json::write_file(path, doc);
+  std::printf("wrote bench report to %s\n", path.c_str());
 }
 
 }  // namespace pipescg::bench

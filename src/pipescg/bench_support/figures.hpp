@@ -77,4 +77,22 @@ void write_scaling_csv(const ScalingReport& report, const std::string& path);
 /// Print convergence summaries (iterations, final residual, flags).
 void print_run_summaries(const std::vector<RunRecord>& runs);
 
+/// Print each run's kernel counters (the --profile console output of the
+/// bench harnesses).
+void print_run_counters(const std::vector<RunRecord>& runs);
+
+/// Write the machine-model schedule of every run at `nodes` nodes as one
+/// Chrome trace-event JSON file -- one trace process per method, so the
+/// methods' overlap structure can be compared side by side in Perfetto.
+/// Empty path is a no-op.
+void write_modeled_trace(const std::vector<RunRecord>& runs,
+                         const sim::Timeline& timeline, int nodes,
+                         const std::string& path);
+
+/// Write a structured JSON report: per-method solve stats, kernel counters,
+/// and the modeled scaling table.  Empty path is a no-op.
+void write_bench_report(const std::vector<RunRecord>& runs,
+                        const ScalingReport& report, const std::string& title,
+                        const std::string& path);
+
 }  // namespace pipescg::bench

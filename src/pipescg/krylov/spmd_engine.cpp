@@ -5,8 +5,13 @@
 namespace pipescg::krylov {
 
 SpmdEngine::SpmdEngine(par::Comm& comm, const sparse::DistCsr& dist,
-                       const precond::Preconditioner* local_pc)
-    : comm_(comm), dist_(dist), pc_(local_pc) {
+                       const precond::Preconditioner* local_pc,
+                       obs::Profiler* profiler)
+    : comm_(comm),
+      dist_(dist),
+      pc_(local_pc),
+      profiler_(profiler),
+      profiler_install_(profiler) {
   if (pc_ != nullptr) {
     PIPESCG_CHECK(pc_->rows() == dist_.local_rows(),
                   "local preconditioner must act on the local slice");
@@ -14,6 +19,9 @@ SpmdEngine::SpmdEngine(par::Comm& comm, const sparse::DistCsr& dist,
 }
 
 void SpmdEngine::apply_op(const Vec& x, Vec& y) {
+  // Halo and local-compute spans are recorded by par::Comm / DistCsr via
+  // the thread-local profiler; only the kernel counter lives here.
+  if (profiler_ != nullptr) ++profiler_->counters().spmvs;
   dist_.apply(comm_, x.span(), y.span(), ghost_scratch_);
 }
 
@@ -22,6 +30,8 @@ void SpmdEngine::apply_pc(const Vec& r, Vec& u) {
     copy(r, u);
     return;
   }
+  if (profiler_ != nullptr) ++profiler_->counters().pc_applies;
+  obs::SpanScope span(profiler_, obs::SpanKind::kPcApply);
   pc_->apply(r.span(), u.span());
 }
 
@@ -33,15 +43,19 @@ DotHandle SpmdEngine::dot_post(std::span<const DotPair> pairs,
 
   partials_.resize(pairs.size());
   const std::size_t n = local_size();
-  for (std::size_t p = 0; p < pairs.size(); ++p) {
-    PIPESCG_CHECK(pairs[p].x->size() == n && pairs[p].y->size() == n,
-                  "dot size mismatch");
-    const double* x = pairs[p].x->data();
-    const double* y = pairs[p].y->data();
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
-    partials_[p] = acc;
+  {
+    obs::SpanScope span(profiler_, obs::SpanKind::kDotLocal);
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      PIPESCG_CHECK(pairs[p].x->size() == n && pairs[p].y->size() == n,
+                    "dot size mismatch");
+      const double* x = pairs[p].x->data();
+      const double* y = pairs[p].y->data();
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+      partials_[p] = acc;
+    }
   }
+  if (profiler_ != nullptr) ++profiler_->counters().allreduces;
   slot.request = comm_.iallreduce_sum(
       std::span<const double>(partials_.data(), partials_.size()));
   slot.active = true;
@@ -57,13 +71,16 @@ void SpmdEngine::dot_wait(DotHandle& handle, std::span<double> out) {
   PIPESCG_CHECK(handle.active, "dot_wait on inactive handle");
   Pending& slot = pending_[handle.id % kMaxPending];
   PIPESCG_CHECK(slot.active, "dot handle does not match a pending batch");
-  comm_.wait(slot.request, out);
+  comm_.wait(slot.request, out);  // wait-spin span recorded by Comm
   slot.active = false;
   handle.active = false;
 }
 
-void SpmdEngine::mark_iteration(std::uint64_t, double) {
-  // No trace on the SPMD engine; SolveStats carries the residual history.
+void SpmdEngine::mark_iteration(std::uint64_t iter, double /*rnorm*/) {
+  // SolveStats carries the residual history; the profiler only needs the
+  // CG-equivalent iteration count (same convention as sim::EventTrace).
+  if (profiler_ != nullptr)
+    profiler_->counters().iterations = static_cast<std::size_t>(iter) + 1;
 }
 
 void SpmdEngine::record_compute(double, double) {}

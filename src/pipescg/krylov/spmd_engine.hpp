@@ -9,6 +9,7 @@
 #pragma once
 
 #include "pipescg/krylov/engine.hpp"
+#include "pipescg/obs/profiler.hpp"
 #include "pipescg/par/comm.hpp"
 #include "pipescg/precond/preconditioner.hpp"
 #include "pipescg/sparse/dist_csr.hpp"
@@ -19,8 +20,16 @@ class SpmdEngine final : public Engine {
  public:
   /// `local_pc`, when given, must act on this rank's local slice
   /// (rows == dist.local_rows()); nullptr means identity.
+  ///
+  /// `profiler`, when given, is this rank's measurement sink (typically
+  /// `solve_profile.rank(comm.rank())`): the engine records kernel counters
+  /// and spans into it and installs it as the calling thread's
+  /// obs::Profiler::current() for its own lifetime, so the runtime layers
+  /// underneath (par::Comm halo/allreduce, DistCsr local SPMV) report into
+  /// the same profiler.  Construct the engine on the rank's own thread.
   SpmdEngine(par::Comm& comm, const sparse::DistCsr& dist,
-             const precond::Preconditioner* local_pc = nullptr);
+             const precond::Preconditioner* local_pc = nullptr,
+             obs::Profiler* profiler = nullptr);
 
   std::size_t local_size() const override { return dist_.local_rows(); }
   std::size_t global_size() const override { return dist_.global_rows(); }
@@ -48,6 +57,8 @@ class SpmdEngine final : public Engine {
   par::Comm& comm_;
   const sparse::DistCsr& dist_;
   const precond::Preconditioner* pc_;
+  obs::Profiler* profiler_;
+  obs::Profiler::Install profiler_install_;
   mutable std::vector<double> ghost_scratch_;
   std::uint64_t next_dot_id_ = 0;
   static constexpr std::size_t kMaxPending = 8;

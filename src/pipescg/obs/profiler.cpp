@@ -1,0 +1,110 @@
+#include "pipescg/obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pipescg::obs {
+
+thread_local Profiler* Profiler::tls_current_ = nullptr;
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kSpmvLocal:
+      return "spmv_local";
+    case SpanKind::kHaloExpose:
+      return "halo_expose";
+    case SpanKind::kHaloPeerRead:
+      return "halo_peer_read";
+    case SpanKind::kHaloClose:
+      return "halo_close";
+    case SpanKind::kPcApply:
+      return "pc_apply";
+    case SpanKind::kDotLocal:
+      return "dot_local";
+    case SpanKind::kAllreducePost:
+      return "allreduce_post";
+    case SpanKind::kAllreduceWaitBlocking:
+      return "allreduce_wait_blocking";
+    case SpanKind::kAllreduceWaitNonblocking:
+      return "allreduce_wait_nonblocking";
+    case SpanKind::kCount_:
+      break;
+  }
+  return "?";
+}
+
+Profiler::KindTotal Profiler::total(SpanKind kind) const {
+  KindTotal t;
+  for (const Span& s : spans_) {
+    if (s.kind == kind) {
+      t.seconds += s.end - s.start;
+      ++t.count;
+    }
+  }
+  return t;
+}
+
+Profiler::Install::Install(Profiler* p) : prev_(tls_current_) {
+#if !defined(PIPESCG_DISABLE_PROFILING)
+  if (p != nullptr) tls_current_ = p;
+#else
+  (void)p;
+#endif
+}
+
+Profiler::Install::~Install() { tls_current_ = prev_; }
+
+SolveProfile::SolveProfile(int ranks) {
+  const Profiler::Clock::time_point epoch = Profiler::Clock::now();
+  profilers_.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) profilers_.emplace_back(r, epoch);
+}
+
+SolveProfile::Aggregate SolveProfile::aggregate(SpanKind kind) const {
+  Aggregate a;
+  std::vector<double> seconds;
+  seconds.reserve(profilers_.size());
+  for (const Profiler& p : profilers_) {
+    const Profiler::KindTotal t = p.total(kind);
+    seconds.push_back(t.seconds);
+    a.count += t.count;
+  }
+  if (seconds.empty()) return a;
+  std::sort(seconds.begin(), seconds.end());
+  a.min = seconds.front();
+  a.max = seconds.back();
+  a.median = seconds[seconds.size() / 2];
+  return a;
+}
+
+bool SolveProfile::counters_uniform() const {
+  if (profilers_.empty()) return true;
+  const Profiler::Counters& c0 = profilers_.front().counters();
+  for (const Profiler& p : profilers_) {
+    const Profiler::Counters& c = p.counters();
+    if (c.spmvs != c0.spmvs || c.pc_applies != c0.pc_applies ||
+        c.allreduces != c0.allreduces || c.iterations != c0.iterations)
+      return false;
+  }
+  return true;
+}
+
+std::string SolveProfile::summary() const {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-28s %10s %12s %12s %12s\n", "span",
+                "count", "min(s)", "median(s)", "max(s)");
+  os << buf;
+  for (std::size_t k = 0; k < kSpanKindCount; ++k) {
+    const SpanKind kind = static_cast<SpanKind>(k);
+    const Aggregate a = aggregate(kind);
+    if (a.count == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-28s %10zu %12.3e %12.3e %12.3e\n",
+                  to_string(kind), a.count, a.min, a.median, a.max);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace pipescg::obs

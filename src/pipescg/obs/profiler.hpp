@@ -1,0 +1,181 @@
+// Measured per-rank profiling for the SPMD runtime.
+//
+// The analytic machine model (sim/) prices a *recorded* serial trace; this
+// is the complementary instrument: low-overhead wall-clock measurement of
+// what the real par::Team execution did, per rank, decomposed the way the
+// pipelined-CG literature diagnoses overlap quality -- local SPMV compute,
+// halo-exchange epochs, PC applies, dot local partials, allreduce posts,
+// and (the key signal) time spent spinning in allreduce waits, split
+// blocking vs non-blocking.  A non-blocking wait that measures near zero
+// means the solver fully hid the reduction behind compute; growth of that
+// bucket is an overlap regression.
+//
+// Usage: a SolveProfile owns one Profiler per rank with a shared epoch.
+// Each rank thread installs its Profiler (Profiler::Install, done by
+// SpmdEngine's constructor when a profiler is passed), and the runtime's
+// instrumentation points (par::Comm, sparse::DistCsr, SpmdEngine) record
+// into Profiler::current() -- a thread-local pointer, so recording needs no
+// synchronization and a disabled run costs one thread-local null check per
+// hook.  Defining PIPESCG_DISABLE_PROFILING makes current() a constexpr
+// nullptr and compiles every hook out entirely.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pipescg::obs {
+
+/// What a measured span covers.  Kept deliberately close to the runtime's
+/// actual instrumentation points rather than abstract phases.
+enum class SpanKind : std::uint8_t {
+  kSpmvLocal,       // local CSR compute of a distributed SPMV (no comm)
+  kHaloExpose,      // expose(): window publication + epoch-open barrier
+  kHaloPeerRead,    // peer_read(): pulling one ghost run
+  kHaloClose,       // close_epoch(): epoch-close barrier
+  kPcApply,         // rank-local preconditioner application
+  kDotLocal,        // local partial reduction of a dot batch
+  kAllreducePost,   // posting an allreduce (copy + publish)
+  kAllreduceWaitBlocking,     // spin inside a blocking allreduce
+  kAllreduceWaitNonblocking,  // spin completing an MPI_Iallreduce-style wait:
+                              // the overlap-quality signal
+  kCount_  // sentinel
+};
+
+constexpr std::size_t kSpanKindCount = static_cast<std::size_t>(SpanKind::kCount_);
+
+/// Stable snake_case name (used as the Chrome-trace event name and as the
+/// JSON report key).
+const char* to_string(SpanKind kind);
+
+struct Span {
+  SpanKind kind;
+  double start;  // seconds since the profile epoch
+  double end;
+};
+
+class Profiler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Profiler(int rank, Clock::time_point epoch) : rank_(rank), epoch_(epoch) {}
+
+  int rank() const { return rank_; }
+
+  /// Seconds since the profile epoch (shared by all ranks of a
+  /// SolveProfile, so spans from different ranks share a timebase).
+  double now() const {
+    return std::chrono::duration<double>(Clock::now() - epoch_).count();
+  }
+
+  void record(SpanKind kind, double start, double end) {
+    spans_.push_back(Span{kind, start, end});
+  }
+
+  /// Engine-level kernel counters, mirroring sim::EventTrace::Counters so a
+  /// measured SPMD run can be cross-checked against a recorded serial trace.
+  struct Counters {
+    std::size_t spmvs = 0;
+    std::size_t pc_applies = 0;
+    std::size_t allreduces = 0;
+    std::size_t iterations = 0;  // CG-equivalent iterations
+  };
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// Accumulated seconds and span count for one kind.
+  struct KindTotal {
+    double seconds = 0.0;
+    std::size_t count = 0;
+  };
+  KindTotal total(SpanKind kind) const;
+
+  // --- thread-local installation ------------------------------------------
+
+#if defined(PIPESCG_DISABLE_PROFILING)
+  static constexpr Profiler* current() { return nullptr; }
+#else
+  static Profiler* current() { return tls_current_; }
+#endif
+
+  /// RAII: installs a profiler as the calling thread's Profiler::current()
+  /// and restores the previous one on destruction.  `p` may be nullptr (a
+  /// no-op install), which lets call sites install unconditionally.
+  class Install {
+   public:
+    explicit Install(Profiler* p);
+    ~Install();
+    Install(const Install&) = delete;
+    Install& operator=(const Install&) = delete;
+
+   private:
+    Profiler* prev_;
+  };
+
+ private:
+  static thread_local Profiler* tls_current_;
+
+  int rank_;
+  Clock::time_point epoch_;
+  std::vector<Span> spans_;
+  Counters counters_;
+};
+
+/// RAII span capture into a (possibly null) profiler: measures from
+/// construction to destruction.  The null check is the only cost when
+/// profiling is off.
+class SpanScope {
+ public:
+  SpanScope(Profiler* p, SpanKind kind) : p_(p), kind_(kind) {
+    if (p_ != nullptr) start_ = p_->now();
+  }
+  ~SpanScope() {
+    if (p_ != nullptr) p_->record(kind_, start_, p_->now());
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  Profiler* p_;
+  SpanKind kind_;
+  double start_ = 0.0;
+};
+
+/// One whole-solve measurement: a Profiler per rank sharing an epoch, built
+/// before par::Team::run and harvested after it returns (rank threads only
+/// touch their own profiler, so no synchronization is needed).
+class SolveProfile {
+ public:
+  explicit SolveProfile(int ranks);
+
+  int ranks() const { return static_cast<int>(profilers_.size()); }
+  Profiler& rank(int r) { return profilers_[static_cast<std::size_t>(r)]; }
+  const Profiler& rank(int r) const {
+    return profilers_[static_cast<std::size_t>(r)];
+  }
+
+  /// min/median/max over ranks of the accumulated seconds of `kind`.
+  struct Aggregate {
+    double min = 0.0;
+    double median = 0.0;
+    double max = 0.0;
+    std::size_t count = 0;  // total spans across ranks
+  };
+  Aggregate aggregate(SpanKind kind) const;
+
+  /// True when every rank recorded identical kernel counters (they must,
+  /// since SPMD ranks execute the same solver control flow).
+  bool counters_uniform() const;
+
+  /// One-line-per-kind human summary (for --profile console output).
+  std::string summary() const;
+
+ private:
+  std::vector<Profiler> profilers_;
+};
+
+}  // namespace pipescg::obs

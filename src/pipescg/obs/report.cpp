@@ -1,0 +1,104 @@
+#include "pipescg/obs/report.hpp"
+
+namespace pipescg::obs {
+
+json::Value stats_to_json(const krylov::SolveStats& stats) {
+  json::Value v = json::Value::object();
+  v.set("method", stats.method);
+  v.set("converged", stats.converged);
+  v.set("stagnated", stats.stagnated);
+  v.set("breakdown", stats.breakdown);
+  v.set("iterations", stats.iterations);
+  v.set("b_norm", stats.b_norm);
+  v.set("final_rnorm", stats.final_rnorm);
+  v.set("true_residual", stats.true_residual);
+  if (stats.condition_est > 0.0) {
+    v.set("lambda_min_est", stats.lambda_min_est);
+    v.set("lambda_max_est", stats.lambda_max_est);
+    v.set("condition_est", stats.condition_est);
+  }
+  json::Value history = json::Value::array();
+  for (const auto& [iter, rnorm] : stats.history) {
+    json::Value point = json::Value::array();
+    point.push_back(iter);
+    point.push_back(rnorm);
+    history.push_back(std::move(point));
+  }
+  v.set("history", std::move(history));
+  return v;
+}
+
+json::Value counters_to_json(const Profiler::Counters& counters) {
+  json::Value v = json::Value::object();
+  v.set("spmvs", counters.spmvs);
+  v.set("pc_applies", counters.pc_applies);
+  v.set("allreduces", counters.allreduces);
+  v.set("iterations", counters.iterations);
+  return v;
+}
+
+json::Value counters_to_json(const sim::EventTrace::Counters& counters) {
+  json::Value v = json::Value::object();
+  v.set("spmvs", counters.spmvs);
+  v.set("pc_applies", counters.pc_applies);
+  v.set("allreduces", counters.allreduces);
+  v.set("iterations", counters.iterations);
+  v.set("vector_flops", counters.vector_flops);
+  return v;
+}
+
+json::Value profile_to_json(const SolveProfile& profile) {
+  json::Value v = json::Value::object();
+  v.set("ranks", profile.ranks());
+  v.set("counters_uniform", profile.counters_uniform());
+
+  json::Value per_rank = json::Value::array();
+  for (int r = 0; r < profile.ranks(); ++r) {
+    const Profiler& p = profile.rank(r);
+    json::Value rank = json::Value::object();
+    rank.set("rank", r);
+    rank.set("counters", counters_to_json(p.counters()));
+    json::Value kinds = json::Value::object();
+    for (std::size_t k = 0; k < kSpanKindCount; ++k) {
+      const SpanKind kind = static_cast<SpanKind>(k);
+      const Profiler::KindTotal t = p.total(kind);
+      if (t.count == 0) continue;
+      json::Value entry = json::Value::object();
+      entry.set("seconds", t.seconds);
+      entry.set("count", t.count);
+      kinds.set(to_string(kind), std::move(entry));
+    }
+    rank.set("spans", std::move(kinds));
+    per_rank.push_back(std::move(rank));
+  }
+  v.set("per_rank", std::move(per_rank));
+
+  // min/median/max over ranks for every kind, always including the
+  // non-blocking wait-spin aggregate (the overlap-quality headline) even
+  // when zero.
+  json::Value aggregates = json::Value::object();
+  for (std::size_t k = 0; k < kSpanKindCount; ++k) {
+    const SpanKind kind = static_cast<SpanKind>(k);
+    const SolveProfile::Aggregate a = profile.aggregate(kind);
+    if (a.count == 0 && kind != SpanKind::kAllreduceWaitNonblocking) continue;
+    json::Value entry = json::Value::object();
+    entry.set("count", a.count);
+    entry.set("min_seconds", a.min);
+    entry.set("median_seconds", a.median);
+    entry.set("max_seconds", a.max);
+    aggregates.set(to_string(kind), std::move(entry));
+  }
+  v.set("aggregates", std::move(aggregates));
+  return v;
+}
+
+json::Value solve_report(const krylov::SolveStats& stats,
+                         const SolveProfile* profile) {
+  json::Value v = json::Value::object();
+  v.set("method", stats.method);
+  v.set("stats", stats_to_json(stats));
+  if (profile != nullptr) v.set("profile", profile_to_json(*profile));
+  return v;
+}
+
+}  // namespace pipescg::obs

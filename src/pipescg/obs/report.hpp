@@ -1,0 +1,36 @@
+// Structured JSON solve reports.
+//
+// One report combines everything a post-hoc analysis needs about a solve:
+// the SolveStats (convergence flags, iterations, spectrum estimates), the
+// full residual history, and -- when the run was profiled -- per-rank
+// measured kernel totals with min/median/max-over-ranks aggregates,
+// including the non-blocking allreduce wait-spin time that quantifies
+// overlap quality.
+#pragma once
+
+#include <string>
+
+#include "pipescg/krylov/solver.hpp"
+#include "pipescg/obs/json.hpp"
+#include "pipescg/obs/profiler.hpp"
+#include "pipescg/sim/trace.hpp"
+
+namespace pipescg::obs {
+
+/// SolveStats (+ history) as a JSON object.
+json::Value stats_to_json(const krylov::SolveStats& stats);
+
+/// Counters as a JSON object (shared shape between the measured profiler
+/// counters and sim::EventTrace::Counters, so reports can juxtapose them).
+json::Value counters_to_json(const Profiler::Counters& counters);
+json::Value counters_to_json(const sim::EventTrace::Counters& counters);
+
+/// Per-rank totals and cross-rank aggregates of a measured profile.
+json::Value profile_to_json(const SolveProfile& profile);
+
+/// Full solve report: {"method", "stats": {...}, "profile": {...}?}.
+/// `profile` may be nullptr (serial / unprofiled runs).
+json::Value solve_report(const krylov::SolveStats& stats,
+                         const SolveProfile* profile);
+
+}  // namespace pipescg::obs

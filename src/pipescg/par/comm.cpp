@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "pipescg/base/error.hpp"
+#include "pipescg/base/log.hpp"
+#include "pipescg/obs/profiler.hpp"
 
 namespace pipescg::par {
 namespace {
@@ -24,6 +26,17 @@ class Backoff {
 
  private:
   int spins_ = 0;
+};
+
+// Tags the calling thread's log lines with its SPMD rank for the duration
+// of the team body, so interleaved output is attributable.
+class LogRankScope {
+ public:
+  explicit LogRankScope(int rank) : prev_(log_rank()) { set_log_rank(rank); }
+  ~LogRankScope() { set_log_rank(prev_); }
+
+ private:
+  int prev_;
 };
 
 }  // namespace
@@ -122,6 +135,7 @@ void Team::run(int num_ranks, const std::function<void(Comm&)>& body) {
       static_cast<std::size_t>(num_ranks), nullptr);
 
   if (num_ranks == 1) {
+    LogRankScope log_rank(0);
     Comm comm(&team, 0);
     body(comm);
     return;
@@ -132,6 +146,7 @@ void Team::run(int num_ranks, const std::function<void(Comm&)>& body) {
   for (int r = 0; r < num_ranks; ++r) {
     threads.emplace_back([&team, &body, &errors, r]() {
       try {
+        LogRankScope log_rank(r);
         Comm comm(&team, r);
         body(comm);
       } catch (...) {
@@ -149,16 +164,30 @@ int Comm::size() const { return team_->num_ranks_; }
 void Comm::barrier() { team_->barrier_impl(); }
 
 void Comm::allreduce_sum(std::span<const double> in, std::span<double> out) {
-  AllreduceRequest req = team_->post_impl(*this, in);
+  // A blocking collective (MPI_Allreduce): the post..completion interval is
+  // all wait-spin as far as the profiler is concerned.
+  obs::Profiler* prof = obs::Profiler::current();
+  AllreduceRequest req;
+  {
+    obs::SpanScope span(prof, obs::SpanKind::kAllreducePost);
+    req = team_->post_impl(*this, in);
+  }
+  obs::SpanScope span(prof, obs::SpanKind::kAllreduceWaitBlocking);
   team_->wait_impl(req, out);
 }
 
 AllreduceRequest Comm::iallreduce_sum(std::span<const double> in) {
+  obs::SpanScope span(obs::Profiler::current(),
+                      obs::SpanKind::kAllreducePost);
   return team_->post_impl(*this, in);
 }
 
 void Comm::wait(AllreduceRequest& req, std::span<double> out) {
   PIPESCG_CHECK(req.active, "wait on inactive allreduce request");
+  // Completion of an MPI_Iallreduce-style request: time measured here is
+  // reduction latency the solver failed to hide behind compute.
+  obs::SpanScope span(obs::Profiler::current(),
+                      obs::SpanKind::kAllreduceWaitNonblocking);
   team_->wait_impl(req, out);
   req.active = false;
 }
@@ -186,12 +215,14 @@ double Comm::allreduce_max(double v) {
 }
 
 void Comm::expose(std::span<const double> window) {
+  obs::SpanScope span(obs::Profiler::current(), obs::SpanKind::kHaloExpose);
   team_->windows_[static_cast<std::size_t>(rank_)] = window;
   team_->barrier_impl();  // opens the epoch: all windows published
 }
 
 void Comm::peer_read(int peer, std::size_t offset,
                      std::span<double> out) const {
+  obs::SpanScope span(obs::Profiler::current(), obs::SpanKind::kHaloPeerRead);
   PIPESCG_CHECK(peer >= 0 && peer < size(), "peer_read peer out of range");
   const std::span<const double>& w =
       team_->windows_[static_cast<std::size_t>(peer)];
@@ -203,6 +234,7 @@ void Comm::peer_read(int peer, std::size_t offset,
 }
 
 void Comm::close_epoch() {
+  obs::SpanScope span(obs::Profiler::current(), obs::SpanKind::kHaloClose);
   team_->barrier_impl();  // all reads done before windows may change
 }
 

@@ -7,7 +7,26 @@
 
 namespace pipescg::sim {
 
-TimelineResult Timeline::evaluate(const EventTrace& trace, int ranks) const {
+const char* to_string(ScheduledSpan::Kind kind) {
+  switch (kind) {
+    case ScheduledSpan::Kind::kCompute:
+      return "compute";
+    case ScheduledSpan::Kind::kSpmv:
+      return "spmv";
+    case ScheduledSpan::Kind::kPcApply:
+      return "pc_apply";
+    case ScheduledSpan::Kind::kPostOverhead:
+      return "post_overhead";
+    case ScheduledSpan::Kind::kAllreduce:
+      return "allreduce";
+    case ScheduledSpan::Kind::kAllreduceWait:
+      return "allreduce_wait";
+  }
+  return "?";
+}
+
+TimelineResult Timeline::evaluate(const EventTrace& trace, int ranks,
+                                  std::vector<ScheduledSpan>* schedule) const {
   PIPESCG_CHECK(ranks >= 1, "timeline needs at least one rank");
   TimelineResult result;
   double t = 0.0;
@@ -15,8 +34,16 @@ TimelineResult Timeline::evaluate(const EventTrace& trace, int ranks) const {
   struct Pending {
     double start;
     double g;
+    bool blocking;
   };
   std::unordered_map<std::uint64_t, Pending> pending;
+
+  const auto emit = [schedule](ScheduledSpan::Kind kind, double start,
+                               double end, std::uint64_t id = 0,
+                               bool blocking = false) {
+    if (schedule != nullptr && end > start)
+      schedule->push_back(ScheduledSpan{kind, start, end, id, blocking});
+  };
 
   const auto& ops = trace.operators();
   const auto& pcs = trace.pcs();
@@ -25,6 +52,7 @@ TimelineResult Timeline::evaluate(const EventTrace& trace, int ranks) const {
     switch (e.kind) {
       case EventKind::kCompute: {
         const double dt = machine_.compute_seconds(e.flops, e.bytes, ranks);
+        emit(ScheduledSpan::Kind::kCompute, t, t + dt);
         t += dt;
         result.compute_seconds += dt;
         break;
@@ -32,6 +60,7 @@ TimelineResult Timeline::evaluate(const EventTrace& trace, int ranks) const {
       case EventKind::kSpmv: {
         PIPESCG_CHECK(e.index < ops.size(), "spmv event: unknown operator");
         const double dt = machine_.spmv_seconds(ops[e.index], ranks);
+        emit(ScheduledSpan::Kind::kSpmv, t, t + dt);
         t += dt;
         result.compute_seconds += dt;
         break;
@@ -46,6 +75,7 @@ TimelineResult Timeline::evaluate(const EventTrace& trace, int ranks) const {
               8.0 * pc.stats.halo_doubles_per_rank(ranks) / machine_.link_bw;
           dt += pc.halo_exchanges * halo;
         }
+        emit(ScheduledSpan::Kind::kPcApply, t, t + dt);
         t += dt;
         result.compute_seconds += dt;
         break;
@@ -56,11 +86,12 @@ TimelineResult Timeline::evaluate(const EventTrace& trace, int ranks) const {
         const double g = blocking
                              ? machine_.allreduce_seconds(ranks, doubles)
                              : machine_.iallreduce_seconds(ranks, doubles);
-        pending[e.id] = Pending{t, g};
+        pending[e.id] = Pending{t, g, blocking};
         result.allreduce_total_seconds += g;
         if (!blocking) {
           // Async-progress software overhead charged to the poster.
           const double ovh = machine_.unoverlappable_fraction * g;
+          emit(ScheduledSpan::Kind::kPostOverhead, t, t + ovh, e.id);
           t += ovh;
           result.compute_seconds += ovh;
         }
@@ -70,7 +101,11 @@ TimelineResult Timeline::evaluate(const EventTrace& trace, int ranks) const {
         const auto it = pending.find(e.id);
         PIPESCG_CHECK(it != pending.end(), "wait without matching post");
         const double done = it->second.start + it->second.g;
+        emit(ScheduledSpan::Kind::kAllreduce, it->second.start, done, e.id,
+             it->second.blocking);
         if (done > t) {
+          emit(ScheduledSpan::Kind::kAllreduceWait, t, done, e.id,
+               it->second.blocking);
           result.allreduce_wait_seconds += done - t;
           t = done;
         }

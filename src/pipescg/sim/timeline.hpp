@@ -21,6 +21,28 @@
 
 namespace pipescg::sim {
 
+/// One scheduled interval on the modeled rank's clock, produced when
+/// Timeline::evaluate is asked to keep its schedule.  This is the modeled
+/// analogue of an obs::Span: obs::chrome_trace renders both in the same
+/// trace-event format so a Perfetto view can compare them side by side.
+struct ScheduledSpan {
+  enum class Kind {
+    kCompute,        // generic vector work
+    kSpmv,           // one SPMV
+    kPcApply,        // one preconditioner application
+    kPostOverhead,   // unoverlappable fraction of a non-blocking post
+    kAllreduce,      // the collective in flight (post time .. completion)
+    kAllreduceWait,  // rank stalled waiting for a collective
+  };
+  Kind kind;
+  double start = 0.0;  // seconds on the modeled rank clock
+  double end = 0.0;
+  std::uint64_t id = 0;  // allreduce id for the allreduce kinds
+  bool blocking = false;
+};
+
+const char* to_string(ScheduledSpan::Kind kind);
+
 struct TimelineResult {
   double seconds = 0.0;
   double compute_seconds = 0.0;     // kernels incl. unoverlappable post cost
@@ -39,7 +61,11 @@ class Timeline {
  public:
   explicit Timeline(MachineModel machine) : machine_(machine) {}
 
-  TimelineResult evaluate(const EventTrace& trace, int ranks) const;
+  /// Replay `trace` at `ranks`.  When `schedule` is non-null, additionally
+  /// append every priced interval (kernels, post overheads, in-flight
+  /// collectives, wait stalls) so exporters can render the modeled timeline.
+  TimelineResult evaluate(const EventTrace& trace, int ranks,
+                          std::vector<ScheduledSpan>* schedule = nullptr) const;
 
   /// Convenience: seconds at `nodes` full nodes.
   double seconds_at_nodes(const EventTrace& trace, int nodes) const {

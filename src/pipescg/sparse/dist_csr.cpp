@@ -4,6 +4,7 @@
 #include <map>
 
 #include "pipescg/base/error.hpp"
+#include "pipescg/obs/profiler.hpp"
 
 namespace pipescg::sparse {
 
@@ -105,6 +106,7 @@ void DistCsr::apply(par::Comm& comm, std::span<const double> x_local,
   comm.close_epoch();
 
   // Local SPMV on [x_local ; ghosts].
+  obs::SpanScope span(obs::Profiler::current(), obs::SpanKind::kSpmvLocal);
   const auto rp = local_.row_ptr();
   const auto ci = local_.col_indices();
   const auto v = local_.values();

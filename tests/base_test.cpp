@@ -167,11 +167,38 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_LT(t.seconds(), 0.5);
 }
 
+TEST(TimerTest, ScopedTimerAccumulates) {
+  double total = 0.0;
+  {
+    ScopedTimer t(total);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_DOUBLE_EQ(total, 0.0);  // only added on destruction
+  }
+  const double after_first = total;
+  EXPECT_GE(after_first, 0.002);
+  {
+    ScopedTimer t(total);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(total, after_first);  // accumulates across scopes
+}
+
 TEST(LogTest, LevelRoundTrips) {
   const LogLevel before = log_level();
   set_log_level(LogLevel::kError);
   EXPECT_EQ(log_level(), LogLevel::kError);
   set_log_level(before);
+}
+
+TEST(LogTest, RankTagIsThreadLocal) {
+  EXPECT_EQ(log_rank(), -1);  // untagged by default
+  set_log_rank(3);
+  EXPECT_EQ(log_rank(), 3);
+  int other = 3;
+  std::thread([&] { other = log_rank(); }).join();
+  EXPECT_EQ(other, -1);  // tags do not leak across threads
+  set_log_rank(-1);
+  EXPECT_EQ(log_rank(), -1);
 }
 
 }  // namespace

@@ -1,0 +1,385 @@
+// Observability tests: JSON round-trips, the thread-local profiler, the
+// cross-engine kernel-counter parity that certifies the SPMD profiler
+// counts the same work the serial EventTrace records, and the structure of
+// the Chrome-trace / report exports (validated by parsing them back).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <thread>
+
+#include "pipescg/krylov/registry.hpp"
+#include "pipescg/krylov/serial_engine.hpp"
+#include "pipescg/krylov/spmd_engine.hpp"
+#include "pipescg/obs/chrome_trace.hpp"
+#include "pipescg/obs/json.hpp"
+#include "pipescg/obs/profiler.hpp"
+#include "pipescg/obs/report.hpp"
+#include "pipescg/par/comm.hpp"
+#include "pipescg/precond/jacobi.hpp"
+#include "pipescg/sim/timeline.hpp"
+#include "pipescg/sparse/dist_csr.hpp"
+#include "pipescg/sparse/stencil.hpp"
+
+namespace pipescg::obs {
+namespace {
+
+// --- json ------------------------------------------------------------------
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  json::Value doc = json::Value::object();
+  doc.set("name", "pipe-pscg");
+  doc.set("converged", true);
+  doc.set("iterations", std::size_t{42});
+  doc.set("rnorm", 1.25e-9);
+  doc.set("nothing", json::Value());
+  json::Value arr = json::Value::array();
+  arr.push_back(1);
+  arr.push_back(-2.5);
+  arr.push_back("x\"y\\z\n\t");
+  json::Value nested = json::Value::object();
+  nested.set("k", json::Value::array());
+  arr.push_back(std::move(nested));
+  doc.set("list", std::move(arr));
+
+  for (int indent : {-1, 0, 2}) {
+    const json::Value back = json::parse(doc.dump(indent));
+    EXPECT_EQ(back, doc) << "indent=" << indent;
+  }
+}
+
+TEST(JsonTest, PreservesInsertionOrder) {
+  json::Value doc = json::Value::object();
+  doc.set("zebra", 1);
+  doc.set("alpha", 2);
+  doc.set("zebra", 3);  // overwrite keeps the original slot
+  ASSERT_EQ(doc.members().size(), 2u);
+  EXPECT_EQ(doc.members()[0].first, "zebra");
+  EXPECT_DOUBLE_EQ(doc.members()[0].second.as_number(), 3.0);
+  EXPECT_EQ(doc.members()[1].first, "alpha");
+}
+
+TEST(JsonTest, ParsesEscapesAndNumbers) {
+  const json::Value v =
+      json::parse(R"({"s":"a\"b\\c\nA","n":[-1.5e-3,0,7]})");
+  EXPECT_EQ(v.at("s").as_string(), "a\"b\\c\nA");
+  EXPECT_DOUBLE_EQ(v.at("n").at(0).as_number(), -1.5e-3);
+  EXPECT_DOUBLE_EQ(v.at("n").at(2).as_number(), 7.0);
+}
+
+TEST(JsonTest, NonFiniteSerializesAsNull) {
+  json::Value doc = json::Value::array();
+  doc.push_back(std::numeric_limits<double>::infinity());
+  doc.push_back(std::numeric_limits<double>::quiet_NaN());
+  const json::Value back = json::parse(doc.dump());
+  EXPECT_TRUE(back.at(std::size_t{0}).is_null());
+  EXPECT_TRUE(back.at(std::size_t{1}).is_null());
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse(""), Error);
+  EXPECT_THROW(json::parse("{"), Error);
+  EXPECT_THROW(json::parse("[1,]"), Error);
+  EXPECT_THROW(json::parse("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(json::parse("{'a':1}"), Error);
+  EXPECT_THROW(json::parse("nulL"), Error);
+}
+
+TEST(JsonTest, AccessorsThrowOnTypeMismatch) {
+  const json::Value v = json::parse("[1,2]");
+  EXPECT_THROW(v.as_number(), Error);
+  EXPECT_THROW(v.at("key"), Error);
+  EXPECT_THROW(v.at(std::size_t{5}), Error);
+}
+
+// --- profiler --------------------------------------------------------------
+
+TEST(ProfilerTest, SpanScopeRecordsAndNullIsNoop) {
+  Profiler p(0, Profiler::Clock::now());
+  { SpanScope span(&p, SpanKind::kSpmvLocal); }
+  { SpanScope span(nullptr, SpanKind::kSpmvLocal); }  // must not crash
+  ASSERT_EQ(p.spans().size(), 1u);
+  EXPECT_EQ(p.spans()[0].kind, SpanKind::kSpmvLocal);
+  EXPECT_GE(p.spans()[0].end, p.spans()[0].start);
+  EXPECT_EQ(p.total(SpanKind::kSpmvLocal).count, 1u);
+  EXPECT_EQ(p.total(SpanKind::kPcApply).count, 0u);
+}
+
+TEST(ProfilerTest, InstallIsThreadLocalAndRestores) {
+#if !defined(PIPESCG_DISABLE_PROFILING)
+  Profiler p(0, Profiler::Clock::now());
+  EXPECT_EQ(Profiler::current(), nullptr);
+  {
+    Profiler::Install install(&p);
+    EXPECT_EQ(Profiler::current(), &p);
+    // Another thread must not see this thread's installation.
+    Profiler* seen = &p;
+    std::thread([&] { seen = Profiler::current(); }).join();
+    EXPECT_EQ(seen, nullptr);
+  }
+  EXPECT_EQ(Profiler::current(), nullptr);
+#endif
+}
+
+TEST(ProfilerTest, AggregateIsMinMedianMaxOverRanks) {
+  SolveProfile profile(3);
+  profile.rank(0).record(SpanKind::kDotLocal, 0.0, 1.0);
+  profile.rank(1).record(SpanKind::kDotLocal, 0.0, 3.0);
+  profile.rank(2).record(SpanKind::kDotLocal, 0.0, 7.0);
+  const SolveProfile::Aggregate agg = profile.aggregate(SpanKind::kDotLocal);
+  EXPECT_DOUBLE_EQ(agg.min, 1.0);
+  EXPECT_DOUBLE_EQ(agg.median, 3.0);
+  EXPECT_DOUBLE_EQ(agg.max, 7.0);
+  EXPECT_EQ(agg.count, 3u);
+}
+
+// --- cross-engine counter parity -------------------------------------------
+
+struct ParityResult {
+  sim::EventTrace::Counters serial;
+  std::vector<Profiler::Counters> spmd;  // one per rank
+  bool uniform = false;
+};
+
+ParityResult run_parity(const std::string& method, int ranks) {
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson5(), 12, 12, "p");
+  krylov::SolverOptions opts;
+  opts.rtol = 1e-8;
+  opts.max_iterations = 2000;
+  const bool use_pc = krylov::solver_uses_preconditioner(method);
+  ParityResult result;
+
+  {
+    sim::EventTrace trace;
+    precond::JacobiPreconditioner pc(a);
+    krylov::SerialEngine engine(a, use_pc ? &pc : nullptr, &trace);
+    krylov::Vec ones = engine.new_vec();
+    for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
+    krylov::Vec b = engine.new_vec();
+    engine.apply_op(ones, b);
+    krylov::Vec x = engine.new_vec();
+    krylov::make_solver(method)->solve(engine, b, x, opts);
+    result.serial = trace.counters();
+  }
+
+  SolveProfile profile(ranks);
+  const sparse::Partition part(a.rows(), ranks);
+  par::Team::run(ranks, [&](par::Comm& comm) {
+    const sparse::DistCsr dist(a, part, comm.rank());
+    const std::size_t begin = part.begin(comm.rank());
+    const std::size_t len = part.local_size(comm.rank());
+    const std::vector<double> full_diag = a.diagonal();
+    std::vector<double> local_diag(
+        full_diag.begin() + static_cast<std::ptrdiff_t>(begin),
+        full_diag.begin() + static_cast<std::ptrdiff_t>(begin + len));
+    precond::JacobiPreconditioner local_pc(std::move(local_diag), a.stats());
+    krylov::SpmdEngine engine(comm, dist, use_pc ? &local_pc : nullptr,
+                              &profile.rank(comm.rank()));
+    krylov::Vec ones = engine.new_vec();
+    for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
+    krylov::Vec b = engine.new_vec();
+    engine.apply_op(ones, b);
+    krylov::Vec x = engine.new_vec();
+    krylov::make_solver(method)->solve(engine, b, x, opts);
+  });
+  for (int r = 0; r < ranks; ++r)
+    result.spmd.push_back(profile.rank(r).counters());
+  result.uniform = profile.counters_uniform();
+  return result;
+}
+
+class CounterParityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CounterParityTest, SpmdProfilerMatchesSerialEventTrace) {
+  const ParityResult r = run_parity(GetParam(), 3);
+  EXPECT_TRUE(r.uniform);
+  for (const Profiler::Counters& c : r.spmd) {
+    EXPECT_EQ(c.spmvs, r.serial.spmvs);
+    EXPECT_EQ(c.pc_applies, r.serial.pc_applies);
+    EXPECT_EQ(c.allreduces, r.serial.allreduces);
+    EXPECT_EQ(c.iterations, r.serial.iterations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, CounterParityTest,
+                         ::testing::Values("pcg", "pipe-scg", "pipe-pscg"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& ch : n)
+                             if (ch == '-') ch = '_';
+                           return n;
+                         });
+
+TEST(CounterParityTest, SpmdRunRecordsCommAndSpmvSpans) {
+  // A profiled PIPE-PsCG run must contain every instrumented span kind the
+  // SPMD runtime exercises -- including the non-blocking allreduce wait spin
+  // (PIPE-PsCG always posts via iallreduce and waits later).
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson5(), 12, 12, "p");
+  krylov::SolverOptions opts;
+  opts.rtol = 1e-8;
+  SolveProfile profile(2);
+  const sparse::Partition part(a.rows(), 2);
+  par::Team::run(2, [&](par::Comm& comm) {
+    const sparse::DistCsr dist(a, part, comm.rank());
+    const std::size_t begin = part.begin(comm.rank());
+    const std::size_t len = part.local_size(comm.rank());
+    const std::vector<double> full_diag = a.diagonal();
+    std::vector<double> local_diag(
+        full_diag.begin() + static_cast<std::ptrdiff_t>(begin),
+        full_diag.begin() + static_cast<std::ptrdiff_t>(begin + len));
+    precond::JacobiPreconditioner local_pc(std::move(local_diag), a.stats());
+    krylov::SpmdEngine engine(comm, dist, &local_pc,
+                              &profile.rank(comm.rank()));
+    krylov::Vec ones = engine.new_vec();
+    for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
+    krylov::Vec b = engine.new_vec();
+    engine.apply_op(ones, b);
+    krylov::Vec x = engine.new_vec();
+    krylov::make_solver("pipe-pscg")->solve(engine, b, x, opts);
+  });
+  for (const SpanKind kind :
+       {SpanKind::kSpmvLocal, SpanKind::kHaloExpose, SpanKind::kHaloPeerRead,
+        SpanKind::kHaloClose, SpanKind::kPcApply, SpanKind::kDotLocal,
+        SpanKind::kAllreducePost, SpanKind::kAllreduceWaitNonblocking}) {
+    EXPECT_GT(profile.aggregate(kind).count, 0u) << to_string(kind);
+  }
+}
+
+// --- exporters -------------------------------------------------------------
+
+TEST(ChromeTraceTest, BuildsValidTraceEventDocument) {
+  SolveProfile profile(2);
+  profile.rank(0).record(SpanKind::kSpmvLocal, 0.0, 1e-3);
+  profile.rank(1).record(SpanKind::kPcApply, 1e-3, 2e-3);
+
+  ChromeTraceBuilder builder;
+  add_profile(builder, profile, /*pid=*/0, "measured");
+  const json::Value doc = json::parse(builder.build().dump(2));
+
+  ASSERT_TRUE(doc.contains("traceEvents"));
+  const json::Value& events = doc.at("traceEvents");
+  std::set<std::string> phases, names;
+  std::set<double> tids;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const json::Value& e = events.at(i);
+    phases.insert(e.at("ph").as_string());
+    if (e.at("ph").as_string() == "X") {
+      names.insert(e.at("name").as_string());
+      tids.insert(e.at("tid").as_number());
+      EXPECT_GE(e.at("dur").as_number(), 0.0);
+    }
+  }
+  EXPECT_TRUE(phases.count("M"));  // process/thread names
+  EXPECT_TRUE(phases.count("X"));
+  EXPECT_TRUE(names.count("spmv_local"));
+  EXPECT_TRUE(names.count("pc_apply"));
+  EXPECT_EQ(tids.size(), 2u);  // one track per rank
+}
+
+TEST(ChromeTraceTest, ScheduleExportUsesModeledCategory) {
+  std::vector<sim::ScheduledSpan> schedule;
+  schedule.push_back({sim::ScheduledSpan::Kind::kSpmv, 0.0, 1e-3, 0, false});
+  schedule.push_back(
+      {sim::ScheduledSpan::Kind::kAllreduce, 1e-3, 2e-3, 1, true});
+  ChromeTraceBuilder builder;
+  add_schedule(builder, schedule, /*pid=*/3, "modeled");
+  const json::Value doc = json::parse(builder.build().dump());
+  bool saw_modeled = false;
+  const json::Value& events = doc.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const json::Value& e = events.at(i);
+    if (e.at("ph").as_string() == "X") {
+      EXPECT_EQ(e.at("cat").as_string(), "modeled");
+      EXPECT_DOUBLE_EQ(e.at("pid").as_number(), 3.0);
+      saw_modeled = true;
+    }
+  }
+  EXPECT_TRUE(saw_modeled);
+}
+
+TEST(ReportTest, ProfileJsonHasAggregatesIncludingNonblockingWait) {
+  SolveProfile profile(2);
+  profile.rank(0).record(SpanKind::kAllreduceWaitNonblocking, 0.0, 2e-3);
+  profile.rank(1).record(SpanKind::kAllreduceWaitNonblocking, 0.0, 4e-3);
+  for (int r = 0; r < 2; ++r) {
+    profile.rank(r).counters().spmvs = 5;
+    profile.rank(r).counters().iterations = 4;
+  }
+  const json::Value doc = profile_to_json(profile);
+  EXPECT_DOUBLE_EQ(doc.at("ranks").as_number(), 2.0);
+  EXPECT_TRUE(doc.at("counters_uniform").as_bool());
+  ASSERT_EQ(doc.at("per_rank").size(), 2u);
+  const json::Value& agg = doc.at("aggregates");
+  ASSERT_TRUE(agg.contains("allreduce_wait_nonblocking"));
+  const json::Value& wait = agg.at("allreduce_wait_nonblocking");
+  EXPECT_DOUBLE_EQ(wait.at("min_seconds").as_number(), 2e-3);
+  EXPECT_DOUBLE_EQ(wait.at("max_seconds").as_number(), 4e-3);
+  // Kinds with no spans are omitted for compactness...
+  EXPECT_FALSE(agg.contains("spmv_local"));
+  // ...except the non-blocking wait-spin headline, which is reported even
+  // when it never fired (zero is the "perfect overlap" answer, not missing
+  // data).
+  const json::Value empty = profile_to_json(SolveProfile(1));
+  ASSERT_TRUE(empty.at("aggregates").contains("allreduce_wait_nonblocking"));
+  EXPECT_DOUBLE_EQ(empty.at("aggregates")
+                       .at("allreduce_wait_nonblocking")
+                       .at("max_seconds")
+                       .as_number(),
+                   0.0);
+}
+
+TEST(ReportTest, SolveReportCombinesStatsHistoryAndProfile) {
+  krylov::SolveStats stats;
+  stats.iterations = 3;
+  stats.converged = true;
+  stats.final_rnorm = 1e-9;
+  stats.history = {{0, 1.0}, {1, 0.1}, {2, 0.01}, {3, 1e-9}};
+  SolveProfile profile(1);
+  const json::Value doc = solve_report(stats, &profile);
+  EXPECT_TRUE(doc.at("stats").at("converged").as_bool());
+  EXPECT_EQ(doc.at("stats").at("history").size(), 4u);
+  EXPECT_TRUE(doc.contains("profile"));
+  // Round-trip through the parser: the report is valid JSON.
+  EXPECT_EQ(json::parse(doc.dump(2)), doc);
+}
+
+TEST(TimelineScheduleTest, CapturedScheduleMatchesEvaluatedTotals) {
+  // Record a tiny real solve, then check that the captured schedule spans
+  // the full modeled makespan and prices waits consistently.
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson5(), 10, 10, "p");
+  sim::EventTrace trace;
+  precond::JacobiPreconditioner pc(a);
+  krylov::SerialEngine engine(a, &pc, &trace);
+  krylov::Vec ones = engine.new_vec();
+  for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
+  krylov::Vec b = engine.new_vec();
+  engine.apply_op(ones, b);
+  krylov::Vec x = engine.new_vec();
+  krylov::SolverOptions opts;
+  opts.rtol = 1e-8;
+  krylov::make_solver("pipe-pscg")->solve(engine, b, x, opts);
+
+  const sim::Timeline timeline(sim::MachineModel::cray_xc40_like());
+  std::vector<sim::ScheduledSpan> schedule;
+  const sim::TimelineResult with = timeline.evaluate(trace, 8, &schedule);
+  const sim::TimelineResult without = timeline.evaluate(trace, 8);
+  EXPECT_DOUBLE_EQ(with.seconds, without.seconds);  // capture changes nothing
+  ASSERT_FALSE(schedule.empty());
+  double max_end = 0.0, wait = 0.0;
+  for (const sim::ScheduledSpan& s : schedule) {
+    EXPECT_GE(s.end, s.start);
+    if (s.kind != sim::ScheduledSpan::Kind::kAllreduce)
+      max_end = std::max(max_end, s.end);
+    if (s.kind == sim::ScheduledSpan::Kind::kAllreduceWait)
+      wait += s.end - s.start;
+  }
+  EXPECT_NEAR(max_end, with.seconds, 1e-12);
+  EXPECT_NEAR(wait, with.allreduce_wait_seconds, 1e-12);
+}
+
+}  // namespace
+}  // namespace pipescg::obs
