@@ -12,6 +12,9 @@
 #include "pipescg/par/comm.hpp"
 #include "pipescg/precond/jacobi.hpp"
 #include "pipescg/precond/ssor.hpp"
+#include "pipescg/sparse/dist_csr.hpp"
+#include "pipescg/sparse/matrix_powers.hpp"
+#include "pipescg/sparse/partition.hpp"
 #include "pipescg/sparse/poisson125.hpp"
 #include "pipescg/sparse/stencil.hpp"
 
@@ -121,6 +124,68 @@ void BM_ScalarWork(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScalarWork)->Arg(3)->Arg(5)->Arg(8);
+
+// s distributed SPMVs the plain way: one halo-exchange epoch each.  Pair
+// with BM_MatrixPowers below for the measured side of the communication-
+// avoidance trade the cost model prices (print_spmv_block_table).  On the
+// in-process runtime an epoch costs two barriers (microseconds, not the
+// network round-trips the model charges), so the redundant ghost-row flops
+// usually make the block a net loss *here* -- the pair quantifies the two
+// sides of the trade (epochs saved vs flops added); where the trade wins is
+// the model's latency-dominated operating points.
+void BM_DistSpmvRepeated(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int s = static_cast<int>(state.range(1));
+  const sparse::CsrMatrix a = sparse::make_poisson125_csr(12);
+  const sparse::Partition part(a.rows(), ranks);
+  // Construction is communication-free and identical across iterations;
+  // keep it out of the timed region so the measurement is the apply path.
+  std::vector<sparse::DistCsr> dists;
+  for (int r = 0; r < ranks; ++r) dists.emplace_back(a, part, r);
+  for (auto _ : state) {
+    par::Team::run(ranks, [&](par::Comm& comm) {
+      const sparse::DistCsr& dist = dists[static_cast<std::size_t>(comm.rank())];
+      std::vector<double> ghosts;
+      std::vector<std::vector<double>> v(
+          static_cast<std::size_t>(s) + 1,
+          std::vector<double>(dist.local_rows(), 1.0));
+      for (int round = 0; round < 8; ++round)
+        for (int j = 0; j < s; ++j)
+          dist.apply(comm, v[static_cast<std::size_t>(j)],
+                     v[static_cast<std::size_t>(j) + 1], ghosts);
+      benchmark::DoNotOptimize(v.back().data());
+    });
+  }
+}
+BENCHMARK(BM_DistSpmvRepeated)->Args({2, 3})->Args({4, 3})->Args({4, 6});
+
+// The same s SPMVs through the matrix-powers kernel: one deep exchange per
+// block plus redundant ghost-row compute.
+void BM_MatrixPowers(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int s = static_cast<int>(state.range(1));
+  const sparse::CsrMatrix a = sparse::make_poisson125_csr(12);
+  const sparse::Partition part(a.rows(), ranks);
+  std::vector<sparse::MatrixPowers> mpks;
+  for (int r = 0; r < ranks; ++r) mpks.emplace_back(a, part, r, s);
+  for (auto _ : state) {
+    par::Team::run(ranks, [&](par::Comm& comm) {
+      const sparse::MatrixPowers& mpk =
+          mpks[static_cast<std::size_t>(comm.rank())];
+      sparse::MatrixPowers::Scratch scratch;
+      std::vector<double> x(mpk.local_rows(), 1.0);
+      std::vector<std::vector<double>> v(
+          static_cast<std::size_t>(s),
+          std::vector<double>(mpk.local_rows()));
+      std::vector<std::span<double>> outs;
+      for (auto& o : v) outs.emplace_back(o);
+      for (int round = 0; round < 8; ++round)
+        mpk.apply(comm, x, outs, scratch);
+      benchmark::DoNotOptimize(v.back().data());
+    });
+  }
+}
+BENCHMARK(BM_MatrixPowers)->Args({2, 3})->Args({4, 3})->Args({4, 6});
 
 void BM_RuntimeAllreduce(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));

@@ -41,6 +41,14 @@ int main(int argc, char** argv) {
               g * 1e6, pc * 1e6, spmv * 1e6);
   sim::print_cost_table(std::cout, s, g, pc, spmv);
 
+  // The matrix-powers trade at the same operating point: one deep halo
+  // exchange per s-SPMV block versus s shallow ones (see DESIGN.md
+  // section 8).  At latency-dominated rank counts the block wins for all
+  // s >= 2; the redundant ghost-row flops eat the gain back as the local
+  // blocks shrink.
+  std::printf("\n");
+  sim::print_spmv_block_table(std::cout, machine, op->stats(), ranks);
+
   // Cross-check: measured per-iteration kernel counts from the real solvers
   // (steady state, difference of a long and a short run).
   std::printf("\nmeasured kernel counts per CG-equivalent iteration "

@@ -3,12 +3,19 @@
 // non-blocking allreduces) reproduces the serial result bit-for-bit in
 // iteration counts and to rounding in the solution.
 //
-//   ./runtime_tour [--n 48] [--method pipe-pscg] [--max-ranks 4]
+//   ./runtime_tour [--n 48] [--problem thermal2|poisson3d|ecology2]
+//                  [--method pipe-pscg] [--max-ranks 4] [--mpk on|off]
 //                  [--profile] [--trace-out trace.json]
 //                  [--report-out report.json]
 //
 // With --profile, every SPMD run is measured with the per-rank kernel
 // profiler (see obs/) and a compute/halo/wait breakdown is printed.
+// --mpk on attaches a depth-s matrix-powers kernel to the SPMD engines so
+// s-step basis builds cost one halo-exchange epoch instead of s (compare
+// the halo_epochs counter across the two modes; see EXPERIMENTS.md).  The
+// fused path only engages for unpreconditioned s-step methods (pipe-scg,
+// scg-sspmv, or pipe-pscg without its PC): a real preconditioner interleaves
+// M^{-1} between the SPMVs, which no matrix-powers kernel can fuse.
 // --trace-out writes a Chrome trace-event file for the largest rank count
 // containing the *measured* per-rank tracks next to the *modeled*
 // machine-model schedule of the same solve -- load it in Perfetto to see
@@ -27,25 +34,45 @@ using namespace pipescg;
 int main(int argc, char** argv) {
   CliParser cli("runtime_tour",
                 "SPMD runtime demo: serial vs distributed execution");
-  cli.add_option("n", "48", "2D grid size (n x n unknowns)");
+  cli.add_option("n", "48", "grid size per dimension");
+  cli.add_option("problem", "thermal2",
+                 "operator: thermal2 (9-pt 2D jumps), poisson3d (125-pt 3D), "
+                 "ecology2 (5-pt 2D near-singular)");
   cli.add_option("method", "pipe-pscg", "solver name");
+  cli.add_option("rtol", "1e-8",
+                 "relative tolerance (use 1e-2 for ecology2, paper Fig. 2)");
   cli.add_option("max-ranks", "4", "largest rank count to demo");
+  cli.add_mpk_option();
   cli.add_observability_options();
   if (!cli.parse(argc, argv)) return 0;
 
   const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
   const std::string method = cli.str("method");
+  const bool use_mpk = cli.mpk_enabled();
   const bool profile = cli.flag("profile") || !cli.str("trace-out").empty() ||
                        !cli.str("report-out").empty();
-  const sparse::CsrMatrix a = sparse::make_thermal2_like(n, n);
+  const std::string problem = cli.str("problem");
+  const sparse::CsrMatrix a = [&] {
+    if (problem == "thermal2") return sparse::make_thermal2_like(n, n);
+    if (problem == "poisson3d") return sparse::make_poisson125_csr(n);
+    if (problem == "ecology2") return sparse::make_ecology2_like(n, n);
+    throw Error("unknown --problem '" + problem +
+                "' (thermal2|poisson3d|ecology2)");
+  }();
   const bool use_pc = krylov::solver_uses_preconditioner(method);
 
   krylov::SolverOptions opts;
-  opts.rtol = 1e-8;
+  opts.rtol = cli.real("rtol");
   // Tight truth anchoring: on ill-conditioned problems the pipelined
   // recurrences are rounding-sensitive, and different reduction orders can
   // otherwise take visibly different trajectories.
   opts.replacement_period = 4;
+
+  if (use_mpk && use_pc)
+    std::printf("note: %s uses a preconditioner; the matrix-powers kernel "
+                "only fuses unpreconditioned power blocks, so --mpk on will "
+                "not change the halo pattern here\n",
+                method.c_str());
 
   // Reference: serial engine, with the event trace recorded so the SPMD
   // profiler's counters can be cross-checked and the machine model can
@@ -91,6 +118,10 @@ int main(int argc, char** argv) {
         profile ? std::make_unique<obs::SolveProfile>(ranks) : nullptr;
     par::Team::run(ranks, [&](par::Comm& comm) {
       const sparse::DistCsr dist(a, part, comm.rank());
+      const std::unique_ptr<sparse::MatrixPowers> mpk =
+          use_mpk ? std::make_unique<sparse::MatrixPowers>(a, part,
+                                                           comm.rank(), opts.s)
+                  : nullptr;
       const std::size_t begin = part.begin(comm.rank());
       const std::size_t len = part.local_size(comm.rank());
       const std::vector<double> full_diag = a.diagonal();
@@ -100,7 +131,8 @@ int main(int argc, char** argv) {
       precond::JacobiPreconditioner local_pc(std::move(local_diag), a.stats());
       krylov::SpmdEngine engine(
           comm, dist, use_pc ? &local_pc : nullptr,
-          solve_profile ? &solve_profile->rank(comm.rank()) : nullptr);
+          solve_profile ? &solve_profile->rank(comm.rank()) : nullptr,
+          mpk.get());
       krylov::Vec ones = engine.new_vec();
       for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
       krylov::Vec b = engine.new_vec();
@@ -130,11 +162,19 @@ int main(int argc, char** argv) {
                          c0.pc_applies == serial_counters.pc_applies &&
                          c0.allreduces == serial_counters.allreduces &&
                          c0.iterations == serial_counters.iterations;
+      // Holds under --mpk on too: the matrix-powers kernel recomputes every
+      // redundant ghost row in its owner's summation order, so the fused
+      // path is bitwise identical to the chained one.
       std::printf(
           "  counters   : spmvs=%zu pc=%zu allreduces=%zu iters=%zu "
           "(serial trace parity: %s)\n",
           c0.spmvs, c0.pc_applies, c0.allreduces, c0.iterations,
           match ? "ok" : "MISMATCH");
+      std::printf(
+          "  halo       : epochs=%zu mpk_blocks=%zu messages=%zu "
+          "volume=%zu doubles (rank 0)\n",
+          c0.halo_epochs, c0.mpk_blocks, c0.halo_messages,
+          c0.halo_volume_doubles);
       std::fputs(solve_profile->summary().c_str(), stdout);
       last_profile = std::move(solve_profile);
       last_stats = dist_stats;
@@ -170,6 +210,8 @@ int main(int argc, char** argv) {
     obs::json::Value report = obs::json::Value::object();
     report.set("program", "runtime_tour");
     report.set("method", method);
+    report.set("problem", problem);
+    report.set("mpk", use_mpk);
     report.set("unknowns", a.rows());
     report.set("ranks", last_ranks);
     report.set("max_abs_diff_vs_serial", last_max_diff);

@@ -35,6 +35,19 @@ void CliParser::add_observability_options() {
   add_option("report-out", "", "write a structured JSON solve report");
 }
 
+void CliParser::add_mpk_option() {
+  add_option("mpk", "off",
+             "matrix-powers kernel for s-step basis builds: 'on' fuses each "
+             "s-SPMV block into one halo exchange, 'off' keeps one exchange "
+             "per SPMV (bit-identical to builds without the kernel)");
+}
+
+bool CliParser::mpk_enabled() const {
+  const std::string v = str("mpk");
+  PIPESCG_CHECK(v == "on" || v == "off", "--mpk expects on|off, got '" + v + "'");
+  return v == "on";
+}
+
 bool CliParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];

@@ -30,6 +30,16 @@ class CliParser {
   ///   --report-out <path> write a structured JSON solve report
   void add_observability_options();
 
+  /// Register the matrix-powers toggle shared by the examples/benches:
+  ///   --mpk on|off   route s-step basis builds through the matrix-powers
+  ///                  kernel (one halo exchange per s-SPMV block) or the
+  ///                  plain per-SPMV halo path (default, bit-identical to
+  ///                  builds without the kernel)
+  void add_mpk_option();
+
+  /// Value of --mpk as a bool; throws on values other than on/off.
+  bool mpk_enabled() const;
+
   /// Parse argv.  Returns false if --help was requested (help printed).
   /// Throws pipescg::Error on malformed/unknown arguments.
   bool parse(int argc, const char* const* argv);

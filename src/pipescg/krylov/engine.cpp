@@ -4,6 +4,13 @@
 
 namespace pipescg::krylov {
 
+void Engine::apply_op_powers(const Vec& x, std::span<Vec> outs) {
+  if (outs.empty()) return;
+  apply_op(x, outs[0]);
+  for (std::size_t j = 1; j < outs.size(); ++j)
+    apply_op(outs[j - 1], outs[j]);
+}
+
 void Engine::copy(const Vec& x, Vec& y) {
   PIPESCG_CHECK(x.size() == y.size(), "copy size mismatch");
   const std::size_t n = x.size();

@@ -63,6 +63,22 @@ class Engine {
   virtual void apply_op(const Vec& x, Vec& y) = 0;
   virtual void apply_pc(const Vec& r, Vec& u) = 0;
 
+  // --- matrix powers ------------------------------------------------------
+  /// Whether apply_op_powers fuses its power block into a single
+  /// communication round (a matrix-powers kernel is attached, see
+  /// sparse::MatrixPowers).  When false the default implementation chains
+  /// apply_op calls, so s-step solvers call apply_op_powers unconditionally
+  /// for unpreconditioned basis extensions; preconditioned extensions
+  /// interleave apply_pc between SPMVs and cannot fuse, so they check this
+  /// flag before restructuring their loops.
+  virtual bool has_matrix_powers() const { return false; }
+  /// outs[k] = A^{k+1} x, k = 0..outs.size()-1.  The default implementation
+  /// is outs.size() chained apply_op calls -- bit-identical to a hand
+  /// written power loop -- so overrides must preserve that contract up to
+  /// their documented rounding (the MPK's redundant ghost rows may sum in a
+  /// different order; see DESIGN.md section 8).
+  virtual void apply_op_powers(const Vec& x, std::span<Vec> outs);
+
   // --- dot products ------------------------------------------------------
   /// Post the batch: computes local partials and starts the allreduce.
   /// `blocking` tags the collective for the cost model (a blocking

@@ -8,6 +8,31 @@
 
 namespace pipescg::krylov {
 namespace sstep {
+namespace {
+
+// Extend the interleaved power chain w_j = A v_{j-1}, v_j = M^{-1} w_j for
+// j = 1..w.size() from `seed` = v_0.  With a real preconditioner the M^{-1}
+// between consecutive SPMVs makes the chain (M^{-1}A)^j seed -- no
+// matrix-powers kernel can fuse that, so the loop stays interleaved.
+// Without one, apply_pc is a plain copy, the chain degenerates to pure
+// powers of A, and an attached MPK collapses the s halo exchanges into one;
+// the apply_pc copies are kept so v_j stays a distinct vector and the
+// pc_applies counter semantics are unchanged (a null-pc apply_pc does not
+// count).  See DESIGN.md section 8.
+void extend_power_chain(Engine& engine, const Vec& seed, std::span<Vec> w,
+                        std::span<Vec> v) {
+  if (engine.has_matrix_powers() && !engine.has_preconditioner()) {
+    engine.apply_op_powers(seed, w);
+    for (std::size_t j = 0; j < w.size(); ++j) engine.apply_pc(w[j], v[j]);
+    return;
+  }
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    engine.apply_op(j == 0 ? seed : v[j - 1], w[j]);
+    engine.apply_pc(w[j], v[j]);
+  }
+}
+
+}  // namespace
 
 SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
                           const SolverOptions& opts, int s,
@@ -44,10 +69,8 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
     engine.waxpy(wb[0], -1.0, ax, b);  // w_0 = r_0 = b - A x_0
   }
   engine.apply_pc(wb[0], v[0]);  // v_0 = u_0 = M^{-1} r_0
-  for (std::size_t j = 1; j <= su; ++j) {
-    engine.apply_op(v[j - 1], wb[j]);  // w_j = A v_{j-1}
-    engine.apply_pc(wb[j], v[j]);      // v_j = M^{-1} w_j
-  }
+  extend_power_chain(engine, v[0], std::span<Vec>(wb.data() + 1, su),
+                     std::span<Vec>(v.data() + 1, su));
 
   const DotLayout layout{s, /*preconditioned=*/true};
   std::vector<DotPair> pairs;
@@ -57,10 +80,8 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
 
   // Overlapped with the first allreduce: extend powers to 2s
   // (paper Alg. 6 line 13).
-  for (std::size_t j = 0; j < su; ++j) {
-    engine.apply_op(j == 0 ? v[su] : ev[j - 1], ew[j]);
-    engine.apply_pc(ew[j], ev[j]);
-  }
+  extend_power_chain(engine, v[su], std::span<Vec>(ew.data(), su),
+                     std::span<Vec>(ev.data(), su));
 
   const int replacement_period = resolve_replacement_period(opts, s);
 
@@ -166,10 +187,9 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
       engine.apply_op(x, scratch);
       engine.waxpy(wb_next[0], -1.0, scratch, b);
       engine.apply_pc(wb_next[0], v_next[0]);
-      for (std::size_t j = 1; j <= su; ++j) {
-        engine.apply_op(v_next[j - 1], wb_next[j]);
-        engine.apply_pc(wb_next[j], v_next[j]);
-      }
+      extend_power_chain(engine, v_next[0],
+                         std::span<Vec>(wb_next.data() + 1, su),
+                         std::span<Vec>(v_next.data() + 1, su));
     } else {
       for (std::size_t j = 0; j <= su; ++j) {
         engine.block_combine(v_next[j], v[j], tu_cur[j], alpha);
@@ -188,10 +208,8 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
 
     // ...and overlap the s PCs + s SPMVs that extend the powers to 2s
     // (paper Alg. 6 line 36 / Alg. 7 line 20).
-    for (std::size_t j = 0; j < su; ++j) {
-      engine.apply_op(j == 0 ? v_next[su] : ev_next[j - 1], ew_next[j]);
-      engine.apply_pc(ew_next[j], ev_next[j]);
-    }
+    extend_power_chain(engine, v_next[su], std::span<Vec>(ew_next.data(), su),
+                       std::span<Vec>(ev_next.data(), su));
 
     std::swap(v, v_next);
     std::swap(wb, wb_next);

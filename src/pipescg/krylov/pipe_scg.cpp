@@ -35,8 +35,7 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
     engine.apply_op(x, ax);
     engine.waxpy(basis[0], -1.0, ax, b);  // r_0 = b - A x_0
   }
-  for (std::size_t j = 1; j <= su; ++j)
-    engine.apply_op(basis[j - 1], basis[j]);
+  engine.apply_op_powers(basis[0], std::span<Vec>(basis.data() + 1, su));
 
   const DotLayout layout{s, /*preconditioned=*/false};
   std::vector<DotPair> pairs;
@@ -45,8 +44,7 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
   DotHandle handle = engine.dot_post(pairs);
 
   // Overlapped: extend powers to A^{2s} r (paper Alg. 5 line 10).
-  for (std::size_t j = 0; j < su; ++j)
-    engine.apply_op(j == 0 ? basis[su] : ext[j - 1], ext[j]);
+  engine.apply_op_powers(basis[su], std::span<Vec>(ext.data(), su));
 
   const int replacement_period = resolve_replacement_period(opts, s);
 
@@ -137,8 +135,8 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
       // the reported residual honest).
       engine.apply_op(x, scratch);
       engine.waxpy(basis_next[0], -1.0, scratch, b);
-      for (std::size_t j = 1; j <= su; ++j)
-        engine.apply_op(basis_next[j - 1], basis_next[j]);
+      engine.apply_op_powers(basis_next[0],
+                             std::span<Vec>(basis_next.data() + 1, su));
     } else {
       for (std::size_t j = 0; j <= su; ++j)
         engine.block_combine(basis_next[j], basis[j], t_cur[j], sw.alpha);
@@ -148,9 +146,10 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
     build_dot_pairs(basis_next, t_cur[0], pairs);
     handle = engine.dot_post(pairs);
 
-    // ...overlapped with the s new SPMVs (Alg. 5 line 28).
-    for (std::size_t j = 0; j < su; ++j)
-      engine.apply_op(j == 0 ? basis_next[su] : ext_next[j - 1], ext_next[j]);
+    // ...overlapped with the s new SPMVs (Alg. 5 line 28), one halo
+    // exchange for the whole extension when the engine has an MPK.
+    engine.apply_op_powers(basis_next[su],
+                           std::span<Vec>(ext_next.data(), su));
 
     std::swap(basis, basis_next);
     std::swap(ext, ext_next);

@@ -28,8 +28,7 @@ SolveStats ScgSspmvSolver::solve(Engine& engine, const Vec& b, Vec& x,
     engine.apply_op(x, ax);
     engine.waxpy(basis[0], -1.0, ax, b);
   }
-  for (std::size_t j = 1; j <= su; ++j)
-    engine.apply_op(basis[j - 1], basis[j]);
+  engine.apply_op_powers(basis[0], std::span<Vec>(basis.data() + 1, su));
 
   const DotLayout layout{s, /*preconditioned=*/false};
   std::vector<DotPair> pairs;
@@ -65,9 +64,10 @@ SolveStats ScgSspmvSolver::solve(Engine& engine, const Vec& b, Vec& x,
     engine.block_axpy(x, p_cur, sw.alpha);
     engine.block_combine(basis_next[0], basis[0], ap_cur, sw.alpha);
 
-    // Rebuild the powers from the recurred residual: s SPMVs (lines 14-15).
-    for (std::size_t j = 1; j <= su; ++j)
-      engine.apply_op(basis_next[j - 1], basis_next[j]);
+    // Rebuild the powers from the recurred residual: s SPMVs (lines 14-15),
+    // fused into one halo exchange when a matrix-powers kernel is attached.
+    engine.apply_op_powers(basis_next[0],
+                           std::span<Vec>(basis_next.data() + 1, su));
 
     build_dot_pairs(basis_next, ap_cur, pairs);
     engine.dots(pairs, values);

@@ -6,15 +6,21 @@ namespace pipescg::krylov {
 
 SpmdEngine::SpmdEngine(par::Comm& comm, const sparse::DistCsr& dist,
                        const precond::Preconditioner* local_pc,
-                       obs::Profiler* profiler)
+                       obs::Profiler* profiler,
+                       const sparse::MatrixPowers* mpk)
     : comm_(comm),
       dist_(dist),
       pc_(local_pc),
       profiler_(profiler),
-      profiler_install_(profiler) {
+      profiler_install_(profiler),
+      mpk_(mpk) {
   if (pc_ != nullptr) {
     PIPESCG_CHECK(pc_->rows() == dist_.local_rows(),
                   "local preconditioner must act on the local slice");
+  }
+  if (mpk_ != nullptr) {
+    PIPESCG_CHECK(mpk_->local_rows() == dist_.local_rows(),
+                  "matrix-powers kernel must cover the same row block");
   }
 }
 
@@ -23,6 +29,25 @@ void SpmdEngine::apply_op(const Vec& x, Vec& y) {
   // the thread-local profiler; only the kernel counter lives here.
   if (profiler_ != nullptr) ++profiler_->counters().spmvs;
   dist_.apply(comm_, x.span(), y.span(), ghost_scratch_);
+}
+
+void SpmdEngine::apply_op_powers(const Vec& x, std::span<Vec> outs) {
+  // Fuse only blocks the kernel can serve and that actually save epochs
+  // (>= 2 SPMVs); everything else falls back to the chained-apply default,
+  // keeping --mpk off and single SPMVs bit-identical to the plain path.
+  if (mpk_ == nullptr || outs.size() < 2 ||
+      outs.size() > static_cast<std::size_t>(mpk_->depth())) {
+    Engine::apply_op_powers(x, outs);
+    return;
+  }
+  // Same SPMV accounting as outs.size() apply_op calls, so the serial /
+  // SPMD counter cross-checks stay exact; the saved halo epochs show up in
+  // halo_epochs and mpk_blocks instead.
+  if (profiler_ != nullptr)
+    profiler_->counters().spmvs += outs.size();
+  mpk_outs_.clear();
+  for (Vec& out : outs) mpk_outs_.push_back(out.span());
+  mpk_->apply(comm_, x.span(), mpk_outs_, mpk_scratch_);
 }
 
 void SpmdEngine::apply_pc(const Vec& r, Vec& u) {

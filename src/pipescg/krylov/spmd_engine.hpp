@@ -13,6 +13,7 @@
 #include "pipescg/par/comm.hpp"
 #include "pipescg/precond/preconditioner.hpp"
 #include "pipescg/sparse/dist_csr.hpp"
+#include "pipescg/sparse/matrix_powers.hpp"
 
 namespace pipescg::krylov {
 
@@ -27,16 +28,25 @@ class SpmdEngine final : public Engine {
   /// obs::Profiler::current() for its own lifetime, so the runtime layers
   /// underneath (par::Comm halo/allreduce, DistCsr local SPMV) report into
   /// the same profiler.  Construct the engine on the rank's own thread.
+  ///
+  /// `mpk`, when given, is this rank's matrix-powers kernel for the same
+  /// operator/partition; apply_op_powers then fuses power blocks of
+  /// 2..mpk->depth() SPMVs into one halo exchange.  nullptr (the default)
+  /// keeps every solver on the plain apply_op path, bit-identical to a
+  /// build without the kernel.
   SpmdEngine(par::Comm& comm, const sparse::DistCsr& dist,
              const precond::Preconditioner* local_pc = nullptr,
-             obs::Profiler* profiler = nullptr);
+             obs::Profiler* profiler = nullptr,
+             const sparse::MatrixPowers* mpk = nullptr);
 
   std::size_t local_size() const override { return dist_.local_rows(); }
   std::size_t global_size() const override { return dist_.global_rows(); }
   bool has_preconditioner() const override { return pc_ != nullptr; }
+  bool has_matrix_powers() const override { return mpk_ != nullptr; }
 
   void apply_op(const Vec& x, Vec& y) override;
   void apply_pc(const Vec& r, Vec& u) override;
+  void apply_op_powers(const Vec& x, std::span<Vec> outs) override;
 
   DotHandle dot_post(std::span<const DotPair> pairs,
                      bool blocking = false) override;
@@ -59,7 +69,10 @@ class SpmdEngine final : public Engine {
   const precond::Preconditioner* pc_;
   obs::Profiler* profiler_;
   obs::Profiler::Install profiler_install_;
+  const sparse::MatrixPowers* mpk_;
   mutable std::vector<double> ghost_scratch_;
+  sparse::MatrixPowers::Scratch mpk_scratch_;
+  std::vector<std::span<double>> mpk_outs_;
   std::uint64_t next_dot_id_ = 0;
   static constexpr std::size_t kMaxPending = 8;
   struct Pending {

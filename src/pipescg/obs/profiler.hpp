@@ -76,11 +76,24 @@ class Profiler {
 
   /// Engine-level kernel counters, mirroring sim::EventTrace::Counters so a
   /// measured SPMD run can be cross-checked against a recorded serial trace.
+  ///
+  /// The halo_* counters account for batched halo-exchange epochs
+  /// (par::Comm::exchange): one epoch per distributed SPMV, or one per
+  /// s-step *block* when the matrix-powers kernel is active -- comparing
+  /// halo_epochs against spmvs is how communication avoidance is verified
+  /// (see EXPERIMENTS.md, "Measuring communication avoidance").  They are
+  /// per-rank quantities: boundary ranks pull fewer messages/doubles than
+  /// interior ranks, so they are deliberately excluded from the
+  /// SolveProfile::counters_uniform() cross-rank check.
   struct Counters {
     std::size_t spmvs = 0;
     std::size_t pc_applies = 0;
     std::size_t allreduces = 0;
     std::size_t iterations = 0;  // CG-equivalent iterations
+    std::size_t mpk_blocks = 0;  // matrix-powers s-blocks executed
+    std::size_t halo_epochs = 0;          // batched exchange epochs
+    std::size_t halo_messages = 0;        // ghost runs pulled (per rank)
+    std::size_t halo_volume_doubles = 0;  // ghost doubles pulled (per rank)
   };
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }

@@ -34,6 +34,10 @@ json::Value counters_to_json(const Profiler::Counters& counters) {
   v.set("pc_applies", counters.pc_applies);
   v.set("allreduces", counters.allreduces);
   v.set("iterations", counters.iterations);
+  v.set("mpk_blocks", counters.mpk_blocks);
+  v.set("halo_epochs", counters.halo_epochs);
+  v.set("halo_messages", counters.halo_messages);
+  v.set("halo_volume_doubles", counters.halo_volume_doubles);
   return v;
 }
 

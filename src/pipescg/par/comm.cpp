@@ -238,4 +238,25 @@ void Comm::close_epoch() {
   team_->barrier_impl();  // all reads done before windows may change
 }
 
+void Comm::exchange(std::span<const GhostPull> pulls,
+                    std::span<const double> window,
+                    std::span<double> ghosts) {
+  expose(window);
+  std::size_t volume = 0;
+  for (const GhostPull& pull : pulls) {
+    PIPESCG_CHECK(pull.local_offset + pull.length <= ghosts.size(),
+                  "ghost pull outside the ghost buffer");
+    peer_read(pull.peer, pull.remote_offset,
+              ghosts.subspan(pull.local_offset, pull.length));
+    volume += pull.length;
+  }
+  close_epoch();
+  if (obs::Profiler* prof = obs::Profiler::current()) {
+    obs::Profiler::Counters& c = prof->counters();
+    ++c.halo_epochs;
+    c.halo_messages += pulls.size();
+    c.halo_volume_doubles += volume;
+  }
+}
+
 }  // namespace pipescg::par

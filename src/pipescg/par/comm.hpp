@@ -44,6 +44,20 @@ struct AllreduceRequest {
   bool active = false;
 };
 
+/// One pre-registered ghost pull of a batched halo exchange (see
+/// Comm::exchange): `length` doubles starting at `remote_offset` within
+/// `peer`'s exposed window land at `local_offset` within the puller's ghost
+/// buffer.  Run lists are built once at operator-construction time and
+/// replayed every exchange -- the in-process analogue of a persistent
+/// MPI neighborhood collective (MPI_Neighbor_alltoallv with a cached
+/// datatype, or a pre-registered RMA access pattern).
+struct GhostPull {
+  int peer = 0;                  ///< rank whose window is read
+  std::size_t remote_offset = 0; ///< offset within the peer's local slice
+  std::size_t local_offset = 0;  ///< offset within the ghost buffer
+  std::size_t length = 0;        ///< doubles transferred
+};
+
 /// Contiguous [begin, end) row range owned by a rank.
 struct RankRange {
   std::size_t begin = 0;
@@ -84,10 +98,33 @@ class Comm {
   /// RMA-style exposure epoch: every rank publishes a read-only window, then
   /// after the collective call any rank may peer_read() from any window
   /// until close_epoch().  Models MPI_Win_fence + MPI_Get.
+  ///
+  /// Epoch semantics: expose() is collective and opens the epoch (a barrier
+  /// guarantees every window is published); peer_read() may then be called
+  /// any number of times against any rank; close_epoch() is collective and
+  /// guarantees all reads completed before any window may change.  Ranks
+  /// must not mutate their exposed buffer between expose() and
+  /// close_epoch().
   void expose(std::span<const double> window);
-  /// Read `count` entries starting at `offset` within `peer`'s window.
+  /// Read `out.size()` entries starting at `offset` within `peer`'s window.
+  /// Only valid inside an expose()/close_epoch() epoch.
   void peer_read(int peer, std::size_t offset, std::span<double> out) const;
+  /// Close the current exposure epoch (collective).
   void close_epoch();
+
+  /// Batched halo exchange: ONE epoch that exposes `window` and executes a
+  /// pre-registered pull list into `ghosts` -- expose, every pull, close.
+  /// This is the primitive the distributed operators (sparse::DistCsr,
+  /// sparse::DistStencil3D, sparse::MatrixPowers) use for their halo
+  /// exchanges; the per-epoch cost is paid once regardless of how many runs
+  /// or how deep a ghost region is pulled, which is exactly what the
+  /// matrix-powers kernel exploits (one deep exchange per s-step block
+  /// instead of s shallow ones).  Collective: every rank of the team must
+  /// call it, each with its own run list (possibly empty).  Records
+  /// halo_epochs / halo_messages / halo_volume_doubles into the calling
+  /// thread's obs profiler.
+  void exchange(std::span<const GhostPull> pulls,
+                std::span<const double> window, std::span<double> ghosts);
 
   /// Convenience: this rank's block range of n items.
   RankRange my_range(std::size_t n) const {

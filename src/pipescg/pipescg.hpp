@@ -47,7 +47,9 @@
 #include "pipescg/sparse/coo_builder.hpp"
 #include "pipescg/sparse/csr_matrix.hpp"
 #include "pipescg/sparse/dist_csr.hpp"
+#include "pipescg/sparse/dist_stencil.hpp"
 #include "pipescg/sparse/matrix_market.hpp"
+#include "pipescg/sparse/matrix_powers.hpp"
 #include "pipescg/sparse/partition.hpp"
 #include "pipescg/sparse/poisson125.hpp"
 #include "pipescg/sparse/spgemm.hpp"

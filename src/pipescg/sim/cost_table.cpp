@@ -108,4 +108,19 @@ void print_cost_table(std::ostream& os, int s, double g, double pc,
   }
 }
 
+void print_spmv_block_table(std::ostream& os, const MachineModel& machine,
+                            const sparse::OperatorStats& stats, int ranks) {
+  os << "Matrix-powers kernel vs chained SPMVs (modelled, " << ranks
+     << " ranks, " << stats.rows << " rows)\n";
+  os << "  s   s x SPMV[s]   MPK block[s]  speedup\n";
+  for (int s = 1; s <= 6; ++s) {
+    const double singles = s * machine.spmv_seconds(stats, ranks);
+    const double block = machine.spmv_block_seconds(stats, ranks, s);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  %d   %-12.4g  %-12.4g  %.2fx\n", s,
+                  singles, block, singles / block);
+    os << buf;
+  }
+}
+
 }  // namespace pipescg::sim

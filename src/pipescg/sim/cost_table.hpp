@@ -11,6 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "pipescg/sim/machine_model.hpp"
+#include "pipescg/sparse/operator.hpp"
+
 namespace pipescg::sim {
 
 struct CostRow {
@@ -37,5 +40,13 @@ const CostRow& cost_row(const std::string& method);
 /// Render the table for a concrete operating point.
 void print_cost_table(std::ostream& os, int s, double g, double pc,
                       double spmv);
+
+/// Render the matrix-powers trade: for s = 1..6, the modelled time of s
+/// chained SPMVs (s halo epochs) versus one depth-s block (one epoch plus
+/// redundant ghost-row compute; MachineModel::spmv_block_seconds) at the
+/// given rank count, with the speedup.  The block wins for s >= 2 whenever
+/// message latency dominates the redundant flops.
+void print_spmv_block_table(std::ostream& os, const MachineModel& machine,
+                            const sparse::OperatorStats& stats, int ranks);
 
 }  // namespace pipescg::sim

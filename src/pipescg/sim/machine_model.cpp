@@ -16,18 +16,42 @@ double MachineModel::compute_seconds(double total_flops, double total_bytes,
   return std::max(flops / flop_rate, bytes / bw);
 }
 
-double MachineModel::spmv_seconds(const sparse::OperatorStats& stats,
-                                  int ranks) const {
+double MachineModel::spmv_compute_seconds(const sparse::OperatorStats& stats,
+                                          int ranks) const {
   const double nnz = static_cast<double>(stats.nnz);
   const double n = static_cast<double>(stats.rows);
   // CSR traffic: 12 bytes per nonzero (value + index) + vector streams.
-  const double flops = 2.0 * nnz;
-  const double bytes = 12.0 * nnz + 8.0 * 2.0 * n;
-  double t = compute_seconds(flops, bytes, ranks);
+  return compute_seconds(2.0 * nnz, 12.0 * nnz + 8.0 * 2.0 * n, ranks);
+}
+
+double MachineModel::spmv_seconds(const sparse::OperatorStats& stats,
+                                  int ranks) const {
+  double t = spmv_compute_seconds(stats, ranks);
   if (ranks > 1) {
     const double halo_doubles = stats.halo_doubles_per_rank(ranks);
     const double msgs = stats.halo_messages_per_rank(ranks);
     t += msgs * neigh_latency + 8.0 * halo_doubles / link_bw;
+  }
+  return t;
+}
+
+double MachineModel::spmv_block_seconds(const sparse::OperatorStats& stats,
+                                        int ranks, int s) const {
+  double t = s * spmv_compute_seconds(stats, ranks);
+  if (ranks > 1) {
+    const double halo_doubles = stats.halo_doubles_per_rank(ranks);
+    const double msgs = stats.halo_messages_per_rank(ranks);
+    // Redundant ghost-row recompute: layer l is ~halo_doubles rows redone
+    // (s - l) times, at the operator's average per-row cost.
+    const double redundant_rows =
+        0.5 * s * (s - 1.0) * halo_doubles;
+    const double nnz_per_row = static_cast<double>(stats.nnz) /
+                               static_cast<double>(stats.rows);
+    t += compute_seconds(redundant_rows * 2.0 * nnz_per_row * ranks,
+                         redundant_rows * (12.0 * nnz_per_row + 16.0) * ranks,
+                         ranks);
+    // One epoch for the whole block: latency once, deep volume streamed.
+    t += msgs * neigh_latency + 8.0 * (s * halo_doubles) / link_bw;
   }
   return t;
 }

@@ -66,8 +66,25 @@ struct MachineModel {
   double compute_seconds(double total_flops, double total_bytes,
                          int ranks) const;
 
-  /// One SPMV of an operator with the given stats at `ranks` ranks.
+  /// Local compute portion of one SPMV (roofline, no halo terms).
+  double spmv_compute_seconds(const sparse::OperatorStats& stats,
+                              int ranks) const;
+
+  /// One SPMV of an operator with the given stats at `ranks` ranks:
+  /// compute + one halo exchange (messages * latency + volume / bandwidth).
   double spmv_seconds(const sparse::OperatorStats& stats, int ranks) const;
+
+  /// An s-SPMV matrix-powers block (sparse::MatrixPowers) at `ranks` ranks:
+  ///   s * compute + redundant_flop(s) + 1 * (alpha + beta * deep_halo)
+  /// versus s * (compute + alpha + beta * halo) for s chained spmv_seconds.
+  /// The depth-s ghost region is modelled as s stacked depth-1 halos (exact
+  /// for slab-partitioned stencils, a good estimate for banded CSR), so the
+  /// deep volume is s * halo_doubles and the redundant ghost rows number
+  /// sum_{l=1..s-1} (s-l) * halo_doubles = s(s-1)/2 * halo_doubles, each
+  /// recomputed at the operator's average row cost.  Message latency is
+  /// paid ONCE -- the whole point of the kernel.
+  double spmv_block_seconds(const sparse::OperatorStats& stats, int ranks,
+                            int s) const;
 
   /// Blocking allreduce of `doubles` values across `ranks` ranks.
   double allreduce_seconds(int ranks, std::size_t doubles) const;

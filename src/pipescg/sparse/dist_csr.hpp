@@ -3,8 +3,8 @@
 // Each rank owns a contiguous block of rows.  Off-block column references are
 // satisfied through a halo exchange: at apply() time every rank exposes its
 // local slice of x (RMA-style window, see par::Comm) and pulls the ghost
-// entries it needs as precomputed contiguous runs, exactly the structure an
-// MPI implementation would pack into neighbor messages.
+// entries it needs as precomputed contiguous runs (par::GhostPull), exactly
+// the structure an MPI implementation would pack into neighbor messages.
 //
 // Column indices are remapped at construction: [0, nlocal) are owned entries
 // of x, [nlocal, nlocal + nghost) index the rank's ghost buffer.
@@ -20,38 +20,41 @@
 
 namespace pipescg::sparse {
 
+/// One rank's row block of a square CSR matrix plus the precomputed halo
+/// structure needed to apply it.  Construction is local (every rank builds
+/// its own instance from the replicated global structure); apply() is
+/// collective over the team.
 class DistCsr {
  public:
-  /// Build this rank's slice of `global`.  Collective over `comm` (but only
-  /// because every rank calls it; no communication happens here).
+  /// Build this rank's slice of `global`.  Collective over the team only in
+  /// the sense that every rank calls it; no communication happens here.
   DistCsr(const CsrMatrix& global, const Partition& partition, int rank);
 
+  /// Rows this rank owns.
   std::size_t local_rows() const { return local_.rows(); }
+  /// Rows of the global operator.
   std::size_t global_rows() const { return partition_.global_size(); }
+  /// Distinct off-rank columns referenced by this rank's rows.
   std::size_t ghost_count() const { return ghost_globals_.size(); }
   const Partition& partition() const { return partition_; }
 
-  /// y_local = A_local [x_local; ghosts(x)].  Collective: performs the halo
-  /// exchange on `comm`.  x_local/y_local sized to this rank's rows.
+  /// y_local = A_local [x_local; ghosts(x)].  Collective: performs one
+  /// batched halo-exchange epoch on `comm` (par::Comm::exchange).
+  /// x_local/y_local sized to this rank's rows.
   void apply(par::Comm& comm, std::span<const double> x_local,
              std::span<double> y_local, std::vector<double>& ghost_scratch) const;
 
   /// Total doubles this rank pulls per apply (halo volume, for diagnostics).
   std::size_t halo_volume() const { return ghost_globals_.size(); }
+  /// Coalesced ghost runs (messages) this rank pulls per apply.
+  std::size_t halo_messages() const { return pulls_.size(); }
 
  private:
-  struct GhostRun {
-    int owner;                 // rank that owns the run
-    std::size_t remote_offset; // offset within owner's local slice
-    std::size_t local_offset;  // offset within the ghost buffer
-    std::size_t length;
-  };
-
   Partition partition_;
   int rank_;
   CsrMatrix local_;  // ncols = local_rows + ghost_count, remapped indices
   std::vector<std::size_t> ghost_globals_;  // sorted global ids of ghosts
-  std::vector<GhostRun> runs_;
+  std::vector<par::GhostPull> pulls_;  // persistent run list for exchange()
 };
 
 }  // namespace pipescg::sparse

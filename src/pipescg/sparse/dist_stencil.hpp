@@ -6,10 +6,16 @@
 // structured-grid halo pattern.  Matrix-free: no CSR storage, so the
 // 100^3-scale problems fit easily.
 //
-// Use with the SpmdEngine through the DistStencilApplier adapter in tests/
-// examples: vectors are the rank's owned planes, flattened.
+// Besides the single-SPMV apply(), the operator supports a matrix-powers
+// block apply_powers() (see DESIGN.md section 8): one deep exchange of
+// depth * reach ghost planes per side, then `depth` stencil sweeps over a
+// shrinking plane range with no further communication.  On a structured
+// grid the ghost-layer closure is exactly "more planes", so unlike the
+// general-CSR sparse::MatrixPowers no ghost-row structure is needed and the
+// redundant compute is the closed-form sum of the onion plane counts.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "pipescg/par/comm.hpp"
@@ -17,23 +23,48 @@
 
 namespace pipescg::sparse {
 
+/// One rank's z-slab of a 3D stencil operator plus precomputed halo pull
+/// lists for both single applies and depth-s matrix-powers blocks.
 class DistStencil3D {
  public:
   /// Grid nx x ny x nz partitioned into `ranks` z-slabs; this instance is
   /// rank `rank`'s part.  Every rank must own at least `reach` planes
-  /// (i.e. nz >= ranks * reach) so neighbor exchanges stay nearest-neighbor.
+  /// (i.e. nz >= ranks * reach) so single-apply exchanges stay
+  /// nearest-neighbor.  `powers_depth` is the largest matrix-powers block
+  /// apply_powers() can serve (1 = powers disabled beyond plain apply); the
+  /// deep ghost region of depth * reach planes per side may span multiple
+  /// peer slabs -- the pull list handles that.
   DistStencil3D(Stencil3D stencil, std::size_t nx, std::size_t ny,
-                std::size_t nz, int rank, int ranks);
+                std::size_t nz, int rank, int ranks, int powers_depth = 1);
 
+  /// Rows this rank owns (owned planes, flattened).
   std::size_t local_rows() const { return nx_ * ny_ * local_planes(); }
+  /// Rows of the global operator.
   std::size_t global_rows() const { return nx_ * ny_ * nz_; }
+  /// Owned z-planes.
   std::size_t local_planes() const { return z_end_ - z_begin_; }
+  /// First owned global z-plane.
   std::size_t z_begin() const { return z_begin_; }
+  /// Largest block apply_powers() accepts.
+  int powers_depth() const { return powers_depth_; }
+  /// Doubles pulled by one deep exchange (both sides, clipped at the
+  /// domain boundary).
+  std::size_t deep_ghost_count() const;
 
   /// y_local = A x_local with ghost-plane exchange over `comm`.
-  /// Collective: all ranks of the slab partition must call it.
+  /// Collective: all ranks of the slab partition must call it.  Performs
+  /// exactly one batched halo-exchange epoch (par::Comm::exchange).
   void apply(par::Comm& comm, std::span<const double> x_local,
              std::span<double> y_local);
+
+  /// outs[k] = A^{k+1} x_local on the owned planes, k = 0..outs.size()-1,
+  /// with 1 <= outs.size() <= powers_depth().  Collective; performs exactly
+  /// one halo-exchange epoch pulling the full depth * reach ghost planes,
+  /// then outs.size() local sweeps over a shrinking plane range.  Results
+  /// are bitwise identical to outs.size() chained apply() calls: both paths
+  /// run the same sweep kernel on the same values in the same order.
+  void apply_powers(par::Comm& comm, std::span<const double> x_local,
+                    std::span<const std::span<double>> outs);
 
   OperatorStats stats() const;
 
@@ -42,12 +73,30 @@ class DistStencil3D {
     return stencil_.at(di, dj, dk);
   }
 
+  // Apply the stencil to global planes [gz_lo, gz_hi), reading plane gz of
+  // the source at src + (gz - src_base_z) * nx * ny and writing plane gz of
+  // the destination at dst + (gz - dst_base_z) * nx * ny.  x/y/z offsets
+  // falling outside the global grid contribute nothing (Dirichlet
+  // truncation), which also keeps never-pulled out-of-domain ghost planes
+  // unread.
+  void stencil_sweep(std::size_t gz_lo, std::size_t gz_hi,
+                     std::ptrdiff_t src_base_z, const double* src,
+                     std::ptrdiff_t dst_base_z, double* dst) const;
+
   Stencil3D stencil_;
   std::size_t nx_, ny_, nz_;
   int rank_, ranks_;
   std::size_t z_begin_, z_end_;
-  // Owned planes plus `reach` ghost planes on each side.
+  int powers_depth_;
+  // Owned planes plus `reach` ghost planes on each side (apply scratch).
   std::vector<double> ghosted_;
+  // Owned planes plus powers_depth * reach ghost planes on each side
+  // (apply_powers ping-pong scratch).
+  std::vector<double> deep_cur_, deep_next_;
+  // Persistent pull lists: depth-1 halo into ghosted_, depth-s halo into
+  // the deep buffers.
+  std::vector<par::GhostPull> pulls_;
+  std::vector<par::GhostPull> deep_pulls_;
 };
 
 }  // namespace pipescg::sparse

@@ -1,0 +1,111 @@
+// Communication-avoiding matrix-powers kernel (MPK) for distributed CSR.
+//
+// The s-step solvers extend a monomial basis per outer iteration: s
+// consecutive SPMVs y_k = A y_{k-1}.  Routed through DistCsr::apply that is
+// s halo-exchange epochs -- s rounds of message latency per s-step block.
+// This kernel performs the classic CA-Krylov trade (Demmel/Hoemmen "PA1";
+// see DESIGN.md section 8): precompute the transitive depth-s closure of the
+// ghost columns, pull that *deep* ghost region in ONE batched epoch
+// (par::Comm::exchange), then run the s sweeps entirely locally, redundantly
+// recomputing a shrinking onion of ghost rows so every sweep's inputs are
+// available without further communication.
+//
+// Cost trade per s-block, relative to s DistCsr::apply calls:
+//   communication:  1 x (epoch + runs(deep))    vs  s x (epoch + runs(1))
+//   ghost volume:   sum of layers 1..s          vs  s x layer 1
+//   extra compute:  sum_{l=1..s-1} (s-l) * nnz(ghost rows at layer l)
+// which wins whenever message latency (the epoch) dominates the redundant
+// flops -- the latency-dominated strong-scaling regime the paper targets.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pipescg/par/comm.hpp"
+#include "pipescg/sparse/csr_matrix.hpp"
+#include "pipescg/sparse/partition.hpp"
+
+namespace pipescg::sparse {
+
+/// Depth-s matrix-powers kernel over a row-block partition of a square CSR
+/// matrix.  Construction is local (every rank builds its own instance from
+/// the replicated global structure, exactly like DistCsr); apply() is
+/// collective over the team.
+class MatrixPowers {
+ public:
+  /// Build rank `rank`'s kernel of depth `depth` (the largest s-block it can
+  /// serve).  Precomputes the ghost-layer closure: BFS layers 1..depth of
+  /// the column-adjacency graph seeded at this rank's rows, the remapped
+  /// local CSR, the redundant ghost-row CSR (layers 1..depth-1, grouped by
+  /// layer), and the coalesced pull list for the one deep exchange.
+  MatrixPowers(const CsrMatrix& global, const Partition& partition, int rank,
+               int depth);
+
+  /// Largest power block apply() can produce.
+  int depth() const { return depth_; }
+  /// Rows this rank owns.
+  std::size_t local_rows() const { return nlocal_; }
+  /// Doubles pulled by the one deep exchange (ghost layers 1..depth).
+  std::size_t deep_ghost_count() const { return ghost_globals_.size(); }
+  /// Coalesced ghost runs (messages) in the one exchange.
+  std::size_t halo_messages() const { return pulls_.size(); }
+  /// Redundantly stored ghost rows (layers 1..depth-1).
+  std::size_t ghost_row_count() const { return ghost_row_target_.size(); }
+  /// Total redundant nonzeros processed by one full-depth apply():
+  /// layer-l rows are recomputed (depth - l) times.
+  std::size_t redundant_nnz() const { return redundant_nnz_; }
+
+  /// Reusable buffers for apply(); owned by the caller so apply() stays
+  /// const and re-entrant per rank (mirrors DistCsr's ghost_scratch).
+  struct Scratch {
+    std::vector<double> cur;
+    std::vector<double> next;
+  };
+
+  /// outs[k] = A^{k+1} x_local on this rank's rows, k = 0..outs.size()-1,
+  /// with 1 <= outs.size() <= depth().  Collective: performs exactly one
+  /// halo-exchange epoch on `comm` regardless of outs.size().  The exchange
+  /// always pulls the full depth() closure (the pull list is persistent),
+  /// so blocks shorter than depth() pay some unused volume; redundant
+  /// ghost-row sweeps are trimmed to outs.size().  Results are bitwise
+  /// identical to outs.size() chained DistCsr::apply calls: every redundant
+  /// ghost row is stored in its owner's summation order, so the
+  /// recomputation performs the exact same floating-point additions the
+  /// owner performs on the chained path.
+  void apply(par::Comm& comm, std::span<const double> x_local,
+             std::span<const std::span<double>> outs, Scratch& scratch) const;
+
+ private:
+  Partition partition_;
+  int rank_;
+  int depth_;
+  std::size_t nlocal_ = 0;
+
+  // Ghost layers 1..depth, sorted by global id; level_[g] is the BFS layer
+  // of ghost_globals_[g].
+  std::vector<std::size_t> ghost_globals_;
+  std::vector<int> level_;
+
+  // Owned rows with columns remapped to [0, nlocal + deep_ghosts): owned
+  // column c -> c - row_begin, ghost column -> nlocal + ghost index.
+  CsrMatrix local_;
+  // Redundant ghost rows (layers 1..depth-1) in (layer, global id) order,
+  // same column remap but each row's entries ordered as its OWNER sums them
+  // (bitwise-reproducible recomputation) -- raw CSR arrays rather than a
+  // CsrMatrix, whose invariant requires sorted columns.  ghost_row_target_[i]
+  // is where row i's result lands in the extended vector;
+  // rows_through_layer_[l] is the number of ghost rows with layer <= l
+  // (l = 0..depth-1), so the sweep for power k of an outs.size()==c block
+  // processes rows [0, rows_through_layer_[c - k]).
+  std::vector<CsrMatrix::Index> ghost_row_ptr_;
+  std::vector<CsrMatrix::Index> ghost_cols_;
+  std::vector<double> ghost_vals_;
+  std::vector<std::size_t> ghost_row_target_;
+  std::vector<std::size_t> rows_through_layer_;
+  std::size_t redundant_nnz_ = 0;
+
+  std::vector<par::GhostPull> pulls_;
+};
+
+}  // namespace pipescg::sparse

@@ -13,14 +13,20 @@ class Partition {
  public:
   Partition() = default;
 
-  /// Balanced contiguous row blocks for `ranks` ranks over n rows.
+  /// Balanced contiguous row blocks for `ranks` ranks over n rows: the
+  /// first n % ranks blocks get one extra row.
   Partition(std::size_t n, int ranks);
 
+  /// Total rows partitioned.
   std::size_t global_size() const { return n_; }
+  /// Number of row blocks.
   int ranks() const { return static_cast<int>(offsets_.size()) - 1; }
 
+  /// First global row owned by `rank`.
   std::size_t begin(int rank) const { return offsets_[rank]; }
+  /// One past the last global row owned by `rank`.
   std::size_t end(int rank) const { return offsets_[rank + 1]; }
+  /// Rows owned by `rank`.
   std::size_t local_size(int rank) const { return end(rank) - begin(rank); }
 
   /// Owner of global row `i` (binary search over offsets).

@@ -15,11 +15,15 @@ namespace pipescg::sparse {
 
 class StencilOperator3D final : public LinearOperator {
  public:
+  /// Grid nx x ny x nz, row-major with x fastest; taps reaching outside the
+  /// grid contribute nothing (Dirichlet truncation), matching assembly.
   StencilOperator3D(Stencil3D stencil, std::size_t nx, std::size_t ny,
                     std::size_t nz, std::string name);
 
   std::size_t rows() const override { return nx_ * ny_ * nz_; }
 
+  /// y = A x, matrix-free: precomputed taps on the interior, per-point
+  /// bounds-checked fallback on the boundary shell.
   void apply(std::span<const double> x, std::span<double> y) const override;
 
   OperatorStats stats() const override;

@@ -376,3 +376,222 @@ TEST(DistStencilTest, RejectsTooThinSlabs) {
 
 }  // namespace
 }  // namespace pipescg::sparse
+
+// -- matrix-powers kernel -------------------------------------------------
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "pipescg/obs/profiler.hpp"
+#include "pipescg/sparse/matrix_powers.hpp"
+#include "pipescg/sparse/surrogates.hpp"
+
+namespace pipescg::sparse {
+namespace {
+
+// Bit-level ULP distance: map the IEEE-754 pattern to a monotonically
+// ordered integer (the radix-sort float trick, sign-crossing safe), then
+// difference.
+std::uint64_t ulp_distance(double a, double b) {
+  auto key = [](double x) {
+    std::uint64_t u;
+    std::memcpy(&u, &x, sizeof(u));
+    return (u & 0x8000000000000000ULL) ? ~u : (u | 0x8000000000000000ULL);
+  };
+  const std::uint64_t ka = key(a), kb = key(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+std::vector<double> random_vector_mpk(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+class MatrixPowersTest : public ::testing::TestWithParam<int> {};
+
+// The s-block must match s chained DistCsr applies to <= 64 ULP (the
+// acceptance bound); in fact the kernel stores every redundant ghost row in
+// its owner's summation order, so the match is bitwise (distance 0) -- the
+// ULP helper keeps the assertion meaningful if that ever regresses.
+TEST_P(MatrixPowersTest, BlockMatchesRepeatedApply) {
+  const int p = GetParam();
+  const CsrMatrix mats[] = {make_thermal2_like(11, 13),
+                            make_poisson125_csr(5)};
+  for (const CsrMatrix& global : mats) {
+    const std::size_t n = global.rows();
+    const std::vector<double> x = random_vector_mpk(n, 2026);
+    const Partition part(n, p);
+    for (int depth = 1; depth <= 6; ++depth) {
+      par::Team::run(p, [&](par::Comm& comm) {
+        const DistCsr dist(global, part, comm.rank());
+        const MatrixPowers mpk(global, part, comm.rank(), depth);
+        const std::size_t begin = part.begin(comm.rank());
+        const std::size_t len = part.local_size(comm.rank());
+        const std::vector<double> xl(
+            x.begin() + static_cast<std::ptrdiff_t>(begin),
+            x.begin() + static_cast<std::ptrdiff_t>(begin + len));
+
+        // Reference: depth chained halo exchanges.
+        std::vector<std::vector<double>> ref(
+            static_cast<std::size_t>(depth), std::vector<double>(len));
+        std::vector<double> ghosts;
+        for (std::size_t k = 0; k < ref.size(); ++k)
+          dist.apply(comm, k == 0 ? xl : ref[k - 1], ref[k], ghosts);
+
+        // One deep exchange + local sweeps.
+        std::vector<std::vector<double>> out(
+            static_cast<std::size_t>(depth), std::vector<double>(len));
+        std::vector<std::span<double>> outs(out.begin(), out.end());
+        MatrixPowers::Scratch scratch;
+        mpk.apply(comm, xl, outs, scratch);
+
+        for (std::size_t k = 0; k < ref.size(); ++k)
+          for (std::size_t i = 0; i < len; ++i)
+            ASSERT_LE(ulp_distance(out[k][i], ref[k][i]), 64u)
+                << global.name() << " p=" << p << " depth=" << depth
+                << " k=" << k << " i=" << begin + i << " mpk=" << out[k][i]
+                << " ref=" << ref[k][i];
+      });
+    }
+  }
+}
+
+// Shorter blocks through a deeper kernel reuse the same closure; results
+// must not depend on the constructed depth.
+TEST_P(MatrixPowersTest, ShortBlocksMatchThroughDeeperKernel) {
+  const int p = GetParam();
+  const CsrMatrix global = make_thermal2_like(9, 8);
+  const std::size_t n = global.rows();
+  const std::vector<double> x = random_vector_mpk(n, 11);
+  const Partition part(n, p);
+  par::Team::run(p, [&](par::Comm& comm) {
+    const MatrixPowers deep(global, part, comm.rank(), 5);
+    const MatrixPowers shallow(global, part, comm.rank(), 2);
+    const std::size_t begin = part.begin(comm.rank());
+    const std::size_t len = part.local_size(comm.rank());
+    const std::vector<double> xl(
+        x.begin() + static_cast<std::ptrdiff_t>(begin),
+        x.begin() + static_cast<std::ptrdiff_t>(begin + len));
+    std::vector<std::vector<double>> a(2, std::vector<double>(len));
+    std::vector<std::vector<double>> b(2, std::vector<double>(len));
+    std::vector<std::span<double>> a_outs(a.begin(), a.end());
+    std::vector<std::span<double>> b_outs(b.begin(), b.end());
+    MatrixPowers::Scratch scratch;
+    deep.apply(comm, xl, a_outs, scratch);
+    shallow.apply(comm, xl, b_outs, scratch);
+    for (std::size_t k = 0; k < 2; ++k)
+      for (std::size_t i = 0; i < len; ++i)
+        ASSERT_EQ(a[k][i], b[k][i]) << "k=" << k << " i=" << i;
+  });
+}
+
+TEST_P(MatrixPowersTest, GhostClosureGrowsWithDepth) {
+  const int p = GetParam();
+  const CsrMatrix global = make_poisson125_csr(5);
+  const Partition part(global.rows(), p);
+  par::Team::run(p, [&](par::Comm& comm) {
+    const DistCsr dist(global, part, comm.rank());
+    std::size_t prev_ghosts = 0;
+    for (int depth = 1; depth <= 4; ++depth) {
+      const MatrixPowers mpk(global, part, comm.rank(), depth);
+      EXPECT_EQ(mpk.local_rows(), dist.local_rows());
+      EXPECT_GE(mpk.deep_ghost_count(), prev_ghosts);
+      prev_ghosts = mpk.deep_ghost_count();
+      if (depth == 1) {
+        // Depth 1 degenerates to the plain halo: same closure, no
+        // redundant rows.
+        EXPECT_EQ(mpk.deep_ghost_count(), dist.ghost_count());
+        EXPECT_EQ(mpk.ghost_row_count(), 0u);
+        EXPECT_EQ(mpk.redundant_nnz(), 0u);
+      } else if (comm.size() > 1) {
+        EXPECT_GT(mpk.ghost_row_count(), 0u);
+        EXPECT_GT(mpk.redundant_nnz(), 0u);
+      }
+    }
+  });
+}
+
+// The headline contract: one halo-exchange epoch per s-SPMV block, versus
+// one per SPMV on the chained path, with every rank agreeing on the epoch
+// and block counts.
+TEST(MatrixPowersTest, OneHaloEpochPerBlock) {
+  const CsrMatrix global = make_thermal2_like(10, 9);
+  const int ranks = 3;
+  const int depth = 4;
+  const Partition part(global.rows(), ranks);
+  obs::SolveProfile profile(ranks);
+  par::Team::run(ranks, [&](par::Comm& comm) {
+    obs::Profiler::Install install(&profile.rank(comm.rank()));
+    const DistCsr dist(global, part, comm.rank());
+    const MatrixPowers mpk(global, part, comm.rank(), depth);
+    const std::size_t len = part.local_size(comm.rank());
+    std::vector<double> xl(len, 1.0);
+    std::vector<std::vector<double>> out(
+        static_cast<std::size_t>(depth), std::vector<double>(len));
+    std::vector<std::span<double>> outs(out.begin(), out.end());
+    MatrixPowers::Scratch scratch;
+    mpk.apply(comm, xl, outs, scratch);          // 1 epoch, 1 block
+    mpk.apply(comm, xl, outs, scratch);          // 1 epoch, 1 block
+    std::vector<double> y(len), ghosts;
+    dist.apply(comm, xl, y, ghosts);             // 1 epoch, 0 blocks
+  });
+  for (int r = 0; r < ranks; ++r) {
+    const obs::Profiler::Counters& c = profile.rank(r).counters();
+    EXPECT_EQ(c.halo_epochs, 3u) << "rank " << r;
+    EXPECT_EQ(c.mpk_blocks, 2u) << "rank " << r;
+    EXPECT_GT(c.halo_volume_doubles, 0u) << "rank " << r;
+  }
+}
+
+class StencilPowersTest : public ::testing::TestWithParam<int> {};
+
+// On the structured grid the powers path runs the same sweep kernel on the
+// same values in the same order as chained applies -- bitwise identical.
+// depth * reach = 6 ghost planes exceed the 3-plane slabs at 4 ranks, so
+// the deep pull list spans multiple peers.
+TEST_P(StencilPowersTest, PowersMatchChainedAppliesBitwise) {
+  const int ranks = GetParam();
+  const std::size_t n = 12;
+  const int depth = 3;
+  std::vector<double> x(n * n * n);
+  Rng rng(5);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  par::Team::run(ranks, [&](par::Comm& comm) {
+    DistStencil3D dist(stencil_poisson125(), n, n, n, comm.rank(),
+                       comm.size(), depth);
+    const std::size_t plane = n * n;
+    const std::size_t begin = dist.z_begin() * plane;
+    const std::vector<double> xl(
+        x.begin() + static_cast<std::ptrdiff_t>(begin),
+        x.begin() + static_cast<std::ptrdiff_t>(begin + dist.local_rows()));
+    for (int count = 1; count <= depth; ++count) {
+      std::vector<std::vector<double>> ref(
+          static_cast<std::size_t>(count),
+          std::vector<double>(dist.local_rows()));
+      for (std::size_t k = 0; k < ref.size(); ++k)
+        dist.apply(comm, k == 0 ? xl : ref[k - 1], ref[k]);
+      std::vector<std::vector<double>> out(
+          static_cast<std::size_t>(count),
+          std::vector<double>(dist.local_rows()));
+      std::vector<std::span<double>> outs(out.begin(), out.end());
+      dist.apply_powers(comm, xl, outs);
+      for (std::size_t k = 0; k < ref.size(); ++k)
+        for (std::size_t i = 0; i < ref[k].size(); ++i)
+          ASSERT_EQ(out[k][i], ref[k][i])
+              << "ranks=" << ranks << " count=" << count << " k=" << k
+              << " i=" << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, StencilPowersTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+INSTANTIATE_TEST_SUITE_P(Ranks, MatrixPowersTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace pipescg::sparse

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <mutex>
 
 #include "pipescg/krylov/registry.hpp"
@@ -13,6 +14,8 @@
 #include "pipescg/par/comm.hpp"
 #include "pipescg/precond/jacobi.hpp"
 #include "pipescg/sparse/dist_csr.hpp"
+#include "pipescg/sparse/matrix_powers.hpp"
+#include "pipescg/sparse/poisson125.hpp"
 #include "pipescg/sparse/stencil.hpp"
 #include "pipescg/sparse/surrogates.hpp"
 
@@ -25,7 +28,8 @@ struct SpmdResult {
 };
 
 SpmdResult solve_spmd(const std::string& method, const sparse::CsrMatrix& a,
-                      int ranks, const SolverOptions& opts) {
+                      int ranks, const SolverOptions& opts,
+                      bool use_mpk = false) {
   const std::size_t n = a.rows();
   const sparse::Partition part(n, ranks);
   SpmdResult result;
@@ -46,7 +50,12 @@ SpmdResult solve_spmd(const std::string& method, const sparse::CsrMatrix& a,
     precond::JacobiPreconditioner local_pc(std::move(local_diag), st);
 
     const bool use_pc = solver_uses_preconditioner(method);
-    SpmdEngine engine(comm, dist, use_pc ? &local_pc : nullptr);
+    const std::unique_ptr<sparse::MatrixPowers> mpk =
+        use_mpk ? std::make_unique<sparse::MatrixPowers>(a, part, comm.rank(),
+                                                         opts.s)
+                : nullptr;
+    SpmdEngine engine(comm, dist, use_pc ? &local_pc : nullptr,
+                      /*profiler=*/nullptr, mpk.get());
 
     // b = A * ones (assembled locally through the distributed operator).
     Vec ones = engine.new_vec();
@@ -131,6 +140,33 @@ INSTANTIATE_TEST_SUITE_P(MethodsByRanks, SpmdEquivalenceTest,
                              if (ch == '-') ch = '_';
                            return n;
                          });
+
+// Attaching a matrix-powers kernel must not change the solve at all: the
+// fused s-block is bitwise identical to the chained SPMVs it replaces
+// (redundant ghost rows recompute in their owner's summation order), so the
+// trajectory -- iterations, convergence, and the solution vector -- is the
+// same bit for bit.  Covers the two unpreconditioned s-step methods that
+// fuse, plus pipe-pscg whose preconditioner keeps the kernel (correctly)
+// disengaged.
+TEST(SpmdSolverTest, MpkSolvesBitwiseIdenticalToChained) {
+  const sparse::CsrMatrix a = sparse::make_poisson125_csr(5);
+  SolverOptions opts;
+  opts.rtol = 1e-8;
+  opts.s = 3;
+  for (const char* method : {"pipe-scg", "scg-sspmv", "pipe-pscg"}) {
+    for (int ranks : {2, 3}) {
+      const SpmdResult off = solve_spmd(method, a, ranks, opts, false);
+      const SpmdResult on = solve_spmd(method, a, ranks, opts, true);
+      ASSERT_TRUE(off.stats.converged) << method << " p=" << ranks;
+      ASSERT_TRUE(on.stats.converged) << method << " p=" << ranks;
+      EXPECT_EQ(on.stats.iterations, off.stats.iterations)
+          << method << " p=" << ranks;
+      for (std::size_t i = 0; i < off.x.size(); ++i)
+        ASSERT_EQ(on.x[i], off.x[i])
+            << method << " p=" << ranks << " i=" << i;
+    }
+  }
+}
 
 TEST(SpmdSolverTest, SpmdRunIsDeterministicAcrossRepeats) {
   const sparse::CsrMatrix a = sparse::make_thermal2_like(10, 10);

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repo's markdown files resolve.
+
+Usage: tools/check_markdown_links.py [file.md ...]
+With no arguments, checks every tracked *.md file under the repo root.
+
+Validates inline links/images `[text](target)` whose target is a relative
+path: the referenced file or directory must exist (anchors and query
+strings are stripped; pure-anchor, http(s)/mailto, and bare-domain targets
+are skipped).  Exits non-zero listing every broken link.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def repo_root() -> str:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def markdown_files(root: str) -> list:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        capture_output=True, text=True, check=True, cwd=root)
+    return [os.path.join(root, f) for f in out.stdout.split() if f]
+
+
+def strip_code(text: str) -> str:
+    """Remove fenced and inline code spans so example links are not checked."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_file(path: str) -> list:
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        text = strip_code(f.read())
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        if "://" in target or target.startswith("ui.perfetto.dev"):
+            continue
+        resolved = target.split("#", 1)[0].split("?", 1)[0]
+        if not resolved:
+            continue
+        candidate = os.path.normpath(
+            os.path.join(os.path.dirname(path), resolved))
+        if not os.path.exists(candidate):
+            broken.append((path, target))
+    return broken
+
+
+def main(argv: list) -> int:
+    root = repo_root()
+    files = [os.path.abspath(f) for f in argv[1:]] or markdown_files(root)
+    broken = []
+    for f in files:
+        broken.extend(check_file(f))
+    for path, target in broken:
+        print(f"BROKEN {os.path.relpath(path, root)}: ({target})")
+    print(f"checked {len(files)} markdown file(s), "
+          f"{len(broken)} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
