@@ -44,7 +44,13 @@ int main(int argc, char** argv) {
   cli.add_option("max-ranks", "4", "largest rank count to demo");
   cli.add_mpk_option();
   cli.add_observability_options();
+  cli.add_fault_options();
   if (!cli.parse(argc, argv)) return 0;
+
+  // Faults apply to the SPMD runs only; the serial reference stays clean.
+  const std::vector<fault::FaultSpec> fault_specs =
+      fault::parse_fault_specs(cli.str("fault-spec"));
+  const par::ScopedWatchdog watchdog(cli.real("watchdog-ms"));
 
   const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
   const std::string method = cli.str("method");
@@ -116,7 +122,12 @@ int main(int argc, char** argv) {
     std::mutex mutex;
     auto solve_profile =
         profile ? std::make_unique<obs::SolveProfile>(ranks) : nullptr;
+    std::vector<std::size_t> injected(static_cast<std::size_t>(ranks), 0);
+    try {
     par::Team::run(ranks, [&](par::Comm& comm) {
+      fault::Injector injector(fault_specs, comm.rank());
+      const fault::Injector::Install install(
+          fault_specs.empty() ? nullptr : &injector);
       const sparse::DistCsr dist(a, part, comm.rank());
       const std::unique_ptr<sparse::MatrixPowers> mpk =
           use_mpk ? std::make_unique<sparse::MatrixPowers>(a, part,
@@ -142,6 +153,7 @@ int main(int argc, char** argv) {
           krylov::make_solver(method)->solve(engine, b, x, opts);
       std::lock_guard<std::mutex> lock(mutex);
       for (std::size_t i = 0; i < len; ++i) x_dist[begin + i] = x[i];
+      injected[static_cast<std::size_t>(comm.rank())] = injector.injected();
       if (comm.rank() == 0) {
         iters_dist = stats.iterations;
         dist_stats = stats;
@@ -149,6 +161,21 @@ int main(int argc, char** argv) {
           std::printf("%d ranks     : DID NOT CONVERGE\n", comm.size());
       }
     });
+    } catch (const Error& e) {
+      // An injected rank death (or the watchdog on its surviving peers)
+      // unwinds the team; report the diagnostic and move on.
+      std::printf("%d ranks     : solve aborted: %s\n", ranks, e.what());
+      continue;
+    }
+    if (!fault_specs.empty()) {
+      std::size_t fired = 0;
+      for (std::size_t f : injected) fired += f;
+      std::printf(
+          "  faults     : %zu injected, %zu recoveries, final s = %d, "
+          "converged=%s\n",
+          fired, dist_stats.recoveries, dist_stats.final_s,
+          dist_stats.converged ? "yes" : "no");
+    }
     double max_diff = 0.0;
     for (std::size_t i = 0; i < x_serial.size(); ++i)
       max_diff = std::max(max_diff, std::abs(x_serial[i] - x_dist[i]));
@@ -216,6 +243,7 @@ int main(int argc, char** argv) {
     report.set("ranks", last_ranks);
     report.set("max_abs_diff_vs_serial", last_max_diff);
     report.set("serial_wall_seconds", serial_wall);
+    report.set("fault_spec", cli.str("fault-spec"));
     obs::json::Value serial = obs::json::Value::object();
     serial.set("stats", obs::stats_to_json(serial_stats));
     serial.set("trace_counters", obs::counters_to_json(serial_counters));

@@ -42,6 +42,18 @@ void CliParser::add_mpk_option() {
              "per SPMV (bit-identical to builds without the kernel)");
 }
 
+void CliParser::add_fault_options() {
+  add_option("fault-spec", "",
+             "';'-separated deterministic fault specs "
+             "(key=value pairs: kind=slow|sdc|stall|die, rank, "
+             "target=spmv|pc|allreduce|halo, iter, bits, bit, factor, ms, "
+             "seed); empty disables injection");
+  add_option("watchdog-ms", "30000",
+             "comm watchdog timeout in milliseconds: a rank spinning in a "
+             "collective past this deadline throws CommTimeout with a state "
+             "dump instead of hanging (<= 0 disables)");
+}
+
 bool CliParser::mpk_enabled() const {
   const std::string v = str("mpk");
   PIPESCG_CHECK(v == "on" || v == "off", "--mpk expects on|off, got '" + v + "'");

@@ -40,6 +40,16 @@ class CliParser {
   /// Value of --mpk as a bool; throws on values other than on/off.
   bool mpk_enabled() const;
 
+  /// Register the fault-injection options shared by the examples/benches
+  /// (see fault/spec.hpp for the full --fault-spec grammar):
+  ///   --fault-spec <spec[;spec...]>  inject deterministic faults, e.g.
+  ///       rank=2:kind=slow:factor=8
+  ///       kind=sdc:target=spmv:iter=40:bits=1
+  ///       kind=stall:target=allreduce:iter=30:ms=500
+  ///       kind=die:rank=1:iter=25
+  ///   --watchdog-ms <ms>  comm watchdog timeout (<= 0 disables)
+  void add_fault_options();
+
   /// Parse argv.  Returns false if --help was requested (help printed).
   /// Throws pipescg::Error on malformed/unknown arguments.
   bool parse(int argc, const char* const* argv);

@@ -1,0 +1,74 @@
+// Checkpoint/rollback machinery for the s-step solve drivers.
+//
+// The s-step and pipelined s-step methods detect three failure classes
+// (see DESIGN.md section 9): a non-finite reduced dot batch (SDC or
+// overflow reached the moments / Gram cross-block), a singular scalar-work
+// system (breakdown), and runaway residual growth (divergence of the tower
+// recurrences).  On any of them the driver rolls back to the last
+// checkpoint and restarts its outer loop with the power basis rebuilt
+// explicitly from the restored iterate; after repeated failures with no
+// intervening progress it degrades s -> max(1, s-1), since s = 1 reduces
+// the method to the (much more robust) pipelined-CG regime.
+//
+// A checkpoint is deliberately lightweight -- a raw copy of the local slice
+// of x plus (iteration, residual norm) -- and is taken outside the Engine
+// kernel interface so that checkpointing perturbs neither the numerical
+// trajectory nor the cost model: a clean run with recovery enabled is
+// bitwise identical to one with it disabled.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pipescg::fault {
+
+class RecoveryManager {
+ public:
+  /// `enabled` gates everything (an inactive manager never saves and never
+  /// admits a failure); `max_recoveries` bounds rollback-restart cycles.
+  RecoveryManager(bool enabled, int max_recoveries)
+      : enabled_(enabled), max_recoveries_(max_recoveries) {}
+
+  bool active() const { return enabled_; }
+
+  /// Whether `rnorm` is worth checkpointing: finite and an improvement over
+  /// the stored checkpoint (or no checkpoint yet).
+  bool should_save(double rnorm) const;
+
+  /// Snapshot the local slice of x.  Raw copy: no engine kernels, no cost
+  /// model, no counters.
+  void save(std::span<const double> x, std::size_t iteration, double rnorm);
+
+  bool has_checkpoint() const { return !x_.empty(); }
+
+  /// Roll x back to the snapshot; returns the checkpoint's iteration count.
+  std::size_t restore(std::span<double> x) const;
+
+  double checkpoint_rnorm() const { return rnorm_; }
+
+  /// Record a detected failure.  Returns false when the recovery budget is
+  /// exhausted (the caller should stop with a diagnostic instead of rolling
+  /// back).  Failures with no checkpoint saved since the previous failure
+  /// count as consecutive -- the restart made no progress.
+  bool admit_failure();
+
+  /// Degrade s after two consecutive no-progress failures.
+  bool should_degrade() const { return consecutive_ >= 2; }
+  /// Reset the consecutive-failure count once the caller degraded s.
+  void acknowledge_degrade() { consecutive_ = 0; }
+
+  std::size_t recoveries() const { return recoveries_; }
+
+ private:
+  bool enabled_;
+  int max_recoveries_;
+  std::vector<double> x_;
+  std::size_t iteration_ = 0;
+  double rnorm_ = -1.0;
+  std::size_t recoveries_ = 0;
+  int consecutive_ = 0;
+  bool saved_since_failure_ = false;
+};
+
+}  // namespace pipescg::fault

@@ -89,7 +89,7 @@ SolveStats CgSolver::solve(Engine& engine, const Vec& b, Vec& x,
     residual_norms(gamma, norm_sq);
     rnorm = std::sqrt(std::max(norm_sq, 0.0));
     ++iter;
-    detail::checkpoint(stats, opts, iter, rnorm);
+    if (!detail::checkpoint(stats, opts, iter, rnorm)) break;
     engine.mark_iteration(iter - 1, rnorm);
   }
 

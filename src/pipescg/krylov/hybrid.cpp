@@ -20,6 +20,12 @@ SolveStats HybridSolver::solve(Engine& engine, const Vec& b, Vec& x,
     stats.method = name();
     return stats;
   }
+  if (stats.breakdown && stats.recoveries > 0) {
+    // Phase 1 exhausted its recovery budget; the tail would inherit the
+    // same fault environment, so report instead of thrashing.
+    stats.method = name();
+    return stats;
+  }
 
   // Phase 2: PIPECG-OATI from the PIPE-PsCG iterate (paper: "we extract the
   // solution x* calculated by PIPE-PsCG and provide it as initial solution
@@ -40,6 +46,8 @@ SolveStats HybridSolver::solve(Engine& engine, const Vec& b, Vec& x,
   merged.b_norm = stats.b_norm;
   merged.final_rnorm = tail.final_rnorm;
   merged.true_residual = tail.true_residual;
+  merged.recoveries = stats.recoveries + tail.recoveries;
+  merged.final_s = tail.final_s;
   merged.history = stats.history;
   for (const auto& [it, rnorm] : tail.history)
     merged.history.emplace_back(stats.iterations + it, rnorm);

@@ -1,10 +1,14 @@
 #include "pipescg/krylov/pipe_pscg.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "pipescg/base/error.hpp"
+#include "pipescg/fault/recovery.hpp"
 #include "pipescg/krylov/sstep_common.hpp"
+#include "pipescg/obs/profiler.hpp"
 
 namespace pipescg::krylov {
 namespace sstep {
@@ -32,6 +36,11 @@ void extend_power_chain(Engine& engine, const Vec& seed, std::span<Vec> w,
   }
 }
 
+// One attempt either runs to a terminal state (converged / max iterations /
+// unrecoverable diagnostic, all flagged in stats) or detects a fault the
+// recovery layer can handle and asks the outer loop to roll back.
+enum class AttemptEnd { kDone, kFault };
+
 }  // namespace
 
 SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
@@ -42,186 +51,254 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
   stats.method = method_name;
   stats.b_norm = detail::compute_b_norm(engine, b, opts.norm);
   const double tol = detail::threshold(stats, opts);
-  const std::size_t su = static_cast<std::size_t>(s);
   const double n_global = static_cast<double>(engine.global_size());
 
-  // u-side powers v_j = (M^{-1}A)^j u and r-side powers w_j = (A M^{-1})^j r,
-  // j = 0..s, plus the extended powers j = s+1..2s ("ev"/"ew").
-  VecBlock v = engine.new_block(su + 1), v_next = engine.new_block(su + 1);
-  VecBlock wb = engine.new_block(su + 1), wb_next = engine.new_block(su + 1);
-  VecBlock ev = engine.new_block(su), ev_next = engine.new_block(su);
-  VecBlock ew = engine.new_block(su), ew_next = engine.new_block(su);
-  // Direction block (u-side) and power towers:
-  //   tu[j] = (M^{-1}A)^{j+1} P_cur,  tr[j] = A (M^{-1}A)^j P_cur, j = 0..s.
-  VecBlock p_prev = engine.new_block(su), p_cur = engine.new_block(su);
-  std::vector<VecBlock> tu_prev, tu_cur, tr_prev, tr_cur;
-  for (std::size_t j = 0; j <= su; ++j) {
-    tu_prev.push_back(engine.new_block(su));
-    tu_cur.push_back(engine.new_block(su));
-    tr_prev.push_back(engine.new_block(su));
-    tr_cur.push_back(engine.new_block(su));
-  }
-
-  // --- setup: r_0, u_0, power basis, first dot batch, extended powers ----
-  {
-    Vec ax = engine.new_vec();
-    engine.apply_op(x, ax);
-    engine.waxpy(wb[0], -1.0, ax, b);  // w_0 = r_0 = b - A x_0
-  }
-  engine.apply_pc(wb[0], v[0]);  // v_0 = u_0 = M^{-1} r_0
-  extend_power_chain(engine, v[0], std::span<Vec>(wb.data() + 1, su),
-                     std::span<Vec>(v.data() + 1, su));
-
-  const DotLayout layout{s, /*preconditioned=*/true};
-  std::vector<DotPair> pairs;
-  std::vector<double> values(layout.total());
-  build_dot_pairs(wb, v, tr_cur[0], pairs);  // tr_cur[0] is zero: C = 0
-  DotHandle handle = engine.dot_post(pairs);
-
-  // Overlapped with the first allreduce: extend powers to 2s
-  // (paper Alg. 6 line 13).
-  extend_power_chain(engine, v[su], std::span<Vec>(ew.data(), su),
-                     std::span<Vec>(ev.data(), su));
-
-  const int replacement_period = resolve_replacement_period(opts, s);
-
-  ScalarWork scalar_work(s);
-  detail::StallDetector stall(opts.stall_improvement, opts.stall_window);
-  std::vector<double> alpha;
   Vec scratch = engine.new_vec();
   Vec scratch2 = engine.new_vec();
+  std::vector<double> alpha;
   std::size_t iterations = 0;
-  std::size_t outer = 0;
   double rnorm = 0.0;
-  double best_rnorm = -1.0;
-  bool force_replace = false;
 
-  for (;;) {
-    engine.dot_wait(handle, values);
-    rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
-    detail::checkpoint(stats, opts, iterations, rnorm);
-    if (iterations > 0)
-      engine.mark_iteration(iterations - 1, rnorm);
+  // Fault recovery: every verdict below derives from the reduced dot batch,
+  // which is identical on all ranks, so rollback decisions stay in SPMD
+  // lockstep with no extra communication.  The initial save means there is
+  // always a checkpoint to roll back to.
+  fault::RecoveryManager recovery(opts.recovery, opts.max_recoveries);
+  if (recovery.active())
+    recovery.save(x.span(), 0, std::numeric_limits<double>::infinity());
+  int cur_s = s;
 
-    if (rnorm < tol) {
-      // Verified acceptance: the recurred residual can cross the threshold
-      // spuriously (rounding drift); declare convergence only when the true
-      // residual confirms it, otherwise re-anchor and keep iterating.
-      const double true_norm = true_flavored_norm(engine, b, x, opts.norm,
-                                                  scratch, scratch2);
-      rnorm = true_norm;
-      stats.history.back().second = true_norm;
-      if (true_norm < tol) {
-        stats.converged = true;
+  // The whole solve body runs as one "attempt" at a fixed depth.  On a
+  // detected fault (non-finite reduced batch, singular scalar work,
+  // divergence) the attempt unwinds, x is rolled back, and a fresh attempt
+  // rebuilds the power basis from the restored iterate -- possibly at a
+  // degraded depth.  A clean run is a single attempt whose arithmetic is
+  // identical to the historical non-recovering driver.
+  auto attempt = [&](int s_att) -> AttemptEnd {
+    const std::size_t su = static_cast<std::size_t>(s_att);
+
+    // u-side powers v_j = (M^{-1}A)^j u and r-side powers
+    // w_j = (A M^{-1})^j r, j = 0..s, plus extended powers j = s+1..2s.
+    VecBlock v = engine.new_block(su + 1), v_next = engine.new_block(su + 1);
+    VecBlock wb = engine.new_block(su + 1), wb_next = engine.new_block(su + 1);
+    VecBlock ev = engine.new_block(su), ev_next = engine.new_block(su);
+    VecBlock ew = engine.new_block(su), ew_next = engine.new_block(su);
+    // Direction block (u-side) and power towers:
+    //   tu[j] = (M^{-1}A)^{j+1} P_cur,  tr[j] = A (M^{-1}A)^j P_cur, j = 0..s.
+    VecBlock p_prev = engine.new_block(su), p_cur = engine.new_block(su);
+    std::vector<VecBlock> tu_prev, tu_cur, tr_prev, tr_cur;
+    for (std::size_t j = 0; j <= su; ++j) {
+      tu_prev.push_back(engine.new_block(su));
+      tu_cur.push_back(engine.new_block(su));
+      tr_prev.push_back(engine.new_block(su));
+      tr_cur.push_back(engine.new_block(su));
+    }
+
+    // --- setup: r_0, u_0, power basis, first dot batch, extended powers --
+    {
+      Vec ax = engine.new_vec();
+      engine.apply_op(x, ax);
+      engine.waxpy(wb[0], -1.0, ax, b);  // w_0 = r_0 = b - A x_0
+    }
+    engine.apply_pc(wb[0], v[0]);  // v_0 = u_0 = M^{-1} r_0
+    extend_power_chain(engine, v[0], std::span<Vec>(wb.data() + 1, su),
+                       std::span<Vec>(v.data() + 1, su));
+
+    const DotLayout layout{s_att, /*preconditioned=*/true};
+    std::vector<DotPair> pairs;
+    std::vector<double> values(layout.total());
+    build_dot_pairs(wb, v, tr_cur[0], pairs);  // tr_cur[0] is zero: C = 0
+    DotHandle handle = engine.dot_post(pairs);
+
+    // Overlapped with the first allreduce: extend powers to 2s
+    // (paper Alg. 6 line 13).
+    extend_power_chain(engine, v[su], std::span<Vec>(ew.data(), su),
+                       std::span<Vec>(ev.data(), su));
+
+    const int replacement_period = resolve_replacement_period(opts, s_att);
+
+    ScalarWork scalar_work(s_att);
+    detail::StallDetector stall(opts.stall_improvement, opts.stall_window);
+    std::size_t outer = 0;
+    double initial_rnorm = 0.0;
+    detail::DivergenceDetector diverge(0.0);
+    bool force_replace = false;
+
+    for (;;) {
+      engine.dot_wait(handle, values);
+      // Fault gate: a corrupted kernel output (SDC) or overflow lands in
+      // the moments / Gram cross-block as NaN or Inf.  Detect before the
+      // values feed anything; the roll back reruns from the checkpoint.
+      if (recovery.active() && !batch_finite(values)) return AttemptEnd::kFault;
+      rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+      if (!detail::checkpoint(stats, opts, iterations, rnorm)) {
+        if (recovery.active()) {
+          stats.breakdown = false;  // rolling back, not stopping
+          return AttemptEnd::kFault;
+        }
+        stats.stagnated = true;
         break;
       }
-      force_replace = true;
-    }
-    if (iterations >= opts.max_iterations) break;
-    // Divergence safeguard: the recurred residual ran away (rounding in the
-    // power-basis recurrences); stop instead of amplifying further.
-    if (best_rnorm < 0.0 || rnorm < best_rnorm) best_rnorm = rnorm;
-    const double initial_rnorm = stats.history.front().second;
-    if (!std::isfinite(rnorm) || rnorm > 1e4 * best_rnorm + 1e3 * initial_rnorm) {
-      stats.stagnated = true;
-      break;
-    }
-    // Stagnation detection evaluates only *honest* residual checkpoints:
-    // with replacement enabled those are the iterations right after a
-    // truth anchoring (the pure recurred residual can keep "improving"
-    // while the true residual stalls).
-    const bool honest_checkpoint =
-        replacement_period == 0 || outer == 0 ||
-        ((outer - 1) % static_cast<std::size_t>(
-                           std::max(replacement_period, 1))) == 0;
-    if (opts.detect_stagnation && honest_checkpoint && stall.update(rnorm)) {
-      stats.stagnated = true;
-      break;
-    }
+      if (iterations > 0)
+        engine.mark_iteration(iterations - 1, rnorm);
+      if (outer == 0) {
+        initial_rnorm = rnorm;
+        diverge = detail::DivergenceDetector(initial_rnorm);
+      }
 
-    // Scalar work (two s x s LU solves).
-    const la::DenseMatrix cross = layout.cross(values);
-    ScalarWork::Result sw = scalar_work.step(
-        std::span<const double>(values.data(), layout.moment_count()), cross);
-    if (!sw.ok) {
+      if (rnorm < tol) {
+        // Verified acceptance: the recurred residual can cross the threshold
+        // spuriously (rounding drift); declare convergence only when the true
+        // residual confirms it, otherwise re-anchor and keep iterating.
+        const double true_norm = true_flavored_norm(engine, b, x, opts.norm,
+                                                    scratch, scratch2);
+        rnorm = true_norm;
+        stats.history.back().second = true_norm;
+        if (true_norm < tol) {
+          stats.converged = true;
+          break;
+        }
+        force_replace = true;
+      }
+      if (iterations >= opts.max_iterations) break;
+      // Divergence safeguard: the recurred residual ran away (rounding in
+      // the power-basis recurrences, or a silent fault).  Roll back when we
+      // can, stop instead of amplifying further when we can't.
+      if (diverge.update(rnorm)) {
+        if (recovery.active()) return AttemptEnd::kFault;
+        stats.stagnated = true;
+        break;
+      }
+      // A genuinely improving iterate is worth checkpointing (raw copy; no
+      // engine kernels, so clean-run trajectories are untouched).
+      if (recovery.should_save(rnorm)) recovery.save(x.span(), iterations, rnorm);
+      // Stagnation detection evaluates only *honest* residual checkpoints:
+      // with replacement enabled those are the iterations right after a
+      // truth anchoring (the pure recurred residual can keep "improving"
+      // while the true residual stalls).
+      const bool honest_checkpoint =
+          replacement_period == 0 || outer == 0 ||
+          ((outer - 1) % static_cast<std::size_t>(
+                             std::max(replacement_period, 1))) == 0;
+      if (opts.detect_stagnation && honest_checkpoint && stall.update(rnorm)) {
+        stats.stagnated = true;
+        break;
+      }
+
+      // Scalar work (two s x s LU solves).
+      const la::DenseMatrix cross = layout.cross(values);
+      ScalarWork::Result sw = scalar_work.step(
+          std::span<const double>(values.data(), layout.moment_count()),
+          cross);
+      if (!sw.ok) {
+        if (recovery.active()) return AttemptEnd::kFault;
+        stats.breakdown = true;
+        stats.stagnated = true;
+        break;
+      }
+      alpha = sw.alpha;
+      const bool first = outer == 0;
+
+      // Direction block: P_cur = V[0..s-1] + P_prev B.
+      copy_block(engine, v, p_cur, su);
+      if (!first) engine.block_maxpy(p_cur, p_prev, sw.b);
+
+      // Towers: tu_cur[j] = [v_{j+1} .. v_{j+s}] + tu_prev[j] B  (same on
+      // the r side with w).  Source index beyond s reads extended powers.
+      for (std::size_t j = 0; j <= su; ++j) {
+        for (std::size_t c = 0; c < su; ++c) {
+          const std::size_t idx = j + 1 + c;
+          engine.copy(idx <= su ? v[idx] : ev[idx - su - 1], tu_cur[j][c]);
+          engine.copy(idx <= su ? wb[idx] : ew[idx - su - 1], tr_cur[j][c]);
+        }
+        if (!first) {
+          engine.block_maxpy(tu_cur[j], tu_prev[j], sw.b);
+          engine.block_maxpy(tr_cur[j], tr_prev[j], sw.b);
+        }
+      }
+
+      // x_{i+1} = x_i + P_cur alpha.
+      engine.block_axpy(x, p_cur, alpha);
+
+      // New bases: normally pure recurrence (paper Alg. 6 lines 28-33, no
+      // PC or SPMV); replacement iterations anchor the residual to the
+      // truth (r = b - A x, van der Vorst-style residual replacement) and
+      // rebuild the powers explicitly, resetting accumulated drift -- this
+      // keeps the reported residual honest, which is what makes stagnation
+      // *detectable* for the Hybrid switch.
+      const bool replace =
+          force_replace ||
+          (replacement_period > 0 && outer > 0 &&
+           (outer % static_cast<std::size_t>(replacement_period)) == 0);
+      force_replace = false;
+      if (replace) {
+        engine.apply_op(x, scratch);
+        engine.waxpy(wb_next[0], -1.0, scratch, b);
+        engine.apply_pc(wb_next[0], v_next[0]);
+        extend_power_chain(engine, v_next[0],
+                           std::span<Vec>(wb_next.data() + 1, su),
+                           std::span<Vec>(v_next.data() + 1, su));
+      } else {
+        for (std::size_t j = 0; j <= su; ++j) {
+          engine.block_combine(v_next[j], v[j], tu_cur[j], alpha);
+          engine.block_combine(wb_next[j], wb[j], tr_cur[j], alpha);
+        }
+      }
+
+      if (extra_flops_per_outer > 0.0) {
+        engine.charge(extra_flops_per_outer * n_global,
+                      extra_flops_per_outer * n_global * 8.0);
+      }
+
+      // Post the dots for the *next* iteration (moments + cross + norms)...
+      build_dot_pairs(wb_next, v_next, tr_cur[0], pairs);
+      handle = engine.dot_post(pairs);
+
+      // ...and overlap the s PCs + s SPMVs that extend the powers to 2s
+      // (paper Alg. 6 line 36 / Alg. 7 line 20).
+      extend_power_chain(engine, v_next[su],
+                         std::span<Vec>(ew_next.data(), su),
+                         std::span<Vec>(ev_next.data(), su));
+
+      std::swap(v, v_next);
+      std::swap(wb, wb_next);
+      std::swap(ev, ev_next);
+      std::swap(ew, ew_next);
+      std::swap(p_prev, p_cur);
+      std::swap(tu_prev, tu_cur);
+      std::swap(tr_prev, tr_cur);
+      iterations += su;
+      ++outer;
+    }
+    return AttemptEnd::kDone;
+  };
+
+  for (;;) {
+    if (attempt(cur_s) == AttemptEnd::kDone) break;
+    if (!recovery.admit_failure()) {
+      // Recovery budget exhausted: report the failure honestly.
       stats.breakdown = true;
       stats.stagnated = true;
       break;
     }
-    alpha = sw.alpha;
-    const bool first = stats.history.size() == 1;
-
-    // Direction block: P_cur = V[0..s-1] + P_prev B.
-    copy_block(engine, v, p_cur, su);
-    if (!first) engine.block_maxpy(p_cur, p_prev, sw.b);
-
-    // Towers: tu_cur[j] = [v_{j+1} .. v_{j+s}] + tu_prev[j] B  (same on the
-    // r side with w).  Source index beyond s reads the extended powers.
-    for (std::size_t j = 0; j <= su; ++j) {
-      for (std::size_t c = 0; c < su; ++c) {
-        const std::size_t idx = j + 1 + c;
-        engine.copy(idx <= su ? v[idx] : ev[idx - su - 1], tu_cur[j][c]);
-        engine.copy(idx <= su ? wb[idx] : ew[idx - su - 1], tr_cur[j][c]);
-      }
-      if (!first) {
-        engine.block_maxpy(tu_cur[j], tu_prev[j], sw.b);
-        engine.block_maxpy(tr_cur[j], tr_prev[j], sw.b);
-      }
+    iterations = recovery.restore(x.span());
+    rnorm = recovery.checkpoint_rnorm();
+    ++stats.recoveries;
+    if (obs::Profiler* prof = obs::Profiler::current())
+      ++prof->counters().recoveries;
+    if (recovery.should_degrade() && cur_s > 1) {
+      cur_s = std::max(1, cur_s - 1);
+      recovery.acknowledge_degrade();
     }
-
-    // x_{i+1} = x_i + P_cur alpha.
-    engine.block_axpy(x, p_cur, alpha);
-
-    // New bases: normally pure recurrence (paper Alg. 6 lines 28-33, no PC
-    // or SPMV); replacement iterations anchor the residual to the truth
-    // (r = b - A x, van der Vorst-style residual replacement) and rebuild
-    // the powers explicitly, resetting accumulated drift -- this keeps the
-    // reported residual honest, which is what makes stagnation *detectable*
-    // for the Hybrid switch.
-    const bool replace =
-        force_replace ||
-        (replacement_period > 0 && outer > 0 &&
-         (outer % static_cast<std::size_t>(replacement_period)) == 0);
-    force_replace = false;
-    if (replace) {
-      engine.apply_op(x, scratch);
-      engine.waxpy(wb_next[0], -1.0, scratch, b);
-      engine.apply_pc(wb_next[0], v_next[0]);
-      extend_power_chain(engine, v_next[0],
-                         std::span<Vec>(wb_next.data() + 1, su),
-                         std::span<Vec>(v_next.data() + 1, su));
-    } else {
-      for (std::size_t j = 0; j <= su; ++j) {
-        engine.block_combine(v_next[j], v[j], tu_cur[j], alpha);
-        engine.block_combine(wb_next[j], wb[j], tr_cur[j], alpha);
-      }
-    }
-
-    if (extra_flops_per_outer > 0.0) {
-      engine.charge(extra_flops_per_outer * n_global,
-                    extra_flops_per_outer * n_global * 8.0);
-    }
-
-    // Post the dots for the *next* iteration (moments + cross + norms)...
-    build_dot_pairs(wb_next, v_next, tr_cur[0], pairs);
-    handle = engine.dot_post(pairs);
-
-    // ...and overlap the s PCs + s SPMVs that extend the powers to 2s
-    // (paper Alg. 6 line 36 / Alg. 7 line 20).
-    extend_power_chain(engine, v_next[su], std::span<Vec>(ew_next.data(), su),
-                       std::span<Vec>(ev_next.data(), su));
-
-    std::swap(v, v_next);
-    std::swap(wb, wb_next);
-    std::swap(ev, ev_next);
-    std::swap(ew, ew_next);
-    std::swap(p_prev, p_cur);
-    std::swap(tu_prev, tu_cur);
-    std::swap(tr_prev, tr_cur);
-    iterations += su;
-    ++outer;
   }
 
+  // A solve that needed rollbacks and still failed to reach the tolerance
+  // is a stagnation: the recovery layer kept it alive past diagnostics the
+  // non-recovering driver would have stopped on, so report the failure
+  // class those diagnostics would have carried.
+  if (!stats.converged && stats.recoveries > 0) stats.stagnated = true;
+
+  stats.final_s = cur_s;
   stats.iterations = iterations;
   stats.final_rnorm = rnorm;
   detail::finalize_stats(engine, b, x, opts, stats);

@@ -1,12 +1,21 @@
 #include "pipescg/krylov/pipe_scg.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "pipescg/base/error.hpp"
+#include "pipescg/fault/recovery.hpp"
 #include "pipescg/krylov/sstep_common.hpp"
+#include "pipescg/obs/profiler.hpp"
 
 namespace pipescg::krylov {
+namespace {
+
+enum class AttemptEnd { kDone, kFault };
+
+}  // namespace
 
 SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
                                 const SolverOptions& opts) const {
@@ -15,150 +24,200 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
   stats.method = name();
   stats.b_norm = detail::compute_b_norm(engine, b, opts.norm);
   const double tol = detail::threshold(stats, opts);
-  const int s = opts.s;
-  const std::size_t su = static_cast<std::size_t>(s);
 
-  // Monomial powers S[j] = A^j r, j = 0..s, extended powers E = A^{s+1..2s} r.
-  VecBlock basis = engine.new_block(su + 1),
-           basis_next = engine.new_block(su + 1);
-  VecBlock ext = engine.new_block(su), ext_next = engine.new_block(su);
-  VecBlock p_prev = engine.new_block(su), p_cur = engine.new_block(su);
-  // Towers t[j] = A^{j+1} P_cur, j = 0..s (t[0] = A P_cur).
-  std::vector<VecBlock> t_prev, t_cur;
-  for (std::size_t j = 0; j <= su; ++j) {
-    t_prev.push_back(engine.new_block(su));
-    t_cur.push_back(engine.new_block(su));
-  }
-
-  {
-    Vec ax = engine.new_vec();
-    engine.apply_op(x, ax);
-    engine.waxpy(basis[0], -1.0, ax, b);  // r_0 = b - A x_0
-  }
-  engine.apply_op_powers(basis[0], std::span<Vec>(basis.data() + 1, su));
-
-  const DotLayout layout{s, /*preconditioned=*/false};
-  std::vector<DotPair> pairs;
-  std::vector<double> values(layout.total());
-  build_dot_pairs(basis, t_cur[0], pairs);  // t_cur[0] zero: C = 0
-  DotHandle handle = engine.dot_post(pairs);
-
-  // Overlapped: extend powers to A^{2s} r (paper Alg. 5 line 10).
-  engine.apply_op_powers(basis[su], std::span<Vec>(ext.data(), su));
-
-  const int replacement_period = resolve_replacement_period(opts, s);
-
-  ScalarWork scalar_work(s);
-  detail::StallDetector stall(opts.stall_improvement, opts.stall_window);
   Vec scratch = engine.new_vec();
   Vec scratch2 = engine.new_vec();
   std::size_t iterations = 0;
-  std::size_t outer = 0;
   double rnorm = 0.0;
-  double best_rnorm = -1.0;
-  bool force_replace = false;
 
-  for (;;) {
-    engine.dot_wait(handle, values);
-    rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
-    detail::checkpoint(stats, opts, iterations, rnorm);
-    if (iterations > 0) engine.mark_iteration(iterations - 1, rnorm);
+  // Fault recovery (see pipe_pscg.cpp for the full rationale): verdicts
+  // derive from the reduced dot batch, identical on all ranks, so rollback
+  // stays in SPMD lockstep.
+  fault::RecoveryManager recovery(opts.recovery, opts.max_recoveries);
+  if (recovery.active())
+    recovery.save(x.span(), 0, std::numeric_limits<double>::infinity());
+  int cur_s = opts.s;
 
-    if (rnorm < tol) {
-      // Verified acceptance (see pipe_pscg.cpp): only the true residual can
-      // declare convergence.  All norm flavors coincide unpreconditioned.
-      const double true_norm = true_flavored_norm(
-          engine, b, x, NormType::kUnpreconditioned, scratch, scratch2);
-      rnorm = true_norm;
-      stats.history.back().second = true_norm;
-      if (true_norm < tol) {
-        stats.converged = true;
+  auto attempt = [&](int s_att) -> AttemptEnd {
+    const std::size_t su = static_cast<std::size_t>(s_att);
+
+    // Monomial powers S[j] = A^j r, j = 0..s, extended E = A^{s+1..2s} r.
+    VecBlock basis = engine.new_block(su + 1),
+             basis_next = engine.new_block(su + 1);
+    VecBlock ext = engine.new_block(su), ext_next = engine.new_block(su);
+    VecBlock p_prev = engine.new_block(su), p_cur = engine.new_block(su);
+    // Towers t[j] = A^{j+1} P_cur, j = 0..s (t[0] = A P_cur).
+    std::vector<VecBlock> t_prev, t_cur;
+    for (std::size_t j = 0; j <= su; ++j) {
+      t_prev.push_back(engine.new_block(su));
+      t_cur.push_back(engine.new_block(su));
+    }
+
+    {
+      Vec ax = engine.new_vec();
+      engine.apply_op(x, ax);
+      engine.waxpy(basis[0], -1.0, ax, b);  // r_0 = b - A x_0
+    }
+    engine.apply_op_powers(basis[0], std::span<Vec>(basis.data() + 1, su));
+
+    const DotLayout layout{s_att, /*preconditioned=*/false};
+    std::vector<DotPair> pairs;
+    std::vector<double> values(layout.total());
+    build_dot_pairs(basis, t_cur[0], pairs);  // t_cur[0] zero: C = 0
+    DotHandle handle = engine.dot_post(pairs);
+
+    // Overlapped: extend powers to A^{2s} r (paper Alg. 5 line 10).
+    engine.apply_op_powers(basis[su], std::span<Vec>(ext.data(), su));
+
+    const int replacement_period = resolve_replacement_period(opts, s_att);
+
+    ScalarWork scalar_work(s_att);
+    detail::StallDetector stall(opts.stall_improvement, opts.stall_window);
+    std::size_t outer = 0;
+    detail::DivergenceDetector diverge(0.0);
+    bool force_replace = false;
+
+    for (;;) {
+      engine.dot_wait(handle, values);
+      // Fault gate: corrupted kernel output (SDC) or overflow surfaces in
+      // the reduced batch as NaN/Inf; roll back instead of consuming it.
+      if (recovery.active() && !batch_finite(values)) return AttemptEnd::kFault;
+      rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+      if (!detail::checkpoint(stats, opts, iterations, rnorm)) {
+        if (recovery.active()) {
+          stats.breakdown = false;  // rolling back, not stopping
+          return AttemptEnd::kFault;
+        }
+        stats.stagnated = true;
         break;
       }
-      force_replace = true;
-    }
-    if (iterations >= opts.max_iterations) break;
-    if (best_rnorm < 0.0 || rnorm < best_rnorm) best_rnorm = rnorm;
-    const double initial_rnorm = stats.history.front().second;
-    if (!std::isfinite(rnorm) || rnorm > 1e4 * best_rnorm + 1e3 * initial_rnorm) {
-      stats.stagnated = true;
-      break;
-    }
-    // Stagnation detection evaluates only *honest* residual checkpoints:
-    // with replacement enabled those are the iterations right after a
-    // truth anchoring (the pure recurred residual can keep "improving"
-    // while the true residual stalls).
-    const bool honest_checkpoint =
-        replacement_period == 0 || outer == 0 ||
-        ((outer - 1) % static_cast<std::size_t>(
-                           std::max(replacement_period, 1))) == 0;
-    if (opts.detect_stagnation && honest_checkpoint && stall.update(rnorm)) {
-      stats.stagnated = true;
-      break;
-    }
+      if (iterations > 0) engine.mark_iteration(iterations - 1, rnorm);
+      if (outer == 0) diverge = detail::DivergenceDetector(rnorm);
 
-    const la::DenseMatrix cross = layout.cross(values);
-    ScalarWork::Result sw = scalar_work.step(
-        std::span<const double>(values.data(), layout.moment_count()), cross);
-    if (!sw.ok) {
+      if (rnorm < tol) {
+        // Verified acceptance (see pipe_pscg.cpp): only the true residual
+        // can declare convergence.  All norm flavors coincide here.
+        const double true_norm = true_flavored_norm(
+            engine, b, x, NormType::kUnpreconditioned, scratch, scratch2);
+        rnorm = true_norm;
+        stats.history.back().second = true_norm;
+        if (true_norm < tol) {
+          stats.converged = true;
+          break;
+        }
+        force_replace = true;
+      }
+      if (iterations >= opts.max_iterations) break;
+      if (diverge.update(rnorm)) {
+        if (recovery.active()) return AttemptEnd::kFault;
+        stats.stagnated = true;
+        break;
+      }
+      if (recovery.should_save(rnorm))
+        recovery.save(x.span(), iterations, rnorm);
+      // Stagnation detection evaluates only *honest* residual checkpoints:
+      // with replacement enabled those are the iterations right after a
+      // truth anchoring (the pure recurred residual can keep "improving"
+      // while the true residual stalls).
+      const bool honest_checkpoint =
+          replacement_period == 0 || outer == 0 ||
+          ((outer - 1) % static_cast<std::size_t>(
+                             std::max(replacement_period, 1))) == 0;
+      if (opts.detect_stagnation && honest_checkpoint && stall.update(rnorm)) {
+        stats.stagnated = true;
+        break;
+      }
+
+      const la::DenseMatrix cross = layout.cross(values);
+      ScalarWork::Result sw = scalar_work.step(
+          std::span<const double>(values.data(), layout.moment_count()),
+          cross);
+      if (!sw.ok) {
+        if (recovery.active()) return AttemptEnd::kFault;
+        stats.breakdown = true;
+        stats.stagnated = true;
+        break;
+      }
+      const bool first = outer == 0;
+
+      // P_cur = S[0..s-1] + P_prev B  (paper Alg. 5 line 17).
+      copy_block(engine, basis, p_cur, su);
+      if (!first) engine.block_maxpy(p_cur, p_prev, sw.b);
+
+      // Towers t_cur[j] = [A^{j+1} r .. A^{j+s} r] + t_prev[j] B
+      // (paper Alg. 5 lines 14-20).
+      for (std::size_t j = 0; j <= su; ++j) {
+        for (std::size_t c = 0; c < su; ++c) {
+          const std::size_t idx = j + 1 + c;
+          engine.copy(idx <= su ? basis[idx] : ext[idx - su - 1],
+                      t_cur[j][c]);
+        }
+        if (!first) engine.block_maxpy(t_cur[j], t_prev[j], sw.b);
+      }
+
+      // x update then basis recurrence (Alg. 5 lines 21-25); replacement
+      // iterations rebuild the powers explicitly to reset recurrence drift.
+      engine.block_axpy(x, p_cur, sw.alpha);
+      const bool replace =
+          force_replace ||
+          (replacement_period > 0 && outer > 0 &&
+           (outer % static_cast<std::size_t>(replacement_period)) == 0);
+      force_replace = false;
+      if (replace) {
+        // Residual replacement: anchor to the true residual b - A x, then
+        // rebuild the powers explicitly (resets recurrence drift and keeps
+        // the reported residual honest).
+        engine.apply_op(x, scratch);
+        engine.waxpy(basis_next[0], -1.0, scratch, b);
+        engine.apply_op_powers(basis_next[0],
+                               std::span<Vec>(basis_next.data() + 1, su));
+      } else {
+        for (std::size_t j = 0; j <= su; ++j)
+          engine.block_combine(basis_next[j], basis[j], t_cur[j], sw.alpha);
+      }
+
+      // Post dots for the next iteration (Alg. 5 lines 26-27)...
+      build_dot_pairs(basis_next, t_cur[0], pairs);
+      handle = engine.dot_post(pairs);
+
+      // ...overlapped with the s new SPMVs (Alg. 5 line 28), one halo
+      // exchange for the whole extension when the engine has an MPK.
+      engine.apply_op_powers(basis_next[su],
+                             std::span<Vec>(ext_next.data(), su));
+
+      std::swap(basis, basis_next);
+      std::swap(ext, ext_next);
+      std::swap(p_prev, p_cur);
+      std::swap(t_prev, t_cur);
+      iterations += su;
+      ++outer;
+    }
+    return AttemptEnd::kDone;
+  };
+
+  for (;;) {
+    if (attempt(cur_s) == AttemptEnd::kDone) break;
+    if (!recovery.admit_failure()) {
       stats.breakdown = true;
       stats.stagnated = true;
       break;
     }
-    const bool first = stats.history.size() == 1;
-
-    // P_cur = S[0..s-1] + P_prev B  (paper Alg. 5 line 17).
-    copy_block(engine, basis, p_cur, su);
-    if (!first) engine.block_maxpy(p_cur, p_prev, sw.b);
-
-    // Towers t_cur[j] = [A^{j+1} r .. A^{j+s} r] + t_prev[j] B
-    // (paper Alg. 5 lines 14-20).
-    for (std::size_t j = 0; j <= su; ++j) {
-      for (std::size_t c = 0; c < su; ++c) {
-        const std::size_t idx = j + 1 + c;
-        engine.copy(idx <= su ? basis[idx] : ext[idx - su - 1], t_cur[j][c]);
-      }
-      if (!first) engine.block_maxpy(t_cur[j], t_prev[j], sw.b);
+    iterations = recovery.restore(x.span());
+    rnorm = recovery.checkpoint_rnorm();
+    ++stats.recoveries;
+    if (obs::Profiler* prof = obs::Profiler::current())
+      ++prof->counters().recoveries;
+    if (recovery.should_degrade() && cur_s > 1) {
+      cur_s = std::max(1, cur_s - 1);
+      recovery.acknowledge_degrade();
     }
-
-    // x update then basis recurrence (Alg. 5 lines 21-25); replacement
-    // iterations rebuild the powers explicitly to reset recurrence drift.
-    engine.block_axpy(x, p_cur, sw.alpha);
-    const bool replace =
-        force_replace ||
-        (replacement_period > 0 && outer > 0 &&
-         (outer % static_cast<std::size_t>(replacement_period)) == 0);
-    force_replace = false;
-    if (replace) {
-      // Residual replacement: anchor to the true residual b - A x, then
-      // rebuild the powers explicitly (resets recurrence drift and keeps
-      // the reported residual honest).
-      engine.apply_op(x, scratch);
-      engine.waxpy(basis_next[0], -1.0, scratch, b);
-      engine.apply_op_powers(basis_next[0],
-                             std::span<Vec>(basis_next.data() + 1, su));
-    } else {
-      for (std::size_t j = 0; j <= su; ++j)
-        engine.block_combine(basis_next[j], basis[j], t_cur[j], sw.alpha);
-    }
-
-    // Post dots for the next iteration (Alg. 5 lines 26-27)...
-    build_dot_pairs(basis_next, t_cur[0], pairs);
-    handle = engine.dot_post(pairs);
-
-    // ...overlapped with the s new SPMVs (Alg. 5 line 28), one halo
-    // exchange for the whole extension when the engine has an MPK.
-    engine.apply_op_powers(basis_next[su],
-                           std::span<Vec>(ext_next.data(), su));
-
-    std::swap(basis, basis_next);
-    std::swap(ext, ext_next);
-    std::swap(p_prev, p_cur);
-    std::swap(t_prev, t_cur);
-    iterations += su;
-    ++outer;
   }
 
+  // A solve that needed rollbacks and still failed to converge is a
+  // stagnation (see pipe_pscg.cpp).
+  if (!stats.converged && stats.recoveries > 0) stats.stagnated = true;
+
+  stats.final_s = cur_s;
   stats.iterations = iterations;
   stats.final_rnorm = rnorm;
   detail::finalize_stats(engine, b, x, opts, stats);

@@ -1,6 +1,7 @@
 #include "pipescg/krylov/pipecg.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "pipescg/base/error.hpp"
 
@@ -33,6 +34,11 @@ SolveStats PipeCgSolver::solve(Engine& engine, const Vec& b, Vec& x,
   double gamma_prev = 0.0, alpha_prev = 0.0;
   double rnorm = 0.0;
   std::size_t iter = 0;
+  // The pipelined recurrences have no self-correction: after an upset (SDC,
+  // overflow) the residual can sit at a huge-but-finite plateau that the
+  // NaN guard never sees.  Detect the runaway and stop with a diagnostic
+  // instead of silently burning max_iterations.
+  std::optional<detail::DivergenceDetector> diverge;
   bool done = false;
   while (!done) {
     // Post (gamma, delta, norm^2) and overlap with m = M^{-1} w, n = A m.
@@ -49,8 +55,13 @@ SolveStats PipeCgSolver::solve(Engine& engine, const Vec& b, Vec& x,
     const double gamma = vals[0];
     const double delta = vals[1];
     rnorm = std::sqrt(std::max(vals[2], 0.0));
-    detail::checkpoint(stats, opts, iter, rnorm);
+    if (!detail::checkpoint(stats, opts, iter, rnorm)) break;
     if (iter > 0) engine.mark_iteration(iter - 1, rnorm);
+    if (!diverge) diverge.emplace(rnorm);
+    if (diverge->update(rnorm)) {
+      stats.stagnated = true;
+      break;
+    }
 
     if (rnorm < tol_ref) {
       stats.converged = true;

@@ -86,7 +86,7 @@ SolveStats PscgSolver::solve(Engine& engine, const Vec& b, Vec& x,
 
     iterations += su;
     rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
-    detail::checkpoint(stats, opts, iterations, rnorm);
+    if (!detail::checkpoint(stats, opts, iterations, rnorm)) break;
     engine.mark_iteration(iterations - 1, rnorm);
 
     std::swap(v, v_next);

@@ -1,12 +1,21 @@
 #include "pipescg/krylov/scg_sspmv.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "pipescg/base/error.hpp"
+#include "pipescg/fault/recovery.hpp"
 #include "pipescg/krylov/sstep_common.hpp"
+#include "pipescg/obs/profiler.hpp"
 
 namespace pipescg::krylov {
+namespace {
+
+enum class AttemptEnd { kDone, kFault };
+
+}  // namespace
 
 SolveStats ScgSspmvSolver::solve(Engine& engine, const Vec& b, Vec& x,
                                  const SolverOptions& opts) const {
@@ -15,74 +24,137 @@ SolveStats ScgSspmvSolver::solve(Engine& engine, const Vec& b, Vec& x,
   stats.method = name();
   stats.b_norm = detail::compute_b_norm(engine, b, opts.norm);
   const double tol = detail::threshold(stats, opts);
-  const int s = opts.s;
-  const std::size_t su = static_cast<std::size_t>(s);
 
-  VecBlock basis = engine.new_block(su + 1),
-           basis_next = engine.new_block(su + 1);
-  VecBlock p_prev = engine.new_block(su), p_cur = engine.new_block(su);
-  VecBlock ap_prev = engine.new_block(su), ap_cur = engine.new_block(su);
-
-  {
-    Vec ax = engine.new_vec();
-    engine.apply_op(x, ax);
-    engine.waxpy(basis[0], -1.0, ax, b);
-  }
-  engine.apply_op_powers(basis[0], std::span<Vec>(basis.data() + 1, su));
-
-  const DotLayout layout{s, /*preconditioned=*/false};
-  std::vector<DotPair> pairs;
-  std::vector<double> values(layout.total());
-  build_dot_pairs(basis, ap_cur, pairs);
-  engine.dots(pairs, values);
-
-  ScalarWork scalar_work(s);
   std::size_t iterations = 0;
-  double rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
-  detail::checkpoint(stats, opts, 0, rnorm);
+  double rnorm = 0.0;
 
-  while (rnorm >= tol && iterations < opts.max_iterations) {
-    const la::DenseMatrix cross = layout.cross(values);
-    ScalarWork::Result sw = scalar_work.step(
-        std::span<const double>(values.data(), layout.moment_count()), cross);
-    if (!sw.ok) {
+  // Fault recovery (see pipe_pscg.cpp for the full rationale): verdicts
+  // derive from the reduced dot batch, identical on all ranks, so rollback
+  // stays in SPMD lockstep.
+  fault::RecoveryManager recovery(opts.recovery, opts.max_recoveries);
+  if (recovery.active())
+    recovery.save(x.span(), 0, std::numeric_limits<double>::infinity());
+  int cur_s = opts.s;
+
+  auto attempt = [&](int s_att) -> AttemptEnd {
+    const std::size_t su = static_cast<std::size_t>(s_att);
+
+    VecBlock basis = engine.new_block(su + 1),
+             basis_next = engine.new_block(su + 1);
+    VecBlock p_prev = engine.new_block(su), p_cur = engine.new_block(su);
+    VecBlock ap_prev = engine.new_block(su), ap_cur = engine.new_block(su);
+
+    {
+      Vec ax = engine.new_vec();
+      engine.apply_op(x, ax);
+      engine.waxpy(basis[0], -1.0, ax, b);
+    }
+    engine.apply_op_powers(basis[0], std::span<Vec>(basis.data() + 1, su));
+
+    const DotLayout layout{s_att, /*preconditioned=*/false};
+    std::vector<DotPair> pairs;
+    std::vector<double> values(layout.total());
+    build_dot_pairs(basis, ap_cur, pairs);
+    engine.dots(pairs, values);
+    if (recovery.active() && !batch_finite(values)) return AttemptEnd::kFault;
+
+    ScalarWork scalar_work(s_att);
+    std::size_t outer = 0;
+    rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+    detail::DivergenceDetector diverge(rnorm);
+    if (!detail::checkpoint(stats, opts, iterations, rnorm)) {
+      if (recovery.active()) {
+        stats.breakdown = false;  // rolling back, not stopping
+        return AttemptEnd::kFault;
+      }
+      stats.converged = false;
+      return AttemptEnd::kDone;
+    }
+
+    while (rnorm >= tol && iterations < opts.max_iterations) {
+      const la::DenseMatrix cross = layout.cross(values);
+      ScalarWork::Result sw = scalar_work.step(
+          std::span<const double>(values.data(), layout.moment_count()),
+          cross);
+      if (!sw.ok) {
+        if (recovery.active()) return AttemptEnd::kFault;
+        stats.breakdown = true;
+        stats.stagnated = true;
+        break;
+      }
+      if (recovery.should_save(rnorm))
+        recovery.save(x.span(), iterations, rnorm);
+
+      // Direction block and AQ/AP recurrence (paper Alg. 4 lines 9-11).
+      copy_block(engine, basis, p_cur, su);
+      for (std::size_t c = 0; c < su; ++c)
+        engine.copy(basis[c + 1], ap_cur[c]);
+      if (outer > 0) {
+        engine.block_maxpy(p_cur, p_prev, sw.b);
+        engine.block_maxpy(ap_cur, ap_prev, sw.b);
+      }
+
+      // x and the *recurred* residual (Alg. 4 lines 12-13): no SPMV here.
+      engine.block_axpy(x, p_cur, sw.alpha);
+      engine.block_combine(basis_next[0], basis[0], ap_cur, sw.alpha);
+
+      // Rebuild the powers from the recurred residual: s SPMVs (lines
+      // 14-15), fused into one halo exchange when an MPK is attached.
+      engine.apply_op_powers(basis_next[0],
+                             std::span<Vec>(basis_next.data() + 1, su));
+
+      build_dot_pairs(basis_next, ap_cur, pairs);
+      engine.dots(pairs, values);
+      if (recovery.active() && !batch_finite(values))
+        return AttemptEnd::kFault;
+
+      iterations += su;
+      ++outer;
+      rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+      if (!detail::checkpoint(stats, opts, iterations, rnorm)) {
+        if (recovery.active()) {
+          stats.breakdown = false;
+          return AttemptEnd::kFault;
+        }
+        stats.stagnated = true;
+        break;
+      }
+      engine.mark_iteration(iterations - 1, rnorm);
+      if (recovery.active() && diverge.update(rnorm))
+        return AttemptEnd::kFault;
+
+      std::swap(basis, basis_next);
+      std::swap(p_prev, p_cur);
+      std::swap(ap_prev, ap_cur);
+    }
+
+    stats.converged = rnorm < tol;
+    return AttemptEnd::kDone;
+  };
+
+  for (;;) {
+    if (attempt(cur_s) == AttemptEnd::kDone) break;
+    if (!recovery.admit_failure()) {
       stats.breakdown = true;
       stats.stagnated = true;
       break;
     }
-
-    // Direction block and AQ/AP recurrence (paper Alg. 4 lines 9-11).
-    copy_block(engine, basis, p_cur, su);
-    for (std::size_t c = 0; c < su; ++c)
-      engine.copy(basis[c + 1], ap_cur[c]);
-    if (iterations > 0) {
-      engine.block_maxpy(p_cur, p_prev, sw.b);
-      engine.block_maxpy(ap_cur, ap_prev, sw.b);
+    iterations = recovery.restore(x.span());
+    rnorm = recovery.checkpoint_rnorm();
+    ++stats.recoveries;
+    if (obs::Profiler* prof = obs::Profiler::current())
+      ++prof->counters().recoveries;
+    if (recovery.should_degrade() && cur_s > 1) {
+      cur_s = std::max(1, cur_s - 1);
+      recovery.acknowledge_degrade();
     }
-
-    // x and the *recurred* residual (Alg. 4 lines 12-13): no SPMV here.
-    engine.block_axpy(x, p_cur, sw.alpha);
-    engine.block_combine(basis_next[0], basis[0], ap_cur, sw.alpha);
-
-    // Rebuild the powers from the recurred residual: s SPMVs (lines 14-15),
-    // fused into one halo exchange when a matrix-powers kernel is attached.
-    engine.apply_op_powers(basis_next[0],
-                           std::span<Vec>(basis_next.data() + 1, su));
-
-    build_dot_pairs(basis_next, ap_cur, pairs);
-    engine.dots(pairs, values);
-
-    iterations += su;
-    rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
-    detail::checkpoint(stats, opts, iterations, rnorm);
-    engine.mark_iteration(iterations - 1, rnorm);
-
-    std::swap(basis, basis_next);
-    std::swap(p_prev, p_cur);
-    std::swap(ap_prev, ap_cur);
   }
 
-  stats.converged = rnorm < tol;
+  // A solve that needed rollbacks and still failed to converge is a
+  // stagnation (see pipe_pscg.cpp).
+  if (!stats.converged && stats.recoveries > 0) stats.stagnated = true;
+
+  stats.final_s = cur_s;
   stats.iterations = iterations;
   stats.final_rnorm = rnorm;
   detail::finalize_stats(engine, b, x, opts, stats);

@@ -44,10 +44,15 @@ void finalize_stats(Engine& engine, const Vec& b, const Vec& x,
   stats.true_residual = std::sqrt(std::max(engine.dot(r, r), 0.0));
 }
 
-void checkpoint(SolveStats& stats, const SolverOptions& opts,
+bool checkpoint(SolveStats& stats, const SolverOptions& opts,
                 std::size_t iteration, double rnorm) {
   stats.history.emplace_back(iteration, rnorm);
   if (opts.monitor) opts.monitor(IterationInfo{iteration, rnorm});
+  if (!std::isfinite(rnorm)) {
+    stats.breakdown = true;
+    return false;
+  }
+  return true;
 }
 
 bool StallDetector::update(double rnorm) {

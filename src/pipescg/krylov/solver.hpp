@@ -10,6 +10,7 @@
 //    s-step method counts as s.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -69,6 +70,16 @@ struct SolverOptions {
   // (PETSc KSPSetComputeEigenvalues-style; free, no extra kernels).
   bool estimate_spectrum = false;
 
+  // s-step / pipelined s-step drivers: checkpoint the iterate on residual
+  // improvement and, when a fault is detected (non-finite reduced batch,
+  // singular scalar work, runaway divergence), roll back to the checkpoint
+  // and restart the outer loop instead of aborting.  A clean run with
+  // recovery on is bitwise identical to one with it off (checkpoints are
+  // raw copies outside the engine kernel interface).  After two consecutive
+  // restarts with no progress the driver degrades s -> max(1, s-1).
+  bool recovery = true;
+  int max_recoveries = 8;  // rollback budget before giving up
+
   // Called at every residual checkpoint (PETSc KSPMonitor-style).  On the
   // SPMD engine the callback runs on every rank.
   std::function<void(const IterationInfo&)> monitor;
@@ -88,6 +99,11 @@ struct SolveStats {
   double lambda_min_est = -1.0;
   double lambda_max_est = -1.0;
   double condition_est = -1.0;
+  // Fault recovery (s-step drivers with SolverOptions::recovery): how many
+  // rollback-restarts happened and the s the solver finished with (0 when
+  // the method has no s parameter).
+  std::size_t recoveries = 0;
+  int final_s = 0;
   // (CG-equivalent iteration, residual norm) at every check point.
   std::vector<std::pair<std::size_t, double>> history;
 };
@@ -118,8 +134,37 @@ void finalize_stats(Engine& engine, const Vec& b, const Vec& x,
                     const SolverOptions& opts, SolveStats& stats);
 
 /// Append a residual checkpoint to the history and fire the monitor.
-void checkpoint(SolveStats& stats, const SolverOptions& opts,
+/// Returns false -- after flagging stats.breakdown -- when rnorm is not
+/// finite: the recurrences have been destroyed (overflow, SDC, division by
+/// a vanished scalar) and every subsequent iterate would be garbage, so
+/// callers must stop (or roll back) instead of iterating on NaNs.
+bool checkpoint(SolveStats& stats, const SolverOptions& opts,
                 std::size_t iteration, double rnorm);
+
+/// Divergence detector shared by the pipelined s-step drivers: tracks the
+/// best residual norm seen and declares divergence when the current norm is
+/// non-finite or has grown 1e4x past the best (plus an absolute allowance
+/// of 1e3x the initial norm, so early wobble on hard problems is ignored).
+class DivergenceDetector {
+ public:
+  explicit DivergenceDetector(double initial_rnorm)
+      : initial_(initial_rnorm) {}
+
+  /// Feed one residual norm; returns true when the solve has diverged.
+  /// The best-so-far updates *before* the test, matching the historical
+  /// inline guard: a new best never counts as divergence.
+  bool update(double rnorm) {
+    if (!std::isfinite(rnorm)) return true;
+    if (best_ < 0.0 || rnorm < best_) best_ = rnorm;
+    return rnorm > 1e4 * best_ + 1e3 * initial_;
+  }
+
+  double best() const { return best_; }
+
+ private:
+  double initial_;
+  double best_ = -1.0;
+};
 
 /// Sliding-window stagnation detector.
 class StallDetector {

@@ -1,6 +1,7 @@
 #include "pipescg/krylov/spmd_engine.hpp"
 
 #include "pipescg/base/error.hpp"
+#include "pipescg/fault/injector.hpp"
 
 namespace pipescg::krylov {
 
@@ -28,7 +29,10 @@ void SpmdEngine::apply_op(const Vec& x, Vec& y) {
   // Halo and local-compute spans are recorded by par::Comm / DistCsr via
   // the thread-local profiler; only the kernel counter lives here.
   if (profiler_ != nullptr) ++profiler_->counters().spmvs;
+  fault::Injector* inj = fault::Injector::current();
+  fault::SlowScope slow(inj);
   dist_.apply(comm_, x.span(), y.span(), ghost_scratch_);
+  if (inj != nullptr) inj->on_spmv(y.span());
 }
 
 void SpmdEngine::apply_op_powers(const Vec& x, std::span<Vec> outs) {
@@ -45,9 +49,14 @@ void SpmdEngine::apply_op_powers(const Vec& x, std::span<Vec> outs) {
   // halo_epochs and mpk_blocks instead.
   if (profiler_ != nullptr)
     profiler_->counters().spmvs += outs.size();
+  fault::Injector* inj = fault::Injector::current();
+  fault::SlowScope slow(inj);
   mpk_outs_.clear();
   for (Vec& out : outs) mpk_outs_.push_back(out.span());
   mpk_->apply(comm_, x.span(), mpk_outs_, mpk_scratch_);
+  // Each fused output counts as one SPMV event, mirroring the chained path.
+  if (inj != nullptr)
+    for (Vec& out : outs) inj->on_spmv(out.span());
 }
 
 void SpmdEngine::apply_pc(const Vec& r, Vec& u) {
@@ -57,7 +66,10 @@ void SpmdEngine::apply_pc(const Vec& r, Vec& u) {
   }
   if (profiler_ != nullptr) ++profiler_->counters().pc_applies;
   obs::SpanScope span(profiler_, obs::SpanKind::kPcApply);
+  fault::Injector* inj = fault::Injector::current();
+  fault::SlowScope slow(inj);
   pc_->apply(r.span(), u.span());
+  if (inj != nullptr) inj->on_pc(u.span());
 }
 
 DotHandle SpmdEngine::dot_post(std::span<const DotPair> pairs,

@@ -152,6 +152,10 @@ double true_flavored_norm(Engine& engine, const Vec& b, const Vec& x,
   return std::sqrt(std::max(engine.dot(*nx, *ny), 0.0));
 }
 
+bool batch_finite(std::span<const double> values) {
+  return all_finite(values);
+}
+
 int resolve_replacement_period(const SolverOptions& opts, int s) {
   if (opts.replacement_period > 0) return opts.replacement_period;
   if (opts.replacement_period < 0) return 0;

@@ -90,6 +90,13 @@ void build_dot_pairs(const VecBlock& s_basis, const VecBlock& ap,
 void build_dot_pairs(const VecBlock& wb, const VecBlock& v,
                      const VecBlock& apr, std::vector<DotPair>& out);
 
+/// NaN/Inf guard on a reduced dot batch (the 2s+1 moments plus the Gram
+/// cross block).  The reduced values are identical on all ranks, so every
+/// rank reaches the same verdict without extra communication -- this is
+/// what keeps the SPMD control flow consistent when the recovery layer
+/// decides to roll back.
+bool batch_finite(std::span<const double> values);
+
 /// Resolve SolverOptions::replacement_period for depth s: explicit values
 /// pass through; auto (0) uses period 16 at s <= 3 (cheap truth anchoring),
 /// 4 at s = 4 and 1 at s >= 5 (measured stability limits of the

@@ -91,6 +91,7 @@ class Profiler {
     std::size_t allreduces = 0;
     std::size_t iterations = 0;  // CG-equivalent iterations
     std::size_t mpk_blocks = 0;  // matrix-powers s-blocks executed
+    std::size_t recoveries = 0;  // fault-recovery rollback-restarts
     std::size_t halo_epochs = 0;          // batched exchange epochs
     std::size_t halo_messages = 0;        // ghost runs pulled (per rank)
     std::size_t halo_volume_doubles = 0;  // ghost doubles pulled (per rank)

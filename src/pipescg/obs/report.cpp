@@ -9,6 +9,8 @@ json::Value stats_to_json(const krylov::SolveStats& stats) {
   v.set("stagnated", stats.stagnated);
   v.set("breakdown", stats.breakdown);
   v.set("iterations", stats.iterations);
+  v.set("recoveries", stats.recoveries);
+  v.set("final_s", stats.final_s);
   v.set("b_norm", stats.b_norm);
   v.set("final_rnorm", stats.final_rnorm);
   v.set("true_residual", stats.true_residual);
@@ -35,6 +37,7 @@ json::Value counters_to_json(const Profiler::Counters& counters) {
   v.set("allreduces", counters.allreduces);
   v.set("iterations", counters.iterations);
   v.set("mpk_blocks", counters.mpk_blocks);
+  v.set("recoveries", counters.recoveries);
   v.set("halo_epochs", counters.halo_epochs);
   v.set("halo_messages", counters.halo_messages);
   v.set("halo_volume_doubles", counters.halo_volume_doubles);

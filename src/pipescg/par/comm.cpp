@@ -1,32 +1,80 @@
 #include "pipescg/par/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
+#include <sstream>
 #include <thread>
 
 #include "pipescg/base/error.hpp"
 #include "pipescg/base/log.hpp"
+#include "pipescg/fault/injector.hpp"
 #include "pipescg/obs/profiler.hpp"
 
 namespace pipescg::par {
 namespace {
 
+std::atomic<double> g_watchdog_ms{30000.0};
+
 // Spin with progressively more yielding.  On oversubscribed machines (this
 // target has a single core) pure spinning would serialize horribly, so we
-// yield early and often.
+// yield early and often.  pause() returns true once the watchdog deadline
+// has passed, so every spin loop in the runtime is bounded: the caller
+// composes a CommTimeout with its live state instead of hanging.  The clock
+// is consulted only every 1024 yields, keeping the hot path untouched.
 class Backoff {
  public:
-  void pause() {
+  bool pause() {
     if (spins_ < 16) {
       ++spins_;
-    } else {
-      std::this_thread::yield();
+      return false;
     }
+    std::this_thread::yield();
+    if ((++yields_ & 1023u) != 0) return false;
+    const double limit = g_watchdog_ms.load(std::memory_order_relaxed);
+    if (limit <= 0.0) return false;  // watchdog disabled
+    const auto now = std::chrono::steady_clock::now();
+    if (!started_) {
+      start_ = now;
+      started_ = true;
+      return false;
+    }
+    elapsed_ms_ =
+        std::chrono::duration<double, std::milli>(now - start_).count();
+    return elapsed_ms_ >= limit;
   }
+
+  double elapsed_ms() const { return elapsed_ms_; }
 
  private:
   int spins_ = 0;
+  std::uint32_t yields_ = 0;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point start_{};
+  double elapsed_ms_ = 0.0;
 };
+
+// Compose the per-rank state dump and throw CommTimeout.  `where` names the
+// spin loop; `detail` carries its live state (generation, slot, progress
+// counters).  The calling thread's profiler, when installed, contributes
+// its last recorded activity -- which iteration the rank reached and what
+// kind of span it measured last -- so a post-mortem can tell a straggler
+// from a dead peer.
+[[noreturn]] void throw_comm_timeout(const char* where, int rank,
+                                     double elapsed_ms,
+                                     const std::string& detail) {
+  std::ostringstream os;
+  os << "comm watchdog: rank " << rank << " timed out after " << elapsed_ms
+     << " ms in " << where;
+  if (!detail.empty()) os << " (" << detail << ")";
+  if (const obs::Profiler* prof = obs::Profiler::current()) {
+    os << "; profiler: iterations=" << prof->counters().iterations
+       << " spans=" << prof->spans().size();
+    if (!prof->spans().empty())
+      os << " last=" << obs::to_string(prof->spans().back().kind);
+  }
+  throw CommTimeout(rank, os.str());
+}
 
 // Tags the calling thread's log lines with its SPMD rank for the duration
 // of the team body, so interleaved output is attributable.
@@ -40,6 +88,14 @@ class LogRankScope {
 };
 
 }  // namespace
+
+void set_comm_watchdog_ms(double ms) {
+  g_watchdog_ms.store(ms, std::memory_order_relaxed);
+}
+
+double comm_watchdog_ms() {
+  return g_watchdog_ms.load(std::memory_order_relaxed);
+}
 
 RankRange block_range(std::size_t n, int rank, int size) {
   PIPESCG_CHECK(size > 0 && rank >= 0 && rank < size,
@@ -66,7 +122,7 @@ Team::Team(int num_ranks) : num_ranks_(num_ranks) {
   windows_.assign(static_cast<std::size_t>(num_ranks), {});
 }
 
-void Team::barrier_impl() {
+void Team::barrier_impl(int rank) {
   const int sense = barrier_sense_.load(std::memory_order_relaxed);
   if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) ==
       num_ranks_ - 1) {
@@ -74,24 +130,51 @@ void Team::barrier_impl() {
     barrier_sense_.store(1 - sense, std::memory_order_release);
   } else {
     Backoff backoff;
-    while (barrier_sense_.load(std::memory_order_acquire) == sense)
-      backoff.pause();
+    while (barrier_sense_.load(std::memory_order_acquire) == sense) {
+      if (backoff.pause()) {
+        std::ostringstream os;
+        os << "arrived=" << barrier_count_.load(std::memory_order_relaxed)
+           << "/" << num_ranks_ << " sense=" << sense;
+        throw_comm_timeout("barrier", rank, backoff.elapsed_ms(), os.str());
+      }
+    }
   }
 }
 
 AllreduceRequest Team::post_impl(Comm& comm, std::span<const double> in) {
   PIPESCG_CHECK(in.size() <= kMaxPayload,
                 "allreduce payload exceeds Team::kMaxPayload");
+  if (fault::Injector* inj = fault::Injector::current())
+    inj->on_allreduce_post();
   const std::uint64_t id = comm.next_op_id_++;
   Slot& slot = *slots_[id % kMaxInflight];
 
   // Backpressure: wait until the slot has been fully recycled for this
   // generation (all ranks consumed the previous tenant).
   Backoff backoff;
-  while (slot.generation.load(std::memory_order_acquire) != id)
-    backoff.pause();
+  while (slot.generation.load(std::memory_order_acquire) != id) {
+    if (backoff.pause()) {
+      std::ostringstream os;
+      os << "op=" << id << " slot=" << id % kMaxInflight << " slot_generation="
+         << slot.generation.load(std::memory_order_relaxed);
+      throw_comm_timeout("allreduce post backpressure", comm.rank(),
+                         backoff.elapsed_ms(), os.str());
+    }
+  }
 
-  slot.count = in.size();  // same value written by every rank
+  // Payload sanity: the first contributor installs the count tag, every
+  // later contributor must agree -- a mismatch means the ranks posted
+  // different collectives into the same generation (ordering violation).
+  const std::uint64_t tag = static_cast<std::uint64_t>(in.size()) + 1;
+  std::uint64_t expected = 0;
+  if (!slot.count_tag.compare_exchange_strong(expected, tag,
+                                              std::memory_order_acq_rel)) {
+    PIPESCG_CHECK(expected == tag,
+                  "allreduce payload count mismatch across ranks: this rank "
+                  "posted " + std::to_string(in.size()) + " doubles, a peer "
+                  "posted " + std::to_string(expected - 1) +
+                  " (collective-ordering contract violated; see par/comm.hpp)");
+  }
   double* mine = slot.contributions.data() +
                  static_cast<std::size_t>(comm.rank()) * kMaxPayload;
   std::copy(in.begin(), in.end(), mine);
@@ -104,11 +187,21 @@ AllreduceRequest Team::post_impl(Comm& comm, std::span<const double> in) {
   return req;
 }
 
-void Team::wait_impl(const AllreduceRequest& req, std::span<double> out) {
+void Team::wait_impl(const AllreduceRequest& req, std::span<double> out,
+                     int rank) {
   Slot& slot = *slots_[req.op_id % kMaxInflight];
   Backoff backoff;
-  while (slot.contributed.load(std::memory_order_acquire) != num_ranks_)
-    backoff.pause();
+  while (slot.contributed.load(std::memory_order_acquire) != num_ranks_) {
+    if (backoff.pause()) {
+      std::ostringstream os;
+      os << "op=" << req.op_id << " slot=" << req.op_id % kMaxInflight
+         << " contributed="
+         << slot.contributed.load(std::memory_order_relaxed) << "/"
+         << num_ranks_;
+      throw_comm_timeout("allreduce wait", rank, backoff.elapsed_ms(),
+                         os.str());
+    }
+  }
 
   PIPESCG_CHECK(out.size() >= req.count, "allreduce output buffer too small");
   // Fixed-order reduction: deterministic result independent of scheduling.
@@ -124,6 +217,7 @@ void Team::wait_impl(const AllreduceRequest& req, std::span<double> out) {
       num_ranks_ - 1) {
     slot.consumed.store(0, std::memory_order_relaxed);
     slot.contributed.store(0, std::memory_order_relaxed);
+    slot.count_tag.store(0, std::memory_order_relaxed);
     slot.generation.store(req.op_id + kMaxInflight,
                           std::memory_order_release);
   }
@@ -161,7 +255,7 @@ void Team::run(int num_ranks, const std::function<void(Comm&)>& body) {
 
 int Comm::size() const { return team_->num_ranks_; }
 
-void Comm::barrier() { team_->barrier_impl(); }
+void Comm::barrier() { team_->barrier_impl(rank_); }
 
 void Comm::allreduce_sum(std::span<const double> in, std::span<double> out) {
   // A blocking collective (MPI_Allreduce): the post..completion interval is
@@ -173,7 +267,7 @@ void Comm::allreduce_sum(std::span<const double> in, std::span<double> out) {
     req = team_->post_impl(*this, in);
   }
   obs::SpanScope span(prof, obs::SpanKind::kAllreduceWaitBlocking);
-  team_->wait_impl(req, out);
+  team_->wait_impl(req, out, rank_);
 }
 
 AllreduceRequest Comm::iallreduce_sum(std::span<const double> in) {
@@ -188,7 +282,7 @@ void Comm::wait(AllreduceRequest& req, std::span<double> out) {
   // reduction latency the solver failed to hide behind compute.
   obs::SpanScope span(obs::Profiler::current(),
                       obs::SpanKind::kAllreduceWaitNonblocking);
-  team_->wait_impl(req, out);
+  team_->wait_impl(req, out, rank_);
   req.active = false;
 }
 
@@ -217,7 +311,7 @@ double Comm::allreduce_max(double v) {
 void Comm::expose(std::span<const double> window) {
   obs::SpanScope span(obs::Profiler::current(), obs::SpanKind::kHaloExpose);
   team_->windows_[static_cast<std::size_t>(rank_)] = window;
-  team_->barrier_impl();  // opens the epoch: all windows published
+  team_->barrier_impl(rank_);  // opens the epoch: all windows published
 }
 
 void Comm::peer_read(int peer, std::size_t offset,
@@ -235,12 +329,14 @@ void Comm::peer_read(int peer, std::size_t offset,
 
 void Comm::close_epoch() {
   obs::SpanScope span(obs::Profiler::current(), obs::SpanKind::kHaloClose);
-  team_->barrier_impl();  // all reads done before windows may change
+  team_->barrier_impl(rank_);  // all reads done before windows may change
 }
 
 void Comm::exchange(std::span<const GhostPull> pulls,
                     std::span<const double> window,
                     std::span<double> ghosts) {
+  if (fault::Injector* inj = fault::Injector::current())
+    inj->on_halo_exchange();
   expose(window);
   std::size_t volume = 0;
   for (const GhostPull& pull : pulls) {

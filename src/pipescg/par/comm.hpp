@@ -20,10 +20,27 @@
 // contributed and then performs a *fixed-order* summation so results are
 // bit-deterministic regardless of thread scheduling.
 //
-// Ordering contract (same as MPI): all ranks must post collectives in the
-// same order.  A bounded ring of in-flight operations provides backpressure;
-// exceeding kMaxInflight outstanding unposted generations simply makes the
-// poster spin until the slot is recycled.
+// Ordering contract (same as MPI): all ranks must post every collective --
+// barrier, allreduce_sum/iallreduce_sum, broadcast, allreduce_max, expose/
+// close_epoch, exchange -- in the same order, and matching posts must agree
+// on their payload shape (the allreduce count; the exposed window length for
+// the window-based collectives).  A bounded ring of in-flight operations
+// provides backpressure; exceeding kMaxInflight outstanding unposted
+// generations simply makes the poster spin until the slot is recycled.
+// Violations are detected rather than silently corrupting: mismatched
+// allreduce payload counts fail a cheap always-on check at post time
+// (allreduce_max and broadcast ride on the window mechanism, whose
+// peer_read bounds-check catches a mismatched window), and mismatched
+// *ordering* deadlocks -- which the spin-loop watchdog below converts into
+// a CommTimeout diagnostic instead of a hang.
+//
+// Watchdog: every spin loop in the runtime (barrier, allreduce wait,
+// post backpressure) is bounded by a global watchdog timeout
+// (set_comm_watchdog_ms, default 30 s).  A rank that spins past the
+// deadline -- because a peer died, stalled indefinitely, or violated the
+// ordering contract -- throws CommTimeout carrying a per-rank state dump
+// (what it was waiting on, generation/slot, progress counters, and the
+// rank's last profiler activity) instead of hanging the team forever.
 #pragma once
 
 #include <atomic>
@@ -31,11 +48,47 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "pipescg/base/error.hpp"
 
 namespace pipescg::par {
 
 class Team;
+
+/// Thrown by a rank whose collective spin exceeded the watchdog timeout:
+/// the in-process analogue of an MPI fault-tolerance error class
+/// (MPIX_ERR_PROC_FAILED).  The message carries the rank's state dump.
+class CommTimeout : public Error {
+ public:
+  CommTimeout(int rank, const std::string& what) : Error(what), rank_(rank) {}
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// Watchdog timeout for the runtime's spin loops, in milliseconds.
+/// <= 0 disables the watchdog (unbounded spins, the pre-fault-layer
+/// behavior).  The default is 30000 ms -- far beyond any legitimate
+/// collective on an in-process team, so clean runs never trip it.
+void set_comm_watchdog_ms(double ms);
+double comm_watchdog_ms();
+
+/// RAII watchdog override (tests use short timeouts and must restore).
+class ScopedWatchdog {
+ public:
+  explicit ScopedWatchdog(double ms) : prev_(comm_watchdog_ms()) {
+    set_comm_watchdog_ms(ms);
+  }
+  ~ScopedWatchdog() { set_comm_watchdog_ms(prev_); }
+  ScopedWatchdog(const ScopedWatchdog&) = delete;
+  ScopedWatchdog& operator=(const ScopedWatchdog&) = delete;
+
+ private:
+  double prev_;
+};
 
 /// Handle for an in-flight non-blocking allreduce.
 struct AllreduceRequest {
@@ -79,7 +132,8 @@ class Comm {
   void barrier();
 
   /// Blocking sum-allreduce; in and out may alias.  All ranks must pass the
-  /// same count.
+  /// same count (checked at post time; a mismatch throws on the violating
+  /// rank and times out the others).
   void allreduce_sum(std::span<const double> in, std::span<double> out);
 
   /// Post a non-blocking sum-allreduce of `in`.  The contents of `in` are
@@ -93,6 +147,9 @@ class Comm {
   void broadcast(std::span<double> data, int root);
 
   /// Max-allreduce of a single value (used for convergence flags/norms).
+  /// Rides on the window mechanism, so its payload sanity comes from
+  /// peer_read's bounds check: a rank that posted a different collective in
+  /// this slot exposes a window of the wrong length and every reader throws.
   double allreduce_max(double v);
 
   /// RMA-style exposure epoch: every rank publishes a read-only window, then
@@ -166,7 +223,12 @@ class Team {
     std::atomic<std::uint64_t> generation{0};
     std::atomic<int> contributed{0};
     std::atomic<int> consumed{0};
-    std::size_t count = 0;  // payload length; written by first contributor
+    // Payload sanity tag: count + 1 of the current tenant, 0 = unset.  The
+    // first contributor CAS-installs it; every later contributor verifies
+    // its own count against it, so ranks disagreeing on an allreduce's
+    // payload shape (a collective-ordering violation) fail loudly at post
+    // time instead of summing garbage.  Cheap enough to keep on in release.
+    std::atomic<std::uint64_t> count_tag{0};
     std::vector<double> contributions;  // P * kMaxPayload
   };
 
@@ -179,9 +241,9 @@ class Team {
   std::atomic<int> barrier_count_{0};
   std::atomic<int> barrier_sense_{0};
 
-  void barrier_impl();
+  void barrier_impl(int rank);
   AllreduceRequest post_impl(Comm& comm, std::span<const double> in);
-  void wait_impl(const AllreduceRequest& req, std::span<double> out);
+  void wait_impl(const AllreduceRequest& req, std::span<double> out, int rank);
 };
 
 }  // namespace pipescg::par

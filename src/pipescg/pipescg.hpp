@@ -21,6 +21,9 @@
 #include "pipescg/base/log.hpp"
 #include "pipescg/base/rng.hpp"
 #include "pipescg/base/timer.hpp"
+#include "pipescg/fault/injector.hpp"
+#include "pipescg/fault/recovery.hpp"
+#include "pipescg/fault/spec.hpp"
 #include "pipescg/krylov/registry.hpp"
 #include "pipescg/krylov/serial_engine.hpp"
 #include "pipescg/krylov/solver.hpp"

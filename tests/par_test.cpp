@@ -190,5 +190,70 @@ TEST(TeamTest, ZeroRanksRejected) {
   EXPECT_THROW(Team::run(0, [](Comm&) {}), Error);
 }
 
+TEST(TeamTest, AllreducePayloadMismatchThrows) {
+  // Ranks disagreeing on the payload count of a collective is an ordering
+  // contract violation: the violator must fail loudly at post time (and the
+  // innocent peer's wait is bounded by the watchdog, not a hang).
+  const ScopedWatchdog watchdog(500.0);
+  EXPECT_THROW(
+      Team::run(2,
+                [](Comm& comm) {
+                  std::vector<double> in(comm.rank() == 0 ? 2u : 3u, 1.0);
+                  std::vector<double> out(4, 0.0);
+                  comm.allreduce_sum(in, out);
+                }),
+      Error);
+}
+
+TEST(WatchdogTest, BarrierTimesOutWhenPeerNeverArrives) {
+  const ScopedWatchdog watchdog(300.0);
+  EXPECT_THROW(
+      Team::run(3,
+                [](Comm& comm) {
+                  if (comm.rank() == 2) return;  // dead rank never arrives
+                  comm.barrier();
+                }),
+      CommTimeout);
+}
+
+TEST(WatchdogTest, AllreduceWaitTimesOutWhenPeerNeverPosts) {
+  const ScopedWatchdog watchdog(300.0);
+  EXPECT_THROW(
+      Team::run(2,
+                [](Comm& comm) {
+                  if (comm.rank() == 1) return;
+                  const double v = 1.0;
+                  double out = 0.0;
+                  comm.allreduce_sum(std::span<const double>(&v, 1),
+                                     std::span<double>(&out, 1));
+                }),
+      CommTimeout);
+}
+
+TEST(WatchdogTest, TimeoutCarriesRankAndStateDump) {
+  const ScopedWatchdog watchdog(250.0);
+  try {
+    Team::run(2, [](Comm& comm) {
+      if (comm.rank() == 1) return;
+      comm.barrier();
+    });
+    FAIL() << "expected CommTimeout";
+  } catch (const CommTimeout& e) {
+    EXPECT_EQ(e.rank(), 0);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("barrier"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+  }
+}
+
+TEST(WatchdogTest, ScopedOverrideRestores) {
+  const double before = comm_watchdog_ms();
+  {
+    const ScopedWatchdog watchdog(123.0);
+    EXPECT_EQ(comm_watchdog_ms(), 123.0);
+  }
+  EXPECT_EQ(comm_watchdog_ms(), before);
+}
+
 }  // namespace
 }  // namespace pipescg::par
