@@ -7,9 +7,11 @@
 // convergence runs are real; the per-node-count timings replay the recorded
 // event traces through the machine model (see DESIGN.md).
 #include <cstdio>
+#include <fstream>
 
 #include "pipescg/base/cli.hpp"
 #include "pipescg/bench_support/figures.hpp"
+#include "pipescg/obs/telemetry.hpp"
 #include "pipescg/sparse/poisson125.hpp"
 
 using namespace pipescg;
@@ -24,6 +26,9 @@ int main(int argc, char** argv) {
   cli.add_option("csv", "", "optional CSV output path for the figure data");
   cli.add_option("trace-nodes", "40",
                  "node count the modeled --trace-out schedule is priced at");
+  cli.add_option("bench-json", "",
+                 "write machine-readable BENCH_<name>.json (per-method "
+                 "iterations, modeled overlap efficiency, speedups)");
   cli.add_observability_options();
   if (!cli.parse(argc, argv)) return 0;
 
@@ -45,8 +50,15 @@ int main(int argc, char** argv) {
               "%.1e, s=%d\n",
               n, op->rows(), opts.rtol, opts.s);
   std::vector<bench::RunRecord> runs;
+  std::string telemetry;
   for (const std::string& m : methods) {
-    runs.push_back(bench::run_method(m, *op, jacobi.get(), opts));
+    obs::ConvergenceTelemetry telem(m);
+    {
+      obs::ConvergenceTelemetry::Install install(
+          cli.str("telemetry-out").empty() ? nullptr : &telem);
+      runs.push_back(bench::run_method(m, *op, jacobi.get(), opts));
+    }
+    telemetry += telem.to_jsonl();
     std::printf("  ran %-12s: %zu iterations\n", m.c_str(),
                 runs.back().stats.iterations);
   }
@@ -61,12 +73,21 @@ int main(int argc, char** argv) {
       report, "Fig. 1: speedup vs PCG@1node, 125-pt Poisson");
   bench::write_scaling_csv(report, cli.str("csv"));
   if (cli.flag("profile")) bench::print_run_counters(runs);
-  bench::write_modeled_trace(runs, timeline,
-                             static_cast<int>(cli.integer("trace-nodes")),
+  const int trace_nodes = static_cast<int>(cli.integer("trace-nodes"));
+  const int ranks = timeline.machine().ranks_for_nodes(trace_nodes);
+  if (cli.flag("analyze")) bench::print_modeled_overlap(runs, timeline, ranks);
+  bench::write_modeled_trace(runs, timeline, trace_nodes,
                              cli.str("trace-out"));
   bench::write_bench_report(runs, report,
                             "Fig. 1: strong scaling, 125-pt Poisson",
                             cli.str("report-out"));
+  bench::write_bench_json("fig1", runs, report, timeline, ranks,
+                          cli.str("bench-json"));
+  if (!cli.str("telemetry-out").empty()) {
+    std::ofstream os(cli.str("telemetry-out"), std::ios::binary);
+    os << telemetry;
+    std::printf("wrote telemetry to %s\n", cli.str("telemetry-out").c_str());
+  }
 
   // Paper landmarks for comparison (100^3, SahasraT): PCG peaks ~11.3x at 40
   // nodes; PIPECG 14.79x; PIPECG3 17.77x; OATI 19.76x; PsCG 12.79x;

@@ -6,9 +6,11 @@
 // variants stagnate before 1e-5 on this ill-conditioned system, paper
 // Section VI-B), s = 3, up to 120 nodes.
 #include <cstdio>
+#include <fstream>
 
 #include "pipescg/base/cli.hpp"
 #include "pipescg/bench_support/figures.hpp"
+#include "pipescg/obs/telemetry.hpp"
 #include "pipescg/sparse/matrix_market.hpp"
 #include "pipescg/sparse/surrogates.hpp"
 
@@ -26,6 +28,9 @@ int main(int argc, char** argv) {
   cli.add_option("csv", "", "optional CSV output path for the figure data");
   cli.add_option("trace-nodes", "40",
                  "node count the modeled --trace-out schedule is priced at");
+  cli.add_option("bench-json", "",
+                 "write machine-readable BENCH_<name>.json (per-method "
+                 "iterations, modeled overlap efficiency, speedups)");
   cli.add_observability_options();
   if (!cli.parse(argc, argv)) return 0;
 
@@ -50,8 +55,16 @@ int main(int argc, char** argv) {
   std::printf("Fig. 2: %s, %zu unknowns, %zu nnz, jacobi, rtol %.1e, s=%d\n",
               a.name().c_str(), a.rows(), a.nnz(), opts.rtol, opts.s);
   std::vector<bench::RunRecord> runs;
-  for (const std::string& m : methods)
-    runs.push_back(bench::run_method(m, a, &jacobi, opts));
+  std::string telemetry;
+  for (const std::string& m : methods) {
+    obs::ConvergenceTelemetry telem(m);
+    {
+      obs::ConvergenceTelemetry::Install install(
+          cli.str("telemetry-out").empty() ? nullptr : &telem);
+      runs.push_back(bench::run_method(m, a, &jacobi, opts));
+    }
+    telemetry += telem.to_jsonl();
+  }
   bench::print_run_summaries(runs);
 
   const sim::Timeline timeline(sim::MachineModel::cray_xc40_like());
@@ -62,12 +75,21 @@ int main(int argc, char** argv) {
                               "Fig. 2: speedup vs PCG@1node, ecology2-like");
   bench::write_scaling_csv(report, cli.str("csv"));
   if (cli.flag("profile")) bench::print_run_counters(runs);
-  bench::write_modeled_trace(runs, timeline,
-                             static_cast<int>(cli.integer("trace-nodes")),
+  const int trace_nodes = static_cast<int>(cli.integer("trace-nodes"));
+  const int ranks = timeline.machine().ranks_for_nodes(trace_nodes);
+  if (cli.flag("analyze")) bench::print_modeled_overlap(runs, timeline, ranks);
+  bench::write_modeled_trace(runs, timeline, trace_nodes,
                              cli.str("trace-out"));
   bench::write_bench_report(runs, report,
                             "Fig. 2: strong scaling, ecology2-like",
                             cli.str("report-out"));
+  bench::write_bench_json("fig2", runs, report, timeline, ranks,
+                          cli.str("bench-json"));
+  if (!cli.str("telemetry-out").empty()) {
+    std::ofstream os(cli.str("telemetry-out"), std::ios::binary);
+    os << telemetry;
+    std::printf("wrote telemetry to %s\n", cli.str("telemetry-out").c_str());
+  }
 
   // Paper landmarks (real ecology2, 120 nodes): PIPE-PsCG 2.9x vs PCG,
   // 2.15x vs PIPECG, 1.4x vs PIPECG3, 1.2x vs OATI, 2.43x vs PsCG.

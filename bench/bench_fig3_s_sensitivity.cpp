@@ -10,9 +10,11 @@
 // floor and the kernel overhead added by the stability replacement rebuilds
 // at s >= 4.
 #include <cstdio>
+#include <fstream>
 
 #include "pipescg/base/cli.hpp"
 #include "pipescg/bench_support/figures.hpp"
+#include "pipescg/obs/telemetry.hpp"
 #include <algorithm>
 
 #include "pipescg/sim/auto_tune.hpp"
@@ -26,6 +28,12 @@ int main(int argc, char** argv) {
   cli.add_option("n", "64", "grid points per dimension (paper: 100)");
   cli.add_option("rtol", "1e-5", "relative tolerance");
   cli.add_option("max-nodes", "140", "largest node count in the sweep");
+  cli.add_option("trace-nodes", "40",
+                 "node count the modeled --trace-out schedule is priced at");
+  cli.add_option("bench-json", "",
+                 "write machine-readable BENCH_<name>.json (per-method "
+                 "iterations, modeled overlap efficiency, speedups)");
+  cli.add_observability_options();
   if (!cli.parse(argc, argv)) return 0;
 
   const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
@@ -37,13 +45,20 @@ int main(int argc, char** argv) {
   std::vector<bench::RunRecord> runs;
   std::vector<bench::RunRecord> pure_runs;  // replacement disabled, for the
                                             // overhead ablation
+  std::string telemetry;
   for (int s : {3, 4, 5}) {
     krylov::SolverOptions opts;
     opts.rtol = cli.real("rtol");
     opts.s = s;
     opts.max_iterations = 100000;
     opts.norm = krylov::NormType::kPreconditioned;
-    runs.push_back(bench::run_method("pipe-pscg", *op, jacobi.get(), opts));
+    obs::ConvergenceTelemetry telem("s=" + std::to_string(s));
+    {
+      obs::ConvergenceTelemetry::Install install(
+          cli.str("telemetry-out").empty() ? nullptr : &telem);
+      runs.push_back(bench::run_method("pipe-pscg", *op, jacobi.get(), opts));
+    }
+    telemetry += telem.to_jsonl();
     runs.back().method = "s=" + std::to_string(s);
 
     opts.replacement_period = -1;
@@ -68,6 +83,22 @@ int main(int argc, char** argv) {
       bench::node_sweep(static_cast<int>(cli.integer("max-nodes"))), "pcg");
   bench::print_scaling_report(report,
                               "Fig. 3: PIPE-PsCG s-sensitivity (speedups)");
+  if (cli.flag("profile")) bench::print_run_counters(runs);
+  const int trace_nodes = static_cast<int>(cli.integer("trace-nodes"));
+  const int trace_ranks = timeline.machine().ranks_for_nodes(trace_nodes);
+  if (cli.flag("analyze"))
+    bench::print_modeled_overlap(runs, timeline, trace_ranks);
+  bench::write_modeled_trace(runs, timeline, trace_nodes,
+                             cli.str("trace-out"));
+  bench::write_bench_report(runs, report, "Fig. 3: PIPE-PsCG s-sensitivity",
+                            cli.str("report-out"));
+  bench::write_bench_json("fig3", runs, report, timeline, trace_ranks,
+                          cli.str("bench-json"));
+  if (!cli.str("telemetry-out").empty()) {
+    std::ofstream os(cli.str("telemetry-out"), std::ios::binary);
+    os << telemetry;
+    std::printf("wrote telemetry to %s\n", cli.str("telemetry-out").c_str());
+  }
 
   // Model view with *pure recurrences* (no stability anchoring): the cost
   // structure the paper measures.  This exhibits the paper's crossovers --

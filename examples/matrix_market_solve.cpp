@@ -3,19 +3,26 @@
 //
 //   ./matrix_market_solve [--matrix path.mtx] [--surrogate thermal2]
 //                         [--rtol 1e-5] [--pc jacobi]
-//                         [--profile] [--trace-out trace.json]
+//                         [--profile] [--analyze] [--trace-out trace.json]
 //                         [--report-out report.json] [--trace-nodes 4]
+//                         [--telemetry-out telemetry.jsonl]
 //
 // This is the workflow for reproducing the paper's SuiteSparse experiments
 // with the real matrices once they are available offline.
 //
 // Observability: --profile prints each method's kernel counters from the
-// recorded event trace; --trace-out writes the machine-model schedule of
-// every method at --trace-nodes nodes as one Chrome trace-event file (one
-// process per method, comparable side by side in Perfetto); --report-out
-// writes all solve statistics as structured JSON.
+// recorded event trace; --analyze prints the modeled communication-hiding
+// table (how much allreduce time the machine model expects each variant to
+// hide at --trace-nodes nodes); --telemetry-out records one JSONL line per
+// CG iteration for every method (tagged with the method name); --trace-out
+// writes the machine-model schedule of every method at --trace-nodes nodes
+// as one Chrome trace-event file (one process per method, comparable side
+// by side in Perfetto); --report-out writes all solve statistics as
+// structured JSON.
 #include <cstdio>
+#include <fstream>
 
+#include "pipescg/bench_support/figures.hpp"
 #include "pipescg/pipescg.hpp"
 
 using namespace pipescg;
@@ -76,9 +83,10 @@ int main(int argc, char** argv) {
   opts.compute_true_residual = true;
 
   const bool profile = cli.flag("profile");
+  const bool analyze = cli.flag("analyze");
   const bool want_trace = !cli.str("trace-out").empty();
   const bool want_report = !cli.str("report-out").empty();
-  const bool record = profile || want_trace || want_report;
+  const bool record = profile || analyze || want_trace || want_report;
 
   const sim::Timeline timeline(sim::MachineModel::cray_xc40_like());
   const int trace_ranks = timeline.machine().ranks_for_nodes(
@@ -97,6 +105,8 @@ int main(int argc, char** argv) {
   std::printf("%-14s %10s %12s %12s %8s\n", "method", "iters", "rnorm",
               "true_res", "status");
   int pid = 0;
+  std::vector<bench::RunRecord> analyze_runs;
+  std::string telemetry;
   for (const std::string& name : krylov::solver_names()) {
     sim::EventTrace trace;
     double wall = 0.0;
@@ -109,10 +119,14 @@ int main(int argc, char** argv) {
     engine.apply_op(ones, b);
     krylov::Vec x = engine.new_vec();
     krylov::SolveStats stats;
+    obs::ConvergenceTelemetry telem(name);
     {
+      const obs::ConvergenceTelemetry::Install install(
+          cli.str("telemetry-out").empty() ? nullptr : &telem);
       ScopedTimer timer(wall);
       stats = krylov::make_solver(name)->solve(engine, b, x, opts);
     }
+    telemetry += telem.to_jsonl();
     std::printf("%-14s %10zu %12.3e %12.3e %8s\n", name.c_str(),
                 stats.iterations, stats.final_rnorm, stats.true_residual,
                 stats.converged ? "ok"
@@ -141,10 +155,29 @@ int main(int argc, char** argv) {
       m.set("seconds", modeled.seconds);
       m.set("compute_seconds", modeled.compute_seconds);
       m.set("allreduce_wait_seconds", modeled.allreduce_wait_seconds);
+      m.set("allreduce_total_seconds", modeled.allreduce_total_seconds);
+      m.set("hidden_seconds", modeled.allreduce_total_seconds -
+                                  modeled.allreduce_wait_seconds);
+      m.set("overlap_efficiency",
+            modeled.allreduce_total_seconds > 0.0
+                ? (modeled.allreduce_total_seconds -
+                   modeled.allreduce_wait_seconds) /
+                      modeled.allreduce_total_seconds
+                : 1.0);
       entry.set("modeled", std::move(m));
       method_reports.push_back(std::move(entry));
     }
+    if (analyze) {
+      bench::RunRecord rec;
+      rec.method = name;
+      rec.stats = stats;
+      rec.trace = std::move(trace);
+      analyze_runs.push_back(std::move(rec));
+    }
   }
+
+  if (analyze)
+    bench::print_modeled_overlap(analyze_runs, timeline, trace_ranks);
 
   if (want_trace) {
     obs::json::write_file(cli.str("trace-out"), trace_builder.build());
@@ -155,6 +188,11 @@ int main(int argc, char** argv) {
     report.set("methods", std::move(method_reports));
     obs::json::write_file(cli.str("report-out"), report);
     std::printf("wrote solve report to %s\n", cli.str("report-out").c_str());
+  }
+  if (!cli.str("telemetry-out").empty()) {
+    std::ofstream os(cli.str("telemetry-out"), std::ios::binary);
+    os << telemetry;
+    std::printf("wrote telemetry to %s\n", cli.str("telemetry-out").c_str());
   }
   return 0;
 }

@@ -5,11 +5,19 @@
 //
 //   ./runtime_tour [--n 48] [--problem thermal2|poisson3d|ecology2]
 //                  [--method pipe-pscg] [--max-ranks 4] [--mpk on|off]
-//                  [--profile] [--trace-out trace.json]
+//                  [--profile] [--analyze] [--trace-out trace.json]
 //                  [--report-out report.json]
+//                  [--telemetry-out telemetry.jsonl]
 //
 // With --profile, every SPMD run is measured with the per-rank kernel
 // profiler (see obs/) and a compute/halo/wait breakdown is printed.
+// --analyze (implies --profile) additionally reconstructs the span DAG of
+// each SPMD run and prints the measured overlap summary: how much of the
+// non-blocking allreduce wait was hidden under compute, the exposed
+// remainder, per-rank imbalance, and the critical-path attribution
+// (obs/analysis.hpp).  --telemetry-out records one JSONL line per CG
+// iteration (residual norm, alpha/beta, s, recoveries) from rank 0 of the
+// largest rank count.
 // --mpk on attaches a depth-s matrix-powers kernel to the SPMD engines so
 // s-step basis builds cost one halo-exchange epoch instead of s (compare
 // the halo_epochs counter across the two modes; see EXPERIMENTS.md).  The
@@ -26,6 +34,7 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "pipescg/pipescg.hpp"
 
@@ -55,7 +64,9 @@ int main(int argc, char** argv) {
   const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
   const std::string method = cli.str("method");
   const bool use_mpk = cli.mpk_enabled();
-  const bool profile = cli.flag("profile") || !cli.str("trace-out").empty() ||
+  const bool analyze = cli.flag("analyze");
+  const bool profile = cli.flag("profile") || analyze ||
+                       !cli.str("trace-out").empty() ||
                        !cli.str("report-out").empty();
   const std::string problem = cli.str("problem");
   const sparse::CsrMatrix a = [&] {
@@ -110,6 +121,7 @@ int main(int argc, char** argv) {
 
   // Kept from the largest rank count for the exports.
   std::unique_ptr<obs::SolveProfile> last_profile;
+  std::unique_ptr<obs::ConvergenceTelemetry> last_telemetry;
   krylov::SolveStats last_stats;
   int last_ranks = 0;
   double last_max_diff = 0.0;
@@ -122,9 +134,17 @@ int main(int argc, char** argv) {
     std::mutex mutex;
     auto solve_profile =
         profile ? std::make_unique<obs::SolveProfile>(ranks) : nullptr;
+    // Per-iteration convergence telemetry, recorded on rank 0 only (the
+    // scalar recurrences are replicated, so every rank would log the same
+    // records).
+    auto telemetry = !cli.str("telemetry-out").empty()
+                         ? std::make_unique<obs::ConvergenceTelemetry>(method)
+                         : nullptr;
     std::vector<std::size_t> injected(static_cast<std::size_t>(ranks), 0);
     try {
     par::Team::run(ranks, [&](par::Comm& comm) {
+      const obs::ConvergenceTelemetry::Install telemetry_install(
+          comm.rank() == 0 ? telemetry.get() : nullptr);
       fault::Injector injector(fault_specs, comm.rank());
       const fault::Injector::Install install(
           fault_specs.empty() ? nullptr : &injector);
@@ -203,11 +223,18 @@ int main(int argc, char** argv) {
           c0.halo_epochs, c0.mpk_blocks, c0.halo_messages,
           c0.halo_volume_doubles);
       std::fputs(solve_profile->summary().c_str(), stdout);
+      if (analyze) {
+        // One-screen measured-overlap digest: per-rank hiding efficiency,
+        // exposed wait, and where the critical path actually went.
+        const obs::OverlapReport overlap = obs::analyze_overlap(*solve_profile);
+        std::fputs(obs::overlap_summary(overlap).c_str(), stdout);
+      }
       last_profile = std::move(solve_profile);
       last_stats = dist_stats;
       last_ranks = ranks;
       last_max_diff = max_diff;
     }
+    if (telemetry) last_telemetry = std::move(telemetry);
   }
   std::printf("\n(rank counts change only the reduction rounding; with "
               "truth anchoring the trajectories agree to rounding)\n");
@@ -248,7 +275,17 @@ int main(int argc, char** argv) {
     serial.set("stats", obs::stats_to_json(serial_stats));
     serial.set("trace_counters", obs::counters_to_json(serial_counters));
     report.set("serial", std::move(serial));
-    obs::json::Value spmd = obs::solve_report(last_stats, last_profile.get());
+    // Overlap + model-vs-measured drift for the kept (largest) rank count:
+    // the machine model prices the serial event trace at last_ranks and the
+    // drift report diffs that schedule against the measured spans.
+    const obs::OverlapReport overlap = obs::analyze_overlap(*last_profile);
+    std::vector<sim::ScheduledSpan> drift_schedule;
+    const sim::Timeline drift_timeline(sim::MachineModel::cray_xc40_like());
+    drift_timeline.evaluate(serial_trace, last_ranks, &drift_schedule);
+    const obs::DriftReport drift =
+        obs::drift_report(drift_schedule, *last_profile, overlap);
+    obs::json::Value spmd =
+        obs::solve_report(last_stats, last_profile.get(), &overlap, &drift);
     const auto& c0 = last_profile->rank(0).counters();
     report.set("counters_match_serial_trace",
                last_profile->counters_uniform() &&
@@ -259,6 +296,16 @@ int main(int argc, char** argv) {
     report.set("spmd", std::move(spmd));
     obs::json::write_file(cli.str("report-out"), report);
     std::printf("wrote solve report to %s\n", cli.str("report-out").c_str());
+  }
+
+  if (!cli.str("telemetry-out").empty()) {
+    if (last_telemetry) {
+      last_telemetry->write_jsonl(cli.str("telemetry-out"));
+      std::printf("wrote %zu telemetry records to %s\n",
+                  last_telemetry->size(), cli.str("telemetry-out").c_str());
+    } else {
+      std::printf("no SPMD run completed: skipping --telemetry-out\n");
+    }
   }
   return 0;
 }

@@ -30,9 +30,16 @@ void CliParser::add_option(const std::string& name,
 
 void CliParser::add_observability_options() {
   add_flag("profile", "enable per-rank kernel profiling / counter output");
+  add_flag("analyze",
+           "run the overlap analyzer on the profiled spans: overlap "
+           "efficiency, exposed wait, critical-path attribution, and "
+           "model-vs-measured drift (implies --profile)");
   add_option("trace-out", "",
              "write a Chrome trace-event JSON file (load in Perfetto)");
   add_option("report-out", "", "write a structured JSON solve report");
+  add_option("telemetry-out", "",
+             "write per-iteration convergence telemetry (iter, rnorm, "
+             "alpha/beta, s, recoveries) as JSON Lines");
 }
 
 void CliParser::add_mpk_option() {

@@ -186,4 +186,86 @@ void write_bench_report(const std::vector<RunRecord>& runs,
   std::printf("wrote bench report to %s\n", path.c_str());
 }
 
+ModeledOverlap modeled_overlap(const RunRecord& run,
+                               const sim::Timeline& timeline, int ranks) {
+  const sim::TimelineResult result = timeline.evaluate(run.trace, ranks);
+  ModeledOverlap o;
+  o.seconds = result.seconds;
+  o.compute_seconds = result.compute_seconds;
+  o.allreduce_total_seconds = result.allreduce_total_seconds;
+  o.exposed_wait_seconds = result.allreduce_wait_seconds;
+  o.hidden_seconds =
+      result.allreduce_total_seconds - result.allreduce_wait_seconds;
+  o.efficiency = result.allreduce_total_seconds > 0.0
+                     ? o.hidden_seconds / result.allreduce_total_seconds
+                     : 1.0;
+  return o;
+}
+
+void print_modeled_overlap(const std::vector<RunRecord>& runs,
+                           const sim::Timeline& timeline, int ranks) {
+  std::printf(
+      "modeled overlap at %d ranks (hidden = collective time not spent in "
+      "waits):\n",
+      ranks);
+  std::printf("  %-12s %12s %12s %12s %10s\n", "method", "total(s)",
+              "hidden(s)", "exposed(s)", "overlap%");
+  for (const RunRecord& run : runs) {
+    const ModeledOverlap o = modeled_overlap(run, timeline, ranks);
+    std::printf("  %-12s %12.3e %12.3e %12.3e %9.1f%%\n", run.method.c_str(),
+                o.allreduce_total_seconds, o.hidden_seconds,
+                o.exposed_wait_seconds, 100.0 * o.efficiency);
+  }
+}
+
+void write_bench_json(const std::string& bench_name,
+                      const std::vector<RunRecord>& runs,
+                      const ScalingReport& report,
+                      const sim::Timeline& timeline, int ranks,
+                      const std::string& path) {
+  if (path.empty()) return;
+  obs::json::Value doc = obs::json::Value::object();
+  doc.set("bench", bench_name);
+  doc.set("ranks", ranks);
+
+  obs::json::Value methods = obs::json::Value::object();
+  for (const RunRecord& run : runs) {
+    obs::json::Value entry = obs::json::Value::object();
+    entry.set("converged", run.stats.converged);
+    entry.set("iterations", run.stats.iterations);
+    entry.set("final_rnorm", run.stats.final_rnorm);
+    entry.set("recoveries", run.stats.recoveries);
+    entry.set("trace_counters", obs::counters_to_json(run.trace.counters()));
+
+    const ModeledOverlap o = modeled_overlap(run, timeline, ranks);
+    obs::json::Value overlap = obs::json::Value::object();
+    overlap.set("modeled_seconds", o.seconds);
+    overlap.set("compute_seconds", o.compute_seconds);
+    overlap.set("allreduce_total_seconds", o.allreduce_total_seconds);
+    overlap.set("exposed_wait_seconds", o.exposed_wait_seconds);
+    overlap.set("hidden_seconds", o.hidden_seconds);
+    overlap.set("overlap_efficiency", o.efficiency);
+    entry.set("overlap", std::move(overlap));
+    methods.set(run.method, std::move(entry));
+  }
+  doc.set("methods", std::move(methods));
+
+  obs::json::Value scaling = obs::json::Value::object();
+  obs::json::Value nodes = obs::json::Value::array();
+  for (int n : report.nodes) nodes.push_back(n);
+  scaling.set("nodes", std::move(nodes));
+  obs::json::Value per_method = obs::json::Value::object();
+  for (std::size_t mi = 0; mi < report.methods.size(); ++mi) {
+    obs::json::Value speedups = obs::json::Value::array();
+    for (std::size_t ni = 0; ni < report.nodes.size(); ++ni)
+      speedups.push_back(report.speedup(mi, ni));
+    per_method.set(report.methods[mi], std::move(speedups));
+  }
+  scaling.set("speedup", std::move(per_method));
+  doc.set("scaling", std::move(scaling));
+
+  obs::json::write_file(path, doc);
+  std::printf("wrote bench json to %s\n", path.c_str());
+}
+
 }  // namespace pipescg::bench

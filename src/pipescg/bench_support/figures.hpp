@@ -95,4 +95,35 @@ void write_bench_report(const std::vector<RunRecord>& runs,
                         const ScalingReport& report, const std::string& title,
                         const std::string& path);
 
+/// Modeled communication-hiding summary of one run at `ranks`, derived from
+/// the timeline replay: the collective seconds that were NOT spent stalled
+/// in waits were hidden under compute, so
+///   efficiency = 1 - wait / total  (1.0 when the trace has no allreduces).
+struct ModeledOverlap {
+  double seconds = 0.0;
+  double compute_seconds = 0.0;
+  double allreduce_total_seconds = 0.0;
+  double exposed_wait_seconds = 0.0;
+  double hidden_seconds = 0.0;
+  double efficiency = 0.0;
+};
+
+ModeledOverlap modeled_overlap(const RunRecord& run,
+                               const sim::Timeline& timeline, int ranks);
+
+/// Per-method modeled overlap table at `ranks` (--analyze console output).
+void print_modeled_overlap(const std::vector<RunRecord>& runs,
+                           const sim::Timeline& timeline, int ranks);
+
+/// Machine-readable BENCH_<name>.json: per-method convergence counters,
+/// modeled seconds and overlap efficiency at `ranks`, and the scaling
+/// speedup curves.  Deliberately wall-clock-free so files produced on
+/// different machines diff meaningfully (tools/diff_reports.py, CI soft
+/// gate).  Empty path is a no-op.
+void write_bench_json(const std::string& bench_name,
+                      const std::vector<RunRecord>& runs,
+                      const ScalingReport& report,
+                      const sim::Timeline& timeline, int ranks,
+                      const std::string& path);
+
 }  // namespace pipescg::bench

@@ -67,6 +67,7 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
   if (recovery.active())
     recovery.save(x.span(), 0, std::numeric_limits<double>::infinity());
   int cur_s = s;
+  TelemetrySnapshot telem;
 
   // The whole solve body runs as one "attempt" at a fixed depth.  On a
   // detected fault (non-finite reduced batch, singular scalar work,
@@ -131,6 +132,7 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
       // values feed anything; the roll back reruns from the checkpoint.
       if (recovery.active() && !batch_finite(values)) return AttemptEnd::kFault;
       rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+      telem.checkpoint(iterations, rnorm, opts, s_att, stats.recoveries);
       if (!detail::checkpoint(stats, opts, iterations, rnorm)) {
         if (recovery.active()) {
           stats.breakdown = false;  // rolling back, not stopping
@@ -196,6 +198,7 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
         stats.stagnated = true;
         break;
       }
+      telem.capture(sw);
       alpha = sw.alpha;
       const bool first = outer == 0;
 

@@ -37,6 +37,7 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
   if (recovery.active())
     recovery.save(x.span(), 0, std::numeric_limits<double>::infinity());
   int cur_s = opts.s;
+  TelemetrySnapshot telem;
 
   auto attempt = [&](int s_att) -> AttemptEnd {
     const std::size_t su = static_cast<std::size_t>(s_att);
@@ -83,6 +84,7 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
       // the reduced batch as NaN/Inf; roll back instead of consuming it.
       if (recovery.active() && !batch_finite(values)) return AttemptEnd::kFault;
       rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+      telem.checkpoint(iterations, rnorm, opts, s_att, stats.recoveries);
       if (!detail::checkpoint(stats, opts, iterations, rnorm)) {
         if (recovery.active()) {
           stats.breakdown = false;  // rolling back, not stopping
@@ -138,6 +140,7 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
         stats.stagnated = true;
         break;
       }
+      telem.capture(sw);
       const bool first = outer == 0;
 
       // P_cur = S[0..s-1] + P_prev B  (paper Alg. 5 line 17).

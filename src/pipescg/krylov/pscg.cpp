@@ -43,8 +43,10 @@ SolveStats PscgSolver::solve(Engine& engine, const Vec& b, Vec& x,
   engine.dots(pairs, values);
 
   ScalarWork scalar_work(s);
+  TelemetrySnapshot telem;
   std::size_t iterations = 0;
   double rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+  telem.checkpoint(0, rnorm, opts, s, stats.recoveries);
   detail::checkpoint(stats, opts, 0, rnorm);
 
   while (rnorm >= tol && iterations < opts.max_iterations) {
@@ -56,6 +58,7 @@ SolveStats PscgSolver::solve(Engine& engine, const Vec& b, Vec& x,
       stats.stagnated = true;
       break;
     }
+    telem.capture(sw);
 
     // Direction block (u-side) and its A-image (r-side) by recurrence.
     copy_block(engine, v, p_cur, su);
@@ -86,6 +89,7 @@ SolveStats PscgSolver::solve(Engine& engine, const Vec& b, Vec& x,
 
     iterations += su;
     rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+    telem.checkpoint(iterations, rnorm, opts, s, stats.recoveries);
     if (!detail::checkpoint(stats, opts, iterations, rnorm)) break;
     engine.mark_iteration(iterations - 1, rnorm);
 

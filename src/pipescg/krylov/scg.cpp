@@ -39,8 +39,10 @@ SolveStats ScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
   engine.dots(pairs, values);
 
   ScalarWork scalar_work(s);
+  TelemetrySnapshot telem;
   std::size_t iterations = 0;
   double rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+  telem.checkpoint(0, rnorm, opts, s, stats.recoveries);
   detail::checkpoint(stats, opts, 0, rnorm);
 
   while (rnorm >= tol && iterations < opts.max_iterations) {
@@ -52,6 +54,7 @@ SolveStats ScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
       stats.stagnated = true;
       break;
     }
+    telem.capture(sw);
     // Direction block and its A-image (paper Alg. 2 lines 9-10; the A-image
     // recurrence adds only linear-combination work, no SPMV).
     copy_block(engine, basis, p_cur, su);
@@ -80,6 +83,7 @@ SolveStats ScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
 
     iterations += su;
     rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+    telem.checkpoint(iterations, rnorm, opts, s, stats.recoveries);
     if (!detail::checkpoint(stats, opts, iterations, rnorm)) break;
     engine.mark_iteration(iterations - 1, rnorm);
 

@@ -35,6 +35,7 @@ SolveStats ScgSspmvSolver::solve(Engine& engine, const Vec& b, Vec& x,
   if (recovery.active())
     recovery.save(x.span(), 0, std::numeric_limits<double>::infinity());
   int cur_s = opts.s;
+  TelemetrySnapshot telem;
 
   auto attempt = [&](int s_att) -> AttemptEnd {
     const std::size_t su = static_cast<std::size_t>(s_att);
@@ -62,6 +63,7 @@ SolveStats ScgSspmvSolver::solve(Engine& engine, const Vec& b, Vec& x,
     std::size_t outer = 0;
     rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
     detail::DivergenceDetector diverge(rnorm);
+    telem.checkpoint(iterations, rnorm, opts, s_att, stats.recoveries);
     if (!detail::checkpoint(stats, opts, iterations, rnorm)) {
       if (recovery.active()) {
         stats.breakdown = false;  // rolling back, not stopping
@@ -82,6 +84,7 @@ SolveStats ScgSspmvSolver::solve(Engine& engine, const Vec& b, Vec& x,
         stats.stagnated = true;
         break;
       }
+      telem.capture(sw);
       if (recovery.should_save(rnorm))
         recovery.save(x.span(), iterations, rnorm);
 
@@ -111,6 +114,7 @@ SolveStats ScgSspmvSolver::solve(Engine& engine, const Vec& b, Vec& x,
       iterations += su;
       ++outer;
       rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+      telem.checkpoint(iterations, rnorm, opts, s_att, stats.recoveries);
       if (!detail::checkpoint(stats, opts, iterations, rnorm)) {
         if (recovery.active()) {
           stats.breakdown = false;

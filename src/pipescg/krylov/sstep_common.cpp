@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "pipescg/base/error.hpp"
+#include "pipescg/obs/telemetry.hpp"
 
 namespace pipescg::krylov::sstep {
 namespace {
@@ -171,6 +172,24 @@ void copy_block(Engine& engine, const VecBlock& src, VecBlock& dst,
   PIPESCG_CHECK(src.size() >= count && dst.size() >= count,
                 "copy_block count exceeds block size");
   for (std::size_t j = 0; j < count; ++j) engine.copy(src[j], dst[j]);
+}
+
+void TelemetrySnapshot::capture(const ScalarWork::Result& sw) {
+  if (obs::ConvergenceTelemetry::current() == nullptr) return;
+  alpha = sw.alpha;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < sw.b.rows(); ++i)
+    for (std::size_t j = 0; j < sw.b.cols(); ++j)
+      sum_sq += sw.b(i, j) * sw.b(i, j);
+  beta_fro = std::sqrt(sum_sq);
+}
+
+void TelemetrySnapshot::checkpoint(std::uint64_t iteration, double rnorm,
+                                   const SolverOptions& opts, int cur_s,
+                                   std::size_t recoveries) const {
+  if (obs::ConvergenceTelemetry::current() == nullptr) return;
+  obs::telemetry_checkpoint(iteration, rnorm, to_string(opts.norm), cur_s,
+                            recoveries, alpha, beta_fro);
 }
 
 }  // namespace pipescg::krylov::sstep

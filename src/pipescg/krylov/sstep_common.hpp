@@ -115,6 +115,22 @@ double true_flavored_norm(Engine& engine, const Vec& b, const Vec& x,
 void copy_block(Engine& engine, const VecBlock& src, VecBlock& dst,
                 std::size_t count);
 
+/// Per-iteration convergence telemetry staging for the s-step drivers.
+/// capture() snapshots the most recent scalar work (alpha step sizes and
+/// ||B||_F); checkpoint() emits one obs telemetry record with that snapshot
+/// -- drivers call it next to every detail::checkpoint so the JSONL stream
+/// has exactly one record per residual-history entry.  Both are no-ops
+/// (one thread-local check) when no telemetry sink is installed.
+struct TelemetrySnapshot {
+  std::vector<double> alpha;
+  double beta_fro = 0.0;
+
+  void capture(const ScalarWork::Result& sw);
+  void checkpoint(std::uint64_t iteration, double rnorm,
+                  const SolverOptions& opts, int cur_s,
+                  std::size_t recoveries) const;
+};
+
 /// The preconditioned pipelined core (paper Alg. 6 + 7), parameterized so
 /// PIPE-PsCG (s = opts.s), PIPECG-OATI (s = 2) and PIPECG3 (s = 2 + extra
 /// charged FLOPs) share one implementation.

@@ -1,6 +1,8 @@
 #include "pipescg/obs/profiler.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -32,6 +34,66 @@ const char* to_string(SpanKind kind) {
       break;
   }
   return "?";
+}
+
+namespace {
+
+// Bucket index for a duration: floor(log2(ns)) clamped to [0, kBuckets),
+// computed with integer bit-scan so repeated adds are deterministic and
+// branch-light.
+std::size_t histogram_bucket(double seconds) {
+  const double ns = seconds * 1e9;
+  if (!(ns >= 1.0)) return 0;  // sub-ns, negative, and NaN all land in 0
+  const auto ticks = static_cast<std::uint64_t>(
+      std::min(ns, 9.2e18));  // clamp below 2^63 before the cast
+  return static_cast<std::size_t>(63 - std::countl_zero(ticks | 1U));
+}
+
+}  // namespace
+
+void LatencyHistogram::add(double seconds) {
+  ++counts_[histogram_bucket(seconds)];
+  if (count_ == 0 || seconds < min_) min_ = seconds;
+  if (seconds > max_) max_ = seconds;
+  sum_ += seconds;
+  ++count_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double LatencyHistogram::bucket_floor_seconds(std::size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i)) * 1e-9;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based: ceil(q * count), at least 1.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts_[i] == 0) continue;
+    if (seen + counts_[i] >= rank) {
+      // Geometric interpolation inside [2^i, 2^(i+1)) ns.
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(counts_[i]);
+      const double est = bucket_floor_seconds(i) * std::exp2(frac);
+      // The estimate is a factor-of-2 interpolation; the exact extrema are
+      // tracked, so clamp to them (keeps quantile(0)>=min, quantile(1)<=max).
+      return std::clamp(est, min_, max_);
+    }
+    seen += counts_[i];
+  }
+  return max_;
 }
 
 Profiler::KindTotal Profiler::total(SpanKind kind) const {
@@ -76,6 +138,18 @@ SolveProfile::Aggregate SolveProfile::aggregate(SpanKind kind) const {
   a.max = seconds.back();
   a.median = seconds[seconds.size() / 2];
   return a;
+}
+
+LatencyHistogram SolveProfile::merged_histogram(SpanKind kind) const {
+  LatencyHistogram h;
+  for (const Profiler& p : profilers_) h.merge(p.histogram(kind));
+  return h;
+}
+
+LatencyHistogram SolveProfile::merged_halo_exchange_histogram() const {
+  LatencyHistogram h;
+  for (const Profiler& p : profilers_) h.merge(p.halo_exchange_histogram());
+  return h;
 }
 
 bool SolveProfile::counters_uniform() const {

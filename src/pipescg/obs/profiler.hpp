@@ -20,6 +20,7 @@
 // nullptr and compiles every hook out entirely.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -56,6 +57,41 @@ struct Span {
   double end;
 };
 
+/// Log-bucketed latency histogram: bucket i holds durations in
+/// [2^i, 2^(i+1)) nanoseconds, so 64 buckets cover sub-nanosecond spins up
+/// to centuries with a single shift per add.  Quantiles interpolate
+/// geometrically inside the bucket -- accurate to a factor of 2^(1/count)
+/// which is plenty for p50/p95/p99 tail diagnosis, and mergeable across
+/// ranks without storing individual samples.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void add(double seconds);
+  void merge(const LatencyHistogram& other);
+
+  std::size_t count() const { return count_; }
+  double sum_seconds() const { return sum_; }
+  double min_seconds() const { return count_ == 0 ? 0.0 : min_; }
+  double max_seconds() const { return max_; }
+  double mean_seconds() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  /// q in [0, 1]; returns 0 when empty.  quantile(0.5) is the p50.
+  double quantile(double q) const;
+
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  /// Lower edge of bucket i in seconds (2^i ns).
+  static double bucket_floor_seconds(std::size_t i);
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 class Profiler {
  public:
   using Clock = std::chrono::steady_clock;
@@ -72,6 +108,23 @@ class Profiler {
 
   void record(SpanKind kind, double start, double end) {
     spans_.push_back(Span{kind, start, end});
+    histograms_[static_cast<std::size_t>(kind)].add(end - start);
+  }
+
+  /// Latency distribution of every span of `kind` recorded so far.
+  const LatencyHistogram& histogram(SpanKind kind) const {
+    return histograms_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Whole-epoch latency of batched halo exchanges (expose + all peer reads
+  /// + close), recorded by par::Comm::exchange as one composite sample --
+  /// the per-phase spans above stay disjoint so kind totals never
+  /// double-count.
+  void record_halo_exchange(double seconds) {
+    halo_exchange_histogram_.add(seconds);
+  }
+  const LatencyHistogram& halo_exchange_histogram() const {
+    return halo_exchange_histogram_;
   }
 
   /// Engine-level kernel counters, mirroring sim::EventTrace::Counters so a
@@ -136,6 +189,8 @@ class Profiler {
   int rank_;
   Clock::time_point epoch_;
   std::vector<Span> spans_;
+  std::array<LatencyHistogram, kSpanKindCount> histograms_;
+  LatencyHistogram halo_exchange_histogram_;
   Counters counters_;
 };
 
@@ -180,6 +235,11 @@ class SolveProfile {
     std::size_t count = 0;  // total spans across ranks
   };
   Aggregate aggregate(SpanKind kind) const;
+
+  /// Histogram of `kind` merged across all ranks (for cross-rank p50/p95/p99
+  /// in reports).
+  LatencyHistogram merged_histogram(SpanKind kind) const;
+  LatencyHistogram merged_halo_exchange_histogram() const;
 
   /// True when every rank recorded identical kernel counters (they must,
   /// since SPMD ranks execute the same solver control flow).

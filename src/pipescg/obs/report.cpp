@@ -1,5 +1,8 @@
 #include "pipescg/obs/report.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace pipescg::obs {
 
 json::Value stats_to_json(const krylov::SolveStats& stats) {
@@ -54,11 +57,26 @@ json::Value counters_to_json(const sim::EventTrace::Counters& counters) {
   return v;
 }
 
+json::Value histogram_to_json(const LatencyHistogram& h) {
+  json::Value v = json::Value::object();
+  v.set("count", h.count());
+  v.set("sum_seconds", h.sum_seconds());
+  v.set("min_seconds", h.min_seconds());
+  v.set("p50_seconds", h.quantile(0.50));
+  v.set("p95_seconds", h.quantile(0.95));
+  v.set("p99_seconds", h.quantile(0.99));
+  v.set("max_seconds", h.max_seconds());
+  return v;
+}
+
 json::Value profile_to_json(const SolveProfile& profile) {
   json::Value v = json::Value::object();
   v.set("ranks", profile.ranks());
   v.set("counters_uniform", profile.counters_uniform());
 
+  // Every kind is emitted everywhere below, zero or not: reports from runs
+  // that exercised different span kinds (e.g. zero recoveries, no halo
+  // traffic) must still diff key-for-key.
   json::Value per_rank = json::Value::array();
   for (int r = 0; r < profile.ranks(); ++r) {
     const Profiler& p = profile.rank(r);
@@ -69,7 +87,6 @@ json::Value profile_to_json(const SolveProfile& profile) {
     for (std::size_t k = 0; k < kSpanKindCount; ++k) {
       const SpanKind kind = static_cast<SpanKind>(k);
       const Profiler::KindTotal t = p.total(kind);
-      if (t.count == 0) continue;
       json::Value entry = json::Value::object();
       entry.set("seconds", t.seconds);
       entry.set("count", t.count);
@@ -80,14 +97,11 @@ json::Value profile_to_json(const SolveProfile& profile) {
   }
   v.set("per_rank", std::move(per_rank));
 
-  // min/median/max over ranks for every kind, always including the
-  // non-blocking wait-spin aggregate (the overlap-quality headline) even
-  // when zero.
+  // min/median/max over ranks for every kind.
   json::Value aggregates = json::Value::object();
   for (std::size_t k = 0; k < kSpanKindCount; ++k) {
     const SpanKind kind = static_cast<SpanKind>(k);
     const SolveProfile::Aggregate a = profile.aggregate(kind);
-    if (a.count == 0 && kind != SpanKind::kAllreduceWaitNonblocking) continue;
     json::Value entry = json::Value::object();
     entry.set("count", a.count);
     entry.set("min_seconds", a.min);
@@ -96,15 +110,119 @@ json::Value profile_to_json(const SolveProfile& profile) {
     aggregates.set(to_string(kind), std::move(entry));
   }
   v.set("aggregates", std::move(aggregates));
+
+  // min/median/max over ranks of the fault-recovery counter, explicit even
+  // when every rank recorded zero.
+  {
+    std::vector<double> rec;
+    rec.reserve(static_cast<std::size_t>(profile.ranks()));
+    for (int r = 0; r < profile.ranks(); ++r)
+      rec.push_back(static_cast<double>(profile.rank(r).counters().recoveries));
+    std::sort(rec.begin(), rec.end());
+    json::Value entry = json::Value::object();
+    entry.set("min", rec.empty() ? 0.0 : rec.front());
+    entry.set("median", rec.empty() ? 0.0 : rec[rec.size() / 2]);
+    entry.set("max", rec.empty() ? 0.0 : rec.back());
+    v.set("recoveries_over_ranks", std::move(entry));
+  }
+
+  // Cross-rank latency histograms: all span kinds plus the composite
+  // whole-epoch halo exchange sampled by par::Comm::exchange.
+  json::Value histograms = json::Value::object();
+  for (std::size_t k = 0; k < kSpanKindCount; ++k) {
+    const SpanKind kind = static_cast<SpanKind>(k);
+    histograms.set(to_string(kind),
+                   histogram_to_json(profile.merged_histogram(kind)));
+  }
+  histograms.set("halo_exchange",
+                 histogram_to_json(profile.merged_halo_exchange_histogram()));
+  v.set("histograms", std::move(histograms));
+  return v;
+}
+
+json::Value overlap_to_json(const OverlapReport& report) {
+  json::Value v = json::Value::object();
+  v.set("ranks", report.ranks);
+  v.set("blocks", report.blocks);
+  v.set("nonblocking_blocks", report.nonblocking_blocks);
+  v.set("hidden_seconds", report.hidden_seconds);
+  v.set("exposed_seconds", report.exposed_seconds);
+  v.set("total_wait_seconds", report.total_wait_seconds);
+  v.set("efficiency", report.efficiency);
+
+  auto mmm = [](const MinMedMax& m) {
+    json::Value e = json::Value::object();
+    e.set("min", m.min);
+    e.set("median", m.median);
+    e.set("max", m.max);
+    return e;
+  };
+  v.set("efficiency_over_ranks", mmm(report.efficiency_over_ranks));
+  v.set("exposed_over_ranks", mmm(report.exposed_over_ranks));
+
+  json::Value per_rank = json::Value::array();
+  for (const RankOverlap& ro : report.per_rank) {
+    json::Value e = json::Value::object();
+    e.set("rank", ro.rank);
+    e.set("blocks", ro.blocks.size());
+    e.set("hidden_seconds", ro.hidden_seconds);
+    e.set("exposed_seconds", ro.exposed_seconds);
+    e.set("total_wait_seconds", ro.total_wait_seconds);
+    e.set("efficiency", ro.efficiency);
+    per_rank.push_back(std::move(e));
+  }
+  v.set("per_rank", std::move(per_rank));
+
+  const CriticalPath& cp = report.critical_path;
+  json::Value path = json::Value::object();
+  path.set("makespan_seconds", cp.makespan);
+  path.set("end_rank", cp.end_rank);
+  path.set("rank_switches", cp.rank_switches);
+  path.set("untracked_seconds", cp.untracked_seconds);
+  json::Value attribution = json::Value::array();
+  for (const KindAttribution& a : cp.attribution) {
+    json::Value e = json::Value::object();
+    e.set("kind", a.kind);
+    e.set("seconds", a.seconds);
+    e.set("spans", a.spans);
+    attribution.push_back(std::move(e));
+  }
+  path.set("attribution", std::move(attribution));
+  v.set("critical_path", std::move(path));
+  return v;
+}
+
+json::Value drift_to_json(const DriftReport& report) {
+  json::Value v = json::Value::object();
+  v.set("threshold", report.threshold);
+  v.set("modeled_makespan_seconds", report.modeled_makespan);
+  v.set("measured_makespan_seconds", report.measured_makespan);
+  json::Value kinds = json::Value::object();
+  for (const DriftEntry& e : report.kinds) {
+    json::Value entry = json::Value::object();
+    entry.set("modeled_seconds", e.modeled_seconds);
+    entry.set("measured_seconds", e.measured_seconds);
+    entry.set("has_measured", e.has_measured);
+    entry.set("delta_seconds", e.delta);
+    entry.set("ratio", e.ratio);
+    entry.set("flagged", e.flagged);
+    if (!e.note.empty()) entry.set("note", e.note);
+    kinds.set(e.kind, std::move(entry));
+  }
+  v.set("kinds", std::move(kinds));
   return v;
 }
 
 json::Value solve_report(const krylov::SolveStats& stats,
-                         const SolveProfile* profile) {
+                         const SolveProfile* profile,
+                         const OverlapReport* overlap,
+                         const DriftReport* drift) {
   json::Value v = json::Value::object();
   v.set("method", stats.method);
   v.set("stats", stats_to_json(stats));
   if (profile != nullptr) v.set("profile", profile_to_json(*profile));
+  if (overlap != nullptr) v.set("overlap", overlap_to_json(*overlap));
+  if (drift != nullptr) v.set("drift", drift_to_json(*drift));
   return v;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "pipescg/krylov/solver.hpp"
+#include "pipescg/obs/analysis.hpp"
 #include "pipescg/obs/json.hpp"
 #include "pipescg/obs/profiler.hpp"
 #include "pipescg/sim/trace.hpp"
@@ -25,12 +26,31 @@ json::Value stats_to_json(const krylov::SolveStats& stats);
 json::Value counters_to_json(const Profiler::Counters& counters);
 json::Value counters_to_json(const sim::EventTrace::Counters& counters);
 
-/// Per-rank totals and cross-rank aggregates of a measured profile.
+/// Per-rank totals and cross-rank aggregates of a measured profile,
+/// including per-kind latency histograms merged across ranks.  Every span
+/// kind appears in per-rank spans, aggregates, and histograms even at zero
+/// count, so reports from different runs diff key-for-key.
 json::Value profile_to_json(const SolveProfile& profile);
 
-/// Full solve report: {"method", "stats": {...}, "profile": {...}?}.
-/// `profile` may be nullptr (serial / unprofiled runs).
+/// One histogram as {"count", "p50/p95/p99_seconds", ...}.
+json::Value histogram_to_json(const LatencyHistogram& h);
+
+/// Overlap-analyzer output: totals, per-rank summaries (block details stay
+/// in the C++ structs), imbalance, and the critical-path attribution.
+json::Value overlap_to_json(const OverlapReport& report);
+
+/// Drift report: one entry per modeled ScheduledSpan kind.  Sign
+/// convention: delta = measured - modeled (positive: run slower than model).
+json::Value drift_to_json(const DriftReport& report);
+
+/// Full solve report:
+///   {"method", "stats": {...}, "profile": {...}?, "overlap": {...}?,
+///    "drift": {...}?}.
+/// `profile`, `overlap`, and `drift` may be nullptr (serial / unprofiled /
+/// unanalyzed runs).
 json::Value solve_report(const krylov::SolveStats& stats,
-                         const SolveProfile* profile);
+                         const SolveProfile* profile,
+                         const OverlapReport* overlap = nullptr,
+                         const DriftReport* drift = nullptr);
 
 }  // namespace pipescg::obs

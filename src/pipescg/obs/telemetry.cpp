@@ -1,0 +1,101 @@
+#include "pipescg/obs/telemetry.hpp"
+
+#include <fstream>
+#include <utility>
+
+#include "pipescg/base/error.hpp"
+#include "pipescg/obs/json.hpp"
+
+namespace pipescg::obs {
+
+thread_local ConvergenceTelemetry* ConvergenceTelemetry::tls_current_ =
+    nullptr;
+
+ConvergenceTelemetry::ConvergenceTelemetry(std::string method,
+                                           std::size_t capacity)
+    : method_(std::move(method)), capacity_(capacity) {
+  PIPESCG_CHECK(capacity_ > 0, "telemetry ring capacity must be positive");
+}
+
+void ConvergenceTelemetry::record(TelemetryRecord rec) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+    ++size_;
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the ring head.
+  ring_[head_] = std::move(rec);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TelemetryRecord> ConvergenceTelemetry::records() const {
+  std::vector<TelemetryRecord> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+std::string ConvergenceTelemetry::to_jsonl() const {
+  std::string out;
+  for (const TelemetryRecord& rec : records()) {
+    json::Value v = json::Value::object();
+    if (!method_.empty()) v.set("method", method_);
+    v.set("iter", rec.iteration);
+    v.set("rnorm", rec.rnorm);
+    v.set("norm", rec.norm_flavor);
+    v.set("s", rec.s);
+    v.set("recoveries", rec.recoveries);
+    json::Value alpha = json::Value::array();
+    for (double a : rec.alpha) alpha.push_back(a);
+    v.set("alpha", std::move(alpha));
+    v.set("beta_fro", rec.beta_fro);
+    out += v.dump(-1);
+    out += '\n';
+  }
+  return out;
+}
+
+void ConvergenceTelemetry::write_jsonl(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  PIPESCG_CHECK(os.good(), "cannot open telemetry output file");
+  os << to_jsonl();
+  PIPESCG_CHECK(os.good(), "telemetry write failed");
+}
+
+std::vector<TelemetryRecord> ConvergenceTelemetry::parse_jsonl(
+    std::string_view text) {
+  std::vector<TelemetryRecord> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    const json::Value v = json::parse(line);
+    TelemetryRecord rec;
+    rec.iteration = static_cast<std::uint64_t>(v.at("iter").as_number());
+    rec.rnorm = v.at("rnorm").as_number();
+    rec.norm_flavor = v.at("norm").as_string();
+    rec.s = static_cast<int>(v.at("s").as_number());
+    rec.recoveries =
+        static_cast<std::uint64_t>(v.at("recoveries").as_number());
+    const json::Value& alpha = v.at("alpha");
+    for (std::size_t i = 0; i < alpha.size(); ++i)
+      rec.alpha.push_back(alpha.at(i).as_number());
+    rec.beta_fro = v.at("beta_fro").as_number();
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+ConvergenceTelemetry::Install::Install(ConvergenceTelemetry* t)
+    : prev_(tls_current_) {
+  if (t != nullptr) tls_current_ = t;
+}
+
+ConvergenceTelemetry::Install::~Install() { tls_current_ = prev_; }
+
+}  // namespace pipescg::obs

@@ -1,0 +1,119 @@
+// Per-iteration convergence telemetry.
+//
+// The residual history in SolveStats answers "did it converge"; this layer
+// answers "how was it converging" -- per checkpoint it captures the
+// residual-norm flavour, the s-step scalar work (the alpha step sizes and
+// the magnitude of the B recurrence matrix), the current block size s (which
+// degrades under replacement/recovery), and the running fault-recovery
+// count.  That is the numerical-stability signal the pipelined s-step
+// literature tracks: a collapsing alpha or an exploding ||B||_F precedes a
+// residual-norm plateau by several outer iterations.
+//
+// Mirrors the Profiler's thread-local install discipline: the s-step
+// drivers call telemetry_checkpoint() next to every residual checkpoint,
+// and the hook costs exactly one thread-local null check when no telemetry
+// sink is installed -- so unobserved runs stay bit-identical.  Records land
+// in a fixed-capacity ring buffer (oldest dropped, drop count kept) and are
+// written as JSON Lines: one self-contained object per line, greppable and
+// streamable, the natural shape for per-iteration series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pipescg::obs {
+
+/// One checkpoint snapshot.  `alpha` holds the s step sizes of the most
+/// recent completed scalar work (empty before the first outer iteration);
+/// `beta_fro` is the Frobenius norm of the s x s B recurrence matrix.
+struct TelemetryRecord {
+  std::uint64_t iteration = 0;  // CG-equivalent iteration
+  double rnorm = 0.0;
+  std::string norm_flavor;  // krylov::to_string(opts.norm)
+  int s = 0;                // current block size (degrades under recovery)
+  std::uint64_t recoveries = 0;
+  std::vector<double> alpha;
+  double beta_fro = 0.0;
+};
+
+class ConvergenceTelemetry {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  explicit ConvergenceTelemetry(std::string method = "",
+                                std::size_t capacity = kDefaultCapacity);
+
+  void record(TelemetryRecord rec);
+
+  const std::string& method() const { return method_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  /// Records overwritten because the ring filled (oldest-first eviction).
+  std::size_t dropped() const { return dropped_; }
+
+  /// Retained records in chronological order.
+  std::vector<TelemetryRecord> records() const;
+
+  /// JSON Lines: one object per retained record, newline-terminated.  When
+  /// the telemetry was constructed with a method label every line carries a
+  /// "method" key, so lines from several solves can share one file.
+  std::string to_jsonl() const;
+  void write_jsonl(const std::string& path) const;
+
+  /// Inverse of to_jsonl (blank lines skipped); used by tests and tools.
+  /// Throws base::Error on a malformed line.
+  static std::vector<TelemetryRecord> parse_jsonl(std::string_view text);
+
+  // --- thread-local installation (same discipline as Profiler) ------------
+
+  static ConvergenceTelemetry* current() { return tls_current_; }
+
+  /// RAII: installs a sink as the calling thread's current() and restores
+  /// the previous one on destruction.  `t` may be nullptr (no-op install).
+  class Install {
+   public:
+    explicit Install(ConvergenceTelemetry* t);
+    ~Install();
+    Install(const Install&) = delete;
+    Install& operator=(const Install&) = delete;
+
+   private:
+    ConvergenceTelemetry* prev_;
+  };
+
+ private:
+  static thread_local ConvergenceTelemetry* tls_current_;
+
+  std::string method_;
+  std::size_t capacity_;
+  std::vector<TelemetryRecord> ring_;
+  std::size_t head_ = 0;  // index of the oldest retained record
+  std::size_t size_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+/// Driver-side hook: records a checkpoint into the installed sink, or does
+/// nothing (one thread-local check) when none is installed.
+inline void telemetry_checkpoint(std::uint64_t iteration, double rnorm,
+                                 std::string_view norm_flavor, int s,
+                                 std::uint64_t recoveries,
+                                 std::span<const double> alpha,
+                                 double beta_fro) {
+  ConvergenceTelemetry* sink = ConvergenceTelemetry::current();
+  if (sink == nullptr) return;
+  TelemetryRecord rec;
+  rec.iteration = iteration;
+  rec.rnorm = rnorm;
+  rec.norm_flavor = std::string(norm_flavor);
+  rec.s = s;
+  rec.recoveries = recoveries;
+  rec.alpha.assign(alpha.begin(), alpha.end());
+  rec.beta_fro = beta_fro;
+  sink->record(std::move(rec));
+}
+
+}  // namespace pipescg::obs

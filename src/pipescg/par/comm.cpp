@@ -337,6 +337,8 @@ void Comm::exchange(std::span<const GhostPull> pulls,
                     std::span<double> ghosts) {
   if (fault::Injector* inj = fault::Injector::current())
     inj->on_halo_exchange();
+  obs::Profiler* prof = obs::Profiler::current();
+  const double t0 = prof != nullptr ? prof->now() : 0.0;
   expose(window);
   std::size_t volume = 0;
   for (const GhostPull& pull : pulls) {
@@ -347,7 +349,10 @@ void Comm::exchange(std::span<const GhostPull> pulls,
     volume += pull.length;
   }
   close_epoch();
-  if (obs::Profiler* prof = obs::Profiler::current()) {
+  if (prof != nullptr) {
+    // Whole-epoch latency sample (expose + peer reads + close) for the
+    // halo-exchange histogram; the per-phase spans above stay disjoint.
+    prof->record_halo_exchange(prof->now() - t0);
     obs::Profiler::Counters& c = prof->counters();
     ++c.halo_epochs;
     c.halo_messages += pulls.size();

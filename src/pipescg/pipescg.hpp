@@ -29,10 +29,12 @@
 #include "pipescg/krylov/solver.hpp"
 #include "pipescg/krylov/spmd_engine.hpp"
 #include "pipescg/la/cholesky.hpp"
+#include "pipescg/obs/analysis.hpp"
 #include "pipescg/obs/chrome_trace.hpp"
 #include "pipescg/obs/json.hpp"
 #include "pipescg/obs/profiler.hpp"
 #include "pipescg/obs/report.hpp"
+#include "pipescg/obs/telemetry.hpp"
 #include "pipescg/la/dense_matrix.hpp"
 #include "pipescg/la/lu.hpp"
 #include "pipescg/par/comm.hpp"

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Diff two JSON reports (bench BENCH_*.json or obs solve reports) key by key.
+
+Usage: tools/diff_reports.py baseline.json candidate.json
+           [--threshold 0.05] [--ignore REGEX] [--list-all]
+
+Both files are flattened to dotted key paths (arrays index as [i]).  For
+each key present in both files the relative delta is computed as
+
+    |candidate - baseline| / max(|baseline|, |candidate|, eps)
+
+for numbers, and exact equality for strings/booleans.  Keys whose path
+matches --ignore (a regular expression, searched anywhere in the path) are
+skipped.  Keys present in only one file are reported as ADDED/REMOVED and
+count as failures, since the reports are designed to be key-stable.
+
+Exits 0 when every compared key is within --threshold, 1 otherwise --
+suitable as a CI gate against a checked-in baseline.  Absolute wall-clock
+seconds never appear in BENCH_*.json (only modeled seconds and iteration
+counts), so a small threshold absorbs cross-machine libm drift without
+masking real regressions.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+EPS = 1e-300
+
+
+def flatten(value, prefix="", out=None):
+    """Flatten nested dicts/lists into {dotted.path[i]: leaf} pairs."""
+    if out is None:
+        out = {}
+    if isinstance(value, dict):
+        for key, child in value.items():
+            flatten(child, f"{prefix}.{key}" if prefix else key, out)
+    elif isinstance(value, list):
+        for i, child in enumerate(value):
+            flatten(child, f"{prefix}[{i}]", out)
+    else:
+        out[prefix] = value
+    return out
+
+
+def relative_delta(a, b):
+    if a == b:
+        return 0.0
+    return abs(b - a) / max(abs(a), abs(b), EPS)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="diff two JSON reports with a relative-delta gate")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="max relative delta per numeric key "
+                             "(default: 0.05)")
+    parser.add_argument("--ignore", default="",
+                        help="regex of key paths to skip (searched)")
+    parser.add_argument("--list-all", action="store_true",
+                        help="print every compared key, not just failures")
+    args = parser.parse_args(argv[1:])
+
+    with open(args.baseline, encoding="utf-8") as f:
+        base = flatten(json.load(f))
+    with open(args.candidate, encoding="utf-8") as f:
+        cand = flatten(json.load(f))
+
+    ignore = re.compile(args.ignore) if args.ignore else None
+
+    def skipped(path):
+        return ignore is not None and ignore.search(path)
+
+    failures = 0
+    compared = 0
+    for path in sorted(set(base) | set(cand)):
+        if skipped(path):
+            continue
+        if path not in cand:
+            print(f"REMOVED {path} (baseline: {base[path]!r})")
+            failures += 1
+            continue
+        if path not in base:
+            print(f"ADDED   {path} (candidate: {cand[path]!r})")
+            failures += 1
+            continue
+        a, b = base[path], cand[path]
+        compared += 1
+        numeric = (isinstance(a, (int, float)) and not isinstance(a, bool)
+                   and isinstance(b, (int, float)) and not isinstance(b, bool))
+        if numeric:
+            delta = relative_delta(a, b)
+            ok = delta <= args.threshold
+            if not ok or args.list_all:
+                print(f"{'ok    ' if ok else 'DELTA '} {path}: "
+                      f"{a!r} -> {b!r} (rel {delta:.3g})")
+            failures += 0 if ok else 1
+        else:
+            ok = a == b
+            if not ok or args.list_all:
+                print(f"{'ok    ' if ok else 'DIFF  '} {path}: {a!r} -> {b!r}")
+            failures += 0 if ok else 1
+
+    print(f"compared {compared} key(s), {failures} past threshold "
+          f"{args.threshold}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
