@@ -11,7 +11,9 @@
 
 #include "pipescg/base/cli.hpp"
 #include "pipescg/bench_support/figures.hpp"
+#include "pipescg/obs/metrics.hpp"
 #include "pipescg/obs/telemetry.hpp"
+#include "pipescg/par/comm.hpp"
 #include "pipescg/sparse/poisson125.hpp"
 
 using namespace pipescg;
@@ -49,15 +51,36 @@ int main(int argc, char** argv) {
   std::printf("Fig. 1: 125-pt Poisson, %zu^3 unknowns (%zu), jacobi, rtol "
               "%.1e, s=%d\n",
               n, op->rows(), opts.rtol, opts.s);
+
+  // --metrics-out: per-method solve stats in the unified registry, with live
+  // gauges while each method runs (--metrics-period-ms refreshes the file).
+  const std::string metrics_out = cli.str("metrics-out");
+  const double metrics_period_ms = cli.real("metrics-period-ms");
+  auto registry = !metrics_out.empty()
+                      ? std::make_unique<obs::metrics::Registry>()
+                      : nullptr;
+  auto sampler = registry && metrics_period_ms > 0.0
+                     ? std::make_unique<obs::metrics::MetricsSampler>(
+                           *registry, metrics_out, metrics_period_ms)
+                     : nullptr;
+  if (sampler) sampler->start();
+
   std::vector<bench::RunRecord> runs;
   std::string telemetry;
   for (const std::string& m : methods) {
     obs::ConvergenceTelemetry telem(m);
+    const obs::metrics::Labels labels = {{"method", m}, {"bench", "fig1"}};
+    auto live = registry ? std::make_unique<obs::metrics::LiveSolve>(*registry,
+                                                                     labels)
+                         : nullptr;
     {
       obs::ConvergenceTelemetry::Install install(
           cli.str("telemetry-out").empty() ? nullptr : &telem);
+      const obs::metrics::LiveSolve::Install live_install(live.get());
       runs.push_back(bench::run_method(m, *op, jacobi.get(), opts));
     }
+    if (registry)
+      obs::metrics::register_stats(*registry, runs.back().stats, labels);
     telemetry += telem.to_jsonl();
     std::printf("  ran %-12s: %zu iterations\n", m.c_str(),
                 runs.back().stats.iterations);
@@ -81,12 +104,25 @@ int main(int argc, char** argv) {
   bench::write_bench_report(runs, report,
                             "Fig. 1: strong scaling, 125-pt Poisson",
                             cli.str("report-out"));
-  bench::write_bench_json("fig1", runs, report, timeline, ranks,
+  bench::write_bench_json("fig1", runs, report, timeline, ranks, op->stats(),
                           cli.str("bench-json"));
   if (!cli.str("telemetry-out").empty()) {
     std::ofstream os(cli.str("telemetry-out"), std::ios::binary);
     os << telemetry;
     std::printf("wrote telemetry to %s\n", cli.str("telemetry-out").c_str());
+  }
+  if (registry) {
+    obs::metrics::register_fault(*registry, /*injected_faults=*/0,
+                                 /*recoveries=*/0, par::comm_watchdog_trips(),
+                                 {{"bench", "fig1"}});
+    if (sampler) {
+      sampler->stop();
+      std::printf("wrote %zu metrics snapshots to %s\n", sampler->samples(),
+                  metrics_out.c_str());
+    } else {
+      registry->write_textfile(metrics_out);
+      std::printf("wrote metrics exposition to %s\n", metrics_out.c_str());
+    }
   }
 
   // Paper landmarks for comparison (100^3, SahasraT): PCG peaks ~11.3x at 40

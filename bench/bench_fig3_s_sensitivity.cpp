@@ -14,7 +14,9 @@
 
 #include "pipescg/base/cli.hpp"
 #include "pipescg/bench_support/figures.hpp"
+#include "pipescg/obs/metrics.hpp"
 #include "pipescg/obs/telemetry.hpp"
+#include "pipescg/par/comm.hpp"
 #include <algorithm>
 
 #include "pipescg/sim/auto_tune.hpp"
@@ -42,6 +44,18 @@ int main(int argc, char** argv) {
 
   std::printf("Fig. 3: PIPE-PsCG with s = 3, 4, 5 on 125-pt Poisson %zu^3\n",
               n);
+
+  const std::string metrics_out = cli.str("metrics-out");
+  const double metrics_period_ms = cli.real("metrics-period-ms");
+  auto registry = !metrics_out.empty()
+                      ? std::make_unique<obs::metrics::Registry>()
+                      : nullptr;
+  auto sampler = registry && metrics_period_ms > 0.0
+                     ? std::make_unique<obs::metrics::MetricsSampler>(
+                           *registry, metrics_out, metrics_period_ms)
+                     : nullptr;
+  if (sampler) sampler->start();
+
   std::vector<bench::RunRecord> runs;
   std::vector<bench::RunRecord> pure_runs;  // replacement disabled, for the
                                             // overhead ablation
@@ -53,11 +67,19 @@ int main(int argc, char** argv) {
     opts.max_iterations = 100000;
     opts.norm = krylov::NormType::kPreconditioned;
     obs::ConvergenceTelemetry telem("s=" + std::to_string(s));
+    const obs::metrics::Labels labels = {
+        {"method", "pipe-pscg"}, {"s", std::to_string(s)}, {"bench", "fig3"}};
+    auto live = registry ? std::make_unique<obs::metrics::LiveSolve>(*registry,
+                                                                     labels)
+                         : nullptr;
     {
       obs::ConvergenceTelemetry::Install install(
           cli.str("telemetry-out").empty() ? nullptr : &telem);
+      const obs::metrics::LiveSolve::Install live_install(live.get());
       runs.push_back(bench::run_method("pipe-pscg", *op, jacobi.get(), opts));
     }
+    if (registry)
+      obs::metrics::register_stats(*registry, runs.back().stats, labels);
     telemetry += telem.to_jsonl();
     runs.back().method = "s=" + std::to_string(s);
 
@@ -93,11 +115,24 @@ int main(int argc, char** argv) {
   bench::write_bench_report(runs, report, "Fig. 3: PIPE-PsCG s-sensitivity",
                             cli.str("report-out"));
   bench::write_bench_json("fig3", runs, report, timeline, trace_ranks,
-                          cli.str("bench-json"));
+                          op->stats(), cli.str("bench-json"));
   if (!cli.str("telemetry-out").empty()) {
     std::ofstream os(cli.str("telemetry-out"), std::ios::binary);
     os << telemetry;
     std::printf("wrote telemetry to %s\n", cli.str("telemetry-out").c_str());
+  }
+  if (registry) {
+    obs::metrics::register_fault(*registry, /*injected_faults=*/0,
+                                 /*recoveries=*/0, par::comm_watchdog_trips(),
+                                 {{"bench", "fig3"}});
+    if (sampler) {
+      sampler->stop();
+      std::printf("wrote %zu metrics snapshots to %s\n", sampler->samples(),
+                  metrics_out.c_str());
+    } else {
+      registry->write_textfile(metrics_out);
+      std::printf("wrote metrics exposition to %s\n", metrics_out.c_str());
+    }
   }
 
   // Model view with *pure recurrences* (no stability anchoring): the cost

@@ -22,6 +22,17 @@ using namespace pipescg;
 
 namespace {
 
+// Bytes one serial CSR apply moves, from operator shape (values + indices
+// streamed once, x read, y written) -- mirrors DistCsr::bytes_per_apply so
+// the GB/s google-benchmark prints is comparable with the
+// pipescg_spmv_throughput_bytes_per_second gauges.
+std::int64_t csr_apply_bytes(const sparse::CsrMatrix& a) {
+  return static_cast<std::int64_t>(
+      a.nnz() * (sizeof(double) + sizeof(sparse::CsrMatrix::Index)) +
+      (a.rows() + 1) * sizeof(sparse::CsrMatrix::Index) +
+      a.cols() * sizeof(double) + a.rows() * sizeof(double));
+}
+
 void BM_SpmvCsr5pt(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const sparse::CsrMatrix a =
@@ -33,6 +44,8 @@ void BM_SpmvCsr5pt(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(a.nnz()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          csr_apply_bytes(a));
 }
 BENCHMARK(BM_SpmvCsr5pt)->Arg(64)->Arg(256);
 
@@ -46,6 +59,10 @@ void BM_SpmvStencil125(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(op->stats().nnz));
+  // Matrix-free: only the vectors move (coefficients live in registers).
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(op->rows() * 2 *
+                                                    sizeof(double)));
 }
 BENCHMARK(BM_SpmvStencil125)->Arg(24)->Arg(48);
 
@@ -59,6 +76,8 @@ void BM_SpmvCsr125(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(a.nnz()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          csr_apply_bytes(a));
 }
 BENCHMARK(BM_SpmvCsr125)->Arg(24);
 
@@ -156,6 +175,11 @@ void BM_DistSpmvRepeated(benchmark::State& state) {
       benchmark::DoNotOptimize(v.back().data());
     });
   }
+  std::int64_t bytes_per_round = 0;
+  for (const sparse::DistCsr& d : dists)
+    bytes_per_round += static_cast<std::int64_t>(d.bytes_per_apply());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
+                          s * bytes_per_round);
 }
 BENCHMARK(BM_DistSpmvRepeated)->Args({2, 3})->Args({4, 3})->Args({4, 6});
 
@@ -184,6 +208,12 @@ void BM_MatrixPowers(benchmark::State& state) {
       benchmark::DoNotOptimize(v.back().data());
     });
   }
+  std::int64_t bytes_per_block = 0;
+  for (const sparse::MatrixPowers& m : mpks)
+    bytes_per_block += static_cast<std::int64_t>(
+        m.bytes_per_block(static_cast<std::size_t>(s)));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 8 *
+                          bytes_per_block);
 }
 BENCHMARK(BM_MatrixPowers)->Args({2, 3})->Args({4, 3})->Args({4, 6});
 

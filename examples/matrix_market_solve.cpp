@@ -6,6 +6,7 @@
 //                         [--profile] [--analyze] [--trace-out trace.json]
 //                         [--report-out report.json] [--trace-nodes 4]
 //                         [--telemetry-out telemetry.jsonl]
+//                         [--metrics-out metrics.prom] [--metrics-period-ms 250]
 //
 // This is the workflow for reproducing the paper's SuiteSparse experiments
 // with the real matrices once they are available offline.
@@ -88,6 +89,20 @@ int main(int argc, char** argv) {
   const bool want_report = !cli.str("report-out").empty();
   const bool record = profile || analyze || want_trace || want_report;
 
+  // Unified metrics registry (--metrics-out): per-method solve stats plus
+  // live gauges refreshed as each solve progresses; with a period the
+  // sampler makes the whole per-method sweep observable while running.
+  const std::string metrics_out = cli.str("metrics-out");
+  const double metrics_period_ms = cli.real("metrics-period-ms");
+  auto registry = !metrics_out.empty()
+                      ? std::make_unique<obs::metrics::Registry>()
+                      : nullptr;
+  auto sampler = registry && metrics_period_ms > 0.0
+                     ? std::make_unique<obs::metrics::MetricsSampler>(
+                           *registry, metrics_out, metrics_period_ms)
+                     : nullptr;
+  if (sampler) sampler->start();
+
   const sim::Timeline timeline(sim::MachineModel::cray_xc40_like());
   const int trace_ranks = timeline.machine().ranks_for_nodes(
       static_cast<int>(cli.integer("trace-nodes")));
@@ -120,12 +135,19 @@ int main(int argc, char** argv) {
     krylov::Vec x = engine.new_vec();
     krylov::SolveStats stats;
     obs::ConvergenceTelemetry telem(name);
+    const obs::metrics::Labels method_labels = {{"method", name},
+                                                {"matrix", a.name()}};
+    auto live = registry ? std::make_unique<obs::metrics::LiveSolve>(
+                               *registry, method_labels)
+                         : nullptr;
     {
       const obs::ConvergenceTelemetry::Install install(
           cli.str("telemetry-out").empty() ? nullptr : &telem);
+      const obs::metrics::LiveSolve::Install live_install(live.get());
       ScopedTimer timer(wall);
       stats = krylov::make_solver(name)->solve(engine, b, x, opts);
     }
+    if (registry) obs::metrics::register_stats(*registry, stats, method_labels);
     telemetry += telem.to_jsonl();
     std::printf("%-14s %10zu %12.3e %12.3e %8s\n", name.c_str(),
                 stats.iterations, stats.final_rnorm, stats.true_residual,
@@ -193,6 +215,19 @@ int main(int argc, char** argv) {
     std::ofstream os(cli.str("telemetry-out"), std::ios::binary);
     os << telemetry;
     std::printf("wrote telemetry to %s\n", cli.str("telemetry-out").c_str());
+  }
+  if (registry) {
+    obs::metrics::register_fault(*registry, /*injected_faults=*/0,
+                                 /*recoveries=*/0, par::comm_watchdog_trips(),
+                                 {{"matrix", a.name()}});
+    if (sampler) {
+      sampler->stop();
+      std::printf("wrote %zu metrics snapshots to %s\n", sampler->samples(),
+                  metrics_out.c_str());
+    } else {
+      registry->write_textfile(metrics_out);
+      std::printf("wrote metrics exposition to %s\n", metrics_out.c_str());
+    }
   }
   return 0;
 }

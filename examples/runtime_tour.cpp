@@ -8,6 +8,7 @@
 //                  [--profile] [--analyze] [--trace-out trace.json]
 //                  [--report-out report.json]
 //                  [--telemetry-out telemetry.jsonl]
+//                  [--metrics-out metrics.prom] [--metrics-period-ms 250]
 //
 // With --profile, every SPMD run is measured with the per-rank kernel
 // profiler (see obs/) and a compute/halo/wait breakdown is printed.
@@ -65,9 +66,11 @@ int main(int argc, char** argv) {
   const std::string method = cli.str("method");
   const bool use_mpk = cli.mpk_enabled();
   const bool analyze = cli.flag("analyze");
+  const std::string metrics_out = cli.str("metrics-out");
+  const double metrics_period_ms = cli.real("metrics-period-ms");
   const bool profile = cli.flag("profile") || analyze ||
                        !cli.str("trace-out").empty() ||
-                       !cli.str("report-out").empty();
+                       !cli.str("report-out").empty() || !metrics_out.empty();
   const std::string problem = cli.str("problem");
   const sparse::CsrMatrix a = [&] {
     if (problem == "thermal2") return sparse::make_thermal2_like(n, n);
@@ -125,6 +128,25 @@ int main(int argc, char** argv) {
   krylov::SolveStats last_stats;
   int last_ranks = 0;
   double last_max_diff = 0.0;
+  std::size_t last_injected = 0;
+
+  // Unified metrics registry (--metrics-out): live gauges are fed from rank
+  // 0's checkpoint hook while a solve runs, the sampler (if a period is set)
+  // rewrites the exposition file mid-solve, and the full profile/stats/fault
+  // surfaces are registered once the kept run finishes.
+  const obs::metrics::Labels metric_labels = {{"method", method},
+                                              {"problem", problem}};
+  auto registry = !metrics_out.empty()
+                      ? std::make_unique<obs::metrics::Registry>()
+                      : nullptr;
+  auto live = registry ? std::make_unique<obs::metrics::LiveSolve>(
+                             *registry, metric_labels)
+                       : nullptr;
+  auto sampler = registry && metrics_period_ms > 0.0
+                     ? std::make_unique<obs::metrics::MetricsSampler>(
+                           *registry, metrics_out, metrics_period_ms)
+                     : nullptr;
+  if (sampler) sampler->start();
 
   for (int ranks = 2; ranks <= cli.integer("max-ranks"); ++ranks) {
     const sparse::Partition part(a.rows(), ranks);
@@ -145,6 +167,10 @@ int main(int argc, char** argv) {
     par::Team::run(ranks, [&](par::Comm& comm) {
       const obs::ConvergenceTelemetry::Install telemetry_install(
           comm.rank() == 0 ? telemetry.get() : nullptr);
+      // Live metrics share the telemetry discipline: the scalar recurrences
+      // are replicated, so rank 0's checkpoints describe the whole solve.
+      const obs::metrics::LiveSolve::Install live_install(
+          comm.rank() == 0 ? live.get() : nullptr);
       fault::Injector injector(fault_specs, comm.rank());
       const fault::Injector::Install install(
           fault_specs.empty() ? nullptr : &injector);
@@ -233,11 +259,25 @@ int main(int argc, char** argv) {
       last_stats = dist_stats;
       last_ranks = ranks;
       last_max_diff = max_diff;
+      last_injected = 0;
+      for (std::size_t f : injected) last_injected += f;
     }
     if (telemetry) last_telemetry = std::move(telemetry);
   }
   std::printf("\n(rank counts change only the reduction rounding; with "
               "truth anchoring the trajectories agree to rounding)\n");
+
+  if (registry) {
+    // Post-solve registration of the kept run's full surface: stats flags,
+    // per-rank counters + span totals + merged histograms + throughput, and
+    // the fault-harness numbers (same values the JSON report carries).
+    obs::metrics::register_stats(*registry, last_stats, metric_labels);
+    if (last_profile)
+      obs::metrics::register_profile(*registry, *last_profile, metric_labels);
+    obs::metrics::register_fault(*registry, last_injected,
+                                 last_stats.recoveries,
+                                 par::comm_watchdog_trips(), metric_labels);
+  }
 
   if ((!cli.str("trace-out").empty() || !cli.str("report-out").empty()) &&
       !last_profile)
@@ -284,8 +324,8 @@ int main(int argc, char** argv) {
     drift_timeline.evaluate(serial_trace, last_ranks, &drift_schedule);
     const obs::DriftReport drift =
         obs::drift_report(drift_schedule, *last_profile, overlap);
-    obs::json::Value spmd =
-        obs::solve_report(last_stats, last_profile.get(), &overlap, &drift);
+    obs::json::Value spmd = obs::solve_report(
+        last_stats, last_profile.get(), &overlap, &drift, registry.get());
     const auto& c0 = last_profile->rank(0).counters();
     report.set("counters_match_serial_trace",
                last_profile->counters_uniform() &&
@@ -305,6 +345,17 @@ int main(int argc, char** argv) {
                   last_telemetry->size(), cli.str("telemetry-out").c_str());
     } else {
       std::printf("no SPMD run completed: skipping --telemetry-out\n");
+    }
+  }
+
+  if (registry) {
+    if (sampler) {
+      sampler->stop();  // final flush includes the post-solve registrations
+      std::printf("wrote %zu metrics snapshots to %s\n", sampler->samples(),
+                  metrics_out.c_str());
+    } else {
+      registry->write_textfile(metrics_out);
+      std::printf("wrote metrics exposition to %s\n", metrics_out.c_str());
     }
   }
   return 0;

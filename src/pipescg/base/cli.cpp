@@ -40,6 +40,14 @@ void CliParser::add_observability_options() {
   add_option("telemetry-out", "",
              "write per-iteration convergence telemetry (iter, rnorm, "
              "alpha/beta, s, recoveries) as JSON Lines");
+  add_option("metrics-out", "",
+             "write the unified metrics registry as Prometheus text "
+             "exposition (textfile-collector compatible; atomic replace); "
+             "with --metrics-period-ms the file is refreshed mid-solve");
+  add_option("metrics-period-ms", "0",
+             "snapshot period for --metrics-out in milliseconds: > 0 starts "
+             "a sampler thread that rewrites the file every period while "
+             "the solve runs (live gauges included); 0 writes once at exit");
 }
 
 void CliParser::add_mpk_option() {

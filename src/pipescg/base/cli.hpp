@@ -28,6 +28,8 @@ class CliParser {
   ///   --profile           enable per-rank kernel profiling / counter output
   ///   --trace-out <path>  write a Chrome trace-event JSON file (Perfetto)
   ///   --report-out <path> write a structured JSON solve report
+  ///   --metrics-out <path>       write Prometheus text exposition
+  ///   --metrics-period-ms <ms>   mid-solve snapshot period (0 = at exit)
   void add_observability_options();
 
   /// Register the matrix-powers toggle shared by the examples/benches:

@@ -116,14 +116,20 @@ void print_modeled_overlap(const std::vector<RunRecord>& runs,
                            const sim::Timeline& timeline, int ranks);
 
 /// Machine-readable BENCH_<name>.json: per-method convergence counters,
-/// modeled seconds and overlap efficiency at `ranks`, and the scaling
-/// speedup curves.  Deliberately wall-clock-free so files produced on
-/// different machines diff meaningfully (tools/diff_reports.py, CI soft
-/// gate).  Empty path is a no-op.
+/// modeled seconds and overlap efficiency at `ranks`, the scaling speedup
+/// curves, and a "ratios" section of wall-clock-robust ratio baselines --
+/// block-vs-chained SPMV speedup (MachineModel::spmv_block_seconds vs s
+/// chained spmv_seconds, from `op_stats`, for s = 2..5) and per-method
+/// hidden/exposed overlap efficiency.  Ratios survive machine-speed changes
+/// that shift absolute modeled seconds, so they are the quantities the CI
+/// hard gate (tools/diff_reports.py) holds tightest.  Deliberately
+/// wall-clock-free so files produced on different machines diff
+/// meaningfully.  Empty path is a no-op.
 void write_bench_json(const std::string& bench_name,
                       const std::vector<RunRecord>& runs,
                       const ScalingReport& report,
                       const sim::Timeline& timeline, int ranks,
+                      const sparse::OperatorStats& op_stats,
                       const std::string& path);
 
 }  // namespace pipescg::bench

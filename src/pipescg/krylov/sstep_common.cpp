@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "pipescg/base/error.hpp"
+#include "pipescg/obs/metrics.hpp"
 #include "pipescg/obs/telemetry.hpp"
 
 namespace pipescg::krylov::sstep {
@@ -187,7 +188,12 @@ void TelemetrySnapshot::capture(const ScalarWork::Result& sw) {
 void TelemetrySnapshot::checkpoint(std::uint64_t iteration, double rnorm,
                                    const SolverOptions& opts, int cur_s,
                                    std::size_t recoveries) const {
-  if (obs::ConvergenceTelemetry::current() == nullptr) return;
+  // Fire when either observer is installed: the JSONL telemetry sink or the
+  // live metrics gauges (alpha/beta only reach the former; capture() stays
+  // gated on it).
+  if (obs::ConvergenceTelemetry::current() == nullptr &&
+      obs::metrics::LiveSolve::current() == nullptr)
+    return;
   obs::telemetry_checkpoint(iteration, rnorm, to_string(opts.norm), cur_s,
                             recoveries, alpha, beta_fro);
 }

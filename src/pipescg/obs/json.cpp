@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -48,18 +49,7 @@ void append_number(std::string& out, double v) {
     out += "null";  // JSON has no Inf/NaN
     return;
   }
-  // Integers (the common case for counters/ids) print exactly; everything
-  // else gets enough digits to round-trip through strtod.
-  if (v == static_cast<double>(static_cast<long long>(v)) &&
-      std::abs(v) < 9.0e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-    out += buf;
-  } else {
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    out += buf;
-  }
+  out += number_to_string(v);
 }
 
 class Parser {
@@ -265,6 +255,28 @@ class Parser {
 };
 
 }  // namespace
+
+std::string number_to_string(double v) {
+  PIPESCG_CHECK(std::isfinite(v), "number_to_string: non-finite value");
+  // Integers (the common case for counters/ids) print exactly.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  // Shortest round-trip: the fewest significant digits strtod() maps back to
+  // the same bit pattern.  17 always round-trips for IEEE doubles, so the
+  // loop terminates; most values need far fewer (0.1 renders as "0.1", not
+  // "0.10000000000000001"), which is what keeps baseline diffs and
+  // trajectory entries free of formatting noise.
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
 
 bool Value::as_bool() const {
   PIPESCG_CHECK(type_ == Type::kBool, "json: not a bool");

@@ -90,6 +90,14 @@ class Value {
   std::vector<std::pair<std::string, Value>> object_;
 };
 
+/// Shortest-round-trip decimal rendering of a finite double: the fewest
+/// significant digits whose strtod() recovers the exact bit pattern, with
+/// integers printed exactly.  Every numeric emitter in the observability
+/// layer (JSON dumps, Prometheus exposition, trajectory entries) routes
+/// through this so that equal doubles always render as equal bytes and
+/// baseline diffs are never formatting noise.
+std::string number_to_string(double v);
+
 /// Parse a complete JSON document (rejects trailing garbage).  Throws
 /// pipescg::Error with position context on malformed input.
 Value parse(std::string_view text);

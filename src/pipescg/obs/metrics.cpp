@@ -1,0 +1,564 @@
+#include "pipescg/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "pipescg/base/error.hpp"
+#include "pipescg/krylov/solver.hpp"
+
+namespace pipescg::obs::metrics {
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+bool valid_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name)
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+bool valid_label_key(const std::string& key) {
+  if (key.empty() || key.rfind("__", 0) == 0) return false;  // reserved
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(key[0])) return false;
+  for (const char c : key)
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+// Label-value escaping per the exposition format: backslash, double quote,
+// and line feed.
+void append_escaped_label_value(std::string& out, const std::string& v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+// HELP text escaping: backslash and line feed only.
+void append_escaped_help(std::string& out, const std::string& v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+// `{k1="v1",k2="v2"}` (empty string for no labels); also the series sort and
+// identity key within a family.
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    append_escaped_label_value(out, labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// Extra labels appended to an already-rendered label set (for histogram
+// `le` buckets).
+std::string render_labels_with(const Labels& labels, const std::string& key,
+                               const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return render_labels(extended);
+}
+
+// p-quantile from the log2 buckets, geometric interpolation inside the
+// bucket (same estimator as LatencyHistogram::quantile, clamped to the
+// bucket bounds since the atomic histogram tracks no exact extrema).
+double histogram_quantile(const Histogram& h, double q) {
+  const std::uint64_t count = h.count();
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t b = h.bucket(i);
+    if (b == 0) continue;
+    if (seen + b >= rank) {
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(b);
+      return LatencyHistogram::bucket_floor_seconds(i) * std::exp2(frac);
+    }
+    seen += b;
+  }
+  return LatencyHistogram::bucket_floor_seconds(Histogram::kBuckets - 1);
+}
+
+const char* type_name(int t) {
+  switch (t) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram";
+  }
+}
+
+}  // namespace
+
+void Counter::add(double delta) {
+  PIPESCG_CHECK(delta >= 0.0, "metrics: counter add must be non-negative");
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::observe(double seconds) {
+  const double ns = seconds * 1e9;
+  std::size_t bucket = 0;
+  if (ns >= 1.0) {
+    const auto ticks = static_cast<std::uint64_t>(std::min(ns, 9.2e18));
+    bucket = static_cast<std::size_t>(63 - std::countl_zero(ticks | 1U));
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + seconds,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::merge_from(const LatencyHistogram& h) {
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    if (h.bucket(i) != 0)
+      buckets_[i].fetch_add(h.bucket(i), std::memory_order_relaxed);
+  count_.fetch_add(h.count(), std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + h.sum_seconds(),
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+// One labeled series: exactly one of the three cells is live, fixed by the
+// owning family's type.
+struct Registry::Series {
+  Labels labels;
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+};
+
+struct Registry::Family {
+  Type type;
+  std::string help;
+  // Keyed (and therefore ordered) by the rendered label set.
+  std::map<std::string, std::unique_ptr<Series>> series;
+};
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+Registry::Series& Registry::series(const std::string& name,
+                                   const std::string& help, Type type,
+                                   Labels&& labels) {
+  PIPESCG_CHECK(valid_name(name), "metrics: invalid metric name '" + name + "'");
+  std::sort(labels.begin(), labels.end());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    PIPESCG_CHECK(valid_label_key(labels[i].first),
+                  "metrics: invalid label key '" + labels[i].first + "' on '" +
+                      name + "'");
+    PIPESCG_CHECK(i == 0 || labels[i - 1].first != labels[i].first,
+                  "metrics: duplicate label key '" + labels[i].first +
+                      "' on '" + name + "'");
+  }
+  const std::string key = render_labels(labels);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [fit, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    fit->second = std::make_unique<Family>();
+    fit->second->type = type;
+    fit->second->help = help;
+  } else {
+    PIPESCG_CHECK(fit->second->type == type,
+                  "metrics: '" + name + "' already registered as " +
+                      type_name(static_cast<int>(fit->second->type)));
+  }
+  auto [sit, series_inserted] = fit->second->series.try_emplace(key);
+  if (series_inserted) {
+    sit->second = std::make_unique<Series>();
+    sit->second->labels = std::move(labels);
+  }
+  return *sit->second;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           Labels labels) {
+  return series(name, help, Type::kCounter, std::move(labels)).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       Labels labels) {
+  return series(name, help, Type::kGauge, std::move(labels)).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help,
+                               Labels labels) {
+  return series(name, help, Type::kHistogram, std::move(labels)).histogram;
+}
+
+std::string Registry::prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " ";
+    append_escaped_help(out, family->help);
+    out += "\n# TYPE " + name + " ";
+    out += type_name(static_cast<int>(family->type));
+    out += '\n';
+    for (const auto& [label_key, s] : family->series) {
+      switch (family->type) {
+        case Type::kCounter:
+          out += name + label_key + " " +
+                 json::number_to_string(s->counter.value()) + "\n";
+          break;
+        case Type::kGauge:
+          out += name + label_key + " " +
+                 json::number_to_string(s->gauge.value()) + "\n";
+          break;
+        case Type::kHistogram: {
+          // Cumulative buckets, non-empty ones only (64 log2 buckets per
+          // series would dominate the exposition), closed by +Inf.
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+            const std::uint64_t b = s->histogram.bucket(i);
+            if (b == 0) continue;
+            cumulative += b;
+            out += name + "_bucket" +
+                   render_labels_with(
+                       s->labels, "le",
+                       json::number_to_string(
+                           LatencyHistogram::bucket_floor_seconds(i + 1))) +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          out += name + "_bucket" +
+                 render_labels_with(s->labels, "le", "+Inf") + " " +
+                 std::to_string(s->histogram.count()) + "\n";
+          out += name + "_sum" + label_key + " " +
+                 json::number_to_string(s->histogram.sum()) + "\n";
+          out += name + "_count" + label_key + " " +
+                 std::to_string(s->histogram.count()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+json::Value Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Value doc = json::Value::object();
+  for (const auto& [name, family] : families_) {
+    json::Value fam = json::Value::object();
+    fam.set("type", type_name(static_cast<int>(family->type)));
+    fam.set("help", family->help);
+    json::Value series_arr = json::Value::array();
+    for (const auto& [label_key, s] : family->series) {
+      json::Value entry = json::Value::object();
+      json::Value labels = json::Value::object();
+      for (const auto& [k, v] : s->labels) labels.set(k, v);
+      entry.set("labels", std::move(labels));
+      switch (family->type) {
+        case Type::kCounter:
+          entry.set("value", s->counter.value());
+          break;
+        case Type::kGauge:
+          entry.set("value", s->gauge.value());
+          break;
+        case Type::kHistogram:
+          entry.set("count", s->histogram.count());
+          entry.set("sum_seconds", s->histogram.sum());
+          entry.set("p50_seconds", histogram_quantile(s->histogram, 0.50));
+          entry.set("p95_seconds", histogram_quantile(s->histogram, 0.95));
+          entry.set("p99_seconds", histogram_quantile(s->histogram, 0.99));
+          break;
+      }
+      series_arr.push_back(std::move(entry));
+    }
+    fam.set("series", std::move(series_arr));
+    doc.set(name, std::move(fam));
+  }
+  return doc;
+}
+
+void Registry::write_textfile(const std::string& path) const {
+  const std::string text = prometheus();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    PIPESCG_CHECK(out.good(), "metrics: cannot open '" + tmp + "' for writing");
+    out << text;
+    out.close();
+    PIPESCG_CHECK(out.good(), "metrics: error writing '" + tmp + "'");
+  }
+  PIPESCG_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "metrics: cannot rename '" + tmp + "' to '" + path + "'");
+}
+
+// --- sampler ----------------------------------------------------------------
+
+MetricsSampler::MetricsSampler(const Registry& registry, std::string path,
+                               double period_ms)
+    : registry_(registry), path_(std::move(path)), period_ms_(period_ms) {
+  PIPESCG_CHECK(period_ms_ > 0.0, "metrics: sampler period must be positive");
+}
+
+MetricsSampler::~MetricsSampler() { stop(); }
+
+void MetricsSampler::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void MetricsSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void MetricsSampler::run() {
+  const auto period = std::chrono::duration<double, std::milli>(period_ms_);
+  auto snapshot = [this] {
+    // A monitoring tick must never take down the solve it watches; a full
+    // disk or vanished directory degrades to a missed sample.
+    try {
+      registry_.write_textfile(path_);
+      samples_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const Error&) {
+    }
+  };
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!cv_.wait_for(lock, period, [this] { return stopping_; })) {
+    lock.unlock();
+    snapshot();
+    lock.lock();
+  }
+  lock.unlock();
+  snapshot();  // final flush: the file ends reflecting the completed state
+}
+
+// --- bridges ----------------------------------------------------------------
+
+namespace {
+
+Labels with(const Labels& base, std::initializer_list<Labels::value_type> add) {
+  Labels out = base;
+  out.insert(out.end(), add.begin(), add.end());
+  return out;
+}
+
+}  // namespace
+
+void register_stats(Registry& registry, const krylov::SolveStats& stats,
+                    const Labels& base) {
+  registry.gauge("pipescg_solve_iterations",
+                 "CG-equivalent iterations of the completed solve", base)
+      .set(static_cast<double>(stats.iterations));
+  registry.gauge("pipescg_solve_converged",
+                 "1 when the solve reached its tolerance", base)
+      .set(stats.converged ? 1.0 : 0.0);
+  registry.gauge("pipescg_solve_stagnated",
+                 "1 when the residual stalled before the tolerance", base)
+      .set(stats.stagnated ? 1.0 : 0.0);
+  registry.gauge("pipescg_solve_breakdown",
+                 "1 on scalar-work breakdown (singular s x s system)", base)
+      .set(stats.breakdown ? 1.0 : 0.0);
+  registry.gauge("pipescg_solve_final_rnorm",
+                 "final residual norm in the convergence-test flavor", base)
+      .set(stats.final_rnorm);
+  registry.gauge("pipescg_solve_b_norm", "right-hand-side norm", base)
+      .set(stats.b_norm);
+  registry.gauge("pipescg_solve_final_s",
+                 "s-step block size the solver finished with (0 when the "
+                 "method has no s parameter)",
+                 base)
+      .set(static_cast<double>(stats.final_s));
+  registry.gauge("pipescg_solve_recoveries",
+                 "fault-recovery rollback-restarts during the solve", base)
+      .set(static_cast<double>(stats.recoveries));
+}
+
+void register_profile(Registry& registry, const SolveProfile& profile,
+                      const Labels& base) {
+  registry.gauge("pipescg_ranks", "SPMD ranks of the measured solve", base)
+      .set(static_cast<double>(profile.ranks()));
+  registry.gauge("pipescg_counters_uniform",
+                 "1 when every rank recorded identical kernel counters "
+                 "(SolveProfile::counters_uniform)",
+                 base)
+      .set(profile.counters_uniform() ? 1.0 : 0.0);
+
+  double total_bytes = 0.0;
+  double max_spmv_seconds = 0.0;
+  for (int r = 0; r < profile.ranks(); ++r) {
+    const Profiler& p = profile.rank(r);
+    const Labels rank_labels = with(base, {{"rank", std::to_string(r)}});
+    const Profiler::Counters& c = p.counters();
+    const std::pair<const char*, std::size_t> counters[] = {
+        {"pipescg_spmvs_total", c.spmvs},
+        {"pipescg_pc_applies_total", c.pc_applies},
+        {"pipescg_allreduces_total", c.allreduces},
+        {"pipescg_iterations_total", c.iterations},
+        {"pipescg_mpk_blocks_total", c.mpk_blocks},
+        {"pipescg_recoveries_total", c.recoveries},
+        {"pipescg_halo_epochs_total", c.halo_epochs},
+        {"pipescg_halo_messages_total", c.halo_messages},
+        {"pipescg_halo_volume_doubles_total", c.halo_volume_doubles},
+        {"pipescg_spmv_bytes_total", c.spmv_bytes},
+    };
+    for (const auto& [name, value] : counters)
+      registry.counter(name, "per-rank kernel counter (obs::Profiler)",
+                       rank_labels)
+          .add(static_cast<double>(value));
+
+    for (std::size_t k = 0; k < kSpanKindCount; ++k) {
+      const SpanKind kind = static_cast<SpanKind>(k);
+      const Profiler::KindTotal t = p.total(kind);
+      const Labels span_labels =
+          with(rank_labels, {{"span_kind", to_string(kind)}});
+      registry.counter("pipescg_span_seconds_total",
+                       "measured seconds accumulated per span kind per rank",
+                       span_labels)
+          .add(t.seconds);
+      registry.counter("pipescg_span_count_total",
+                       "measured spans recorded per span kind per rank",
+                       span_labels)
+          .add(static_cast<double>(t.count));
+    }
+
+    // Measured kernel throughput from bytes moved (operator shape, counted
+    // by DistCsr/MatrixPowers) over measured local-SPMV seconds.
+    const Profiler::KindTotal spmv = p.total(SpanKind::kSpmvLocal);
+    total_bytes += static_cast<double>(c.spmv_bytes);
+    max_spmv_seconds = std::max(max_spmv_seconds, spmv.seconds);
+    registry.gauge("pipescg_spmv_throughput_bytes_per_second",
+                   "measured local-SPMV memory throughput: bytes moved "
+                   "(from operator shape) / measured spmv_local seconds",
+                   rank_labels)
+        .set(spmv.seconds > 0.0 ? static_cast<double>(c.spmv_bytes) /
+                                      spmv.seconds
+                                : 0.0);
+  }
+  registry.gauge("pipescg_spmv_throughput_bytes_per_second",
+                 "measured local-SPMV memory throughput: bytes moved "
+                 "(from operator shape) / measured spmv_local seconds",
+                 with(base, {{"rank", "all"}}))
+      .set(max_spmv_seconds > 0.0 ? total_bytes / max_spmv_seconds : 0.0);
+
+  for (std::size_t k = 0; k < kSpanKindCount; ++k) {
+    const SpanKind kind = static_cast<SpanKind>(k);
+    registry
+        .histogram("pipescg_span_latency_seconds",
+                   "cross-rank latency distribution per span kind",
+                   with(base, {{"span_kind", to_string(kind)}}))
+        .merge_from(profile.merged_histogram(kind));
+  }
+  registry
+      .histogram("pipescg_span_latency_seconds",
+                 "cross-rank latency distribution per span kind",
+                 with(base, {{"span_kind", "halo_exchange"}}))
+      .merge_from(profile.merged_halo_exchange_histogram());
+}
+
+void register_fault(Registry& registry, std::size_t injected_faults,
+                    std::size_t recoveries, std::size_t watchdog_trips,
+                    const Labels& base) {
+  registry.counter("pipescg_fault_injected_total",
+                   "deterministic faults fired by the --fault-spec injector",
+                   base)
+      .add(static_cast<double>(injected_faults));
+  registry.counter("pipescg_fault_recoveries_total",
+                   "rollback-restart recoveries performed by the drivers",
+                   base)
+      .add(static_cast<double>(recoveries));
+  registry.counter("pipescg_watchdog_trips_total",
+                   "comm-watchdog timeouts thrown (par::CommTimeout)", base)
+      .add(static_cast<double>(watchdog_trips));
+}
+
+// --- live solve monitoring --------------------------------------------------
+
+thread_local LiveSolve* LiveSolve::tls_current_ = nullptr;
+
+LiveSolve::LiveSolve(Registry& registry, const Labels& base)
+    : iteration_(registry.gauge("pipescg_live_iteration",
+                                "CG-equivalent iteration of the most recent "
+                                "driver checkpoint",
+                                base)),
+      rnorm_(registry.gauge("pipescg_live_rnorm",
+                            "residual norm at the most recent checkpoint",
+                            base)),
+      s_(registry.gauge("pipescg_live_s",
+                        "current s-step block size (degrades under recovery)",
+                        base)),
+      recoveries_(registry.gauge("pipescg_live_recoveries",
+                                 "fault recoveries so far in the running solve",
+                                 base)),
+      checkpoints_(registry.counter("pipescg_live_checkpoints_total",
+                                    "driver checkpoints observed", base)) {}
+
+void LiveSolve::checkpoint(std::uint64_t iteration, double rnorm, int s,
+                           std::uint64_t recoveries) {
+  iteration_.set(static_cast<double>(iteration));
+  rnorm_.set(rnorm);
+  s_.set(static_cast<double>(s));
+  recoveries_.set(static_cast<double>(recoveries));
+  checkpoints_.inc();
+}
+
+LiveSolve::Install::Install(LiveSolve* l) : prev_(tls_current_) {
+  if (l != nullptr) tls_current_ = l;
+}
+
+LiveSolve::Install::~Install() { tls_current_ = prev_; }
+
+}  // namespace pipescg::obs::metrics

@@ -157,8 +157,9 @@ bool SolveProfile::counters_uniform() const {
   const Profiler::Counters& c0 = profilers_.front().counters();
   for (const Profiler& p : profilers_) {
     const Profiler::Counters& c = p.counters();
-    // halo_* counters are legitimately rank-dependent (boundary ranks pull
-    // fewer ghost runs) and are not part of the uniformity contract.
+    // halo_* and spmv_bytes are legitimately rank-dependent (boundary ranks
+    // pull fewer ghost runs / own fewer nonzeros) and are not part of the
+    // uniformity contract.
     if (c.spmvs != c0.spmvs || c.pc_applies != c0.pc_applies ||
         c.allreduces != c0.allreduces || c.iterations != c0.iterations ||
         c.mpk_blocks != c0.mpk_blocks)

@@ -148,6 +148,12 @@ class Profiler {
     std::size_t halo_epochs = 0;          // batched exchange epochs
     std::size_t halo_messages = 0;        // ghost runs pulled (per rank)
     std::size_t halo_volume_doubles = 0;  // ghost doubles pulled (per rank)
+    std::size_t spmv_bytes = 0;  // bytes moved by local SPMV compute, from
+                                 // operator shape (matrix structure + vector
+                                 // traffic); rank-dependent like halo_*, so
+                                 // also outside the uniformity contract.
+                                 // Feeds the measured-throughput gauges
+                                 // (metrics::register_profile).
   };
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }

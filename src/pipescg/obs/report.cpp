@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "pipescg/obs/metrics.hpp"
+
 namespace pipescg::obs {
 
 json::Value stats_to_json(const krylov::SolveStats& stats) {
@@ -44,6 +46,7 @@ json::Value counters_to_json(const Profiler::Counters& counters) {
   v.set("halo_epochs", counters.halo_epochs);
   v.set("halo_messages", counters.halo_messages);
   v.set("halo_volume_doubles", counters.halo_volume_doubles);
+  v.set("spmv_bytes", counters.spmv_bytes);
   return v;
 }
 
@@ -216,13 +219,15 @@ json::Value drift_to_json(const DriftReport& report) {
 json::Value solve_report(const krylov::SolveStats& stats,
                          const SolveProfile* profile,
                          const OverlapReport* overlap,
-                         const DriftReport* drift) {
+                         const DriftReport* drift,
+                         const metrics::Registry* registry) {
   json::Value v = json::Value::object();
   v.set("method", stats.method);
   v.set("stats", stats_to_json(stats));
   if (profile != nullptr) v.set("profile", profile_to_json(*profile));
   if (overlap != nullptr) v.set("overlap", overlap_to_json(*overlap));
   if (drift != nullptr) v.set("drift", drift_to_json(*drift));
+  if (registry != nullptr) v.set("metrics", registry->to_json());
   return v;
 }
 

@@ -18,6 +18,10 @@
 
 namespace pipescg::obs {
 
+namespace metrics {
+class Registry;
+}
+
 /// SolveStats (+ history) as a JSON object.
 json::Value stats_to_json(const krylov::SolveStats& stats);
 
@@ -45,12 +49,15 @@ json::Value drift_to_json(const DriftReport& report);
 
 /// Full solve report:
 ///   {"method", "stats": {...}, "profile": {...}?, "overlap": {...}?,
-///    "drift": {...}?}.
-/// `profile`, `overlap`, and `drift` may be nullptr (serial / unprofiled /
-/// unanalyzed runs).
+///    "drift": {...}?, "metrics": {...}?}.
+/// `profile`, `overlap`, `drift`, and `registry` may be nullptr (serial /
+/// unprofiled / unanalyzed / unmetered runs).  When a metrics registry is
+/// passed, its key-stable JSON snapshot (metrics::Registry::to_json) is
+/// folded in, so one report carries the same surface a scraper sees.
 json::Value solve_report(const krylov::SolveStats& stats,
                          const SolveProfile* profile,
                          const OverlapReport* overlap = nullptr,
-                         const DriftReport* drift = nullptr);
+                         const DriftReport* drift = nullptr,
+                         const metrics::Registry* registry = nullptr);
 
 }  // namespace pipescg::obs

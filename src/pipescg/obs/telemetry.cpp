@@ -5,8 +5,28 @@
 
 #include "pipescg/base/error.hpp"
 #include "pipescg/obs/json.hpp"
+#include "pipescg/obs/metrics.hpp"
 
 namespace pipescg::obs {
+
+void telemetry_checkpoint(std::uint64_t iteration, double rnorm,
+                          std::string_view norm_flavor, int s,
+                          std::uint64_t recoveries,
+                          std::span<const double> alpha, double beta_fro) {
+  if (metrics::LiveSolve* live = metrics::LiveSolve::current())
+    live->checkpoint(iteration, rnorm, s, recoveries);
+  ConvergenceTelemetry* sink = ConvergenceTelemetry::current();
+  if (sink == nullptr) return;
+  TelemetryRecord rec;
+  rec.iteration = iteration;
+  rec.rnorm = rnorm;
+  rec.norm_flavor = std::string(norm_flavor);
+  rec.s = s;
+  rec.recoveries = recoveries;
+  rec.alpha.assign(alpha.begin(), alpha.end());
+  rec.beta_fro = beta_fro;
+  sink->record(std::move(rec));
+}
 
 thread_local ConvergenceTelemetry* ConvergenceTelemetry::tls_current_ =
     nullptr;

@@ -96,24 +96,13 @@ class ConvergenceTelemetry {
   std::size_t dropped_ = 0;
 };
 
-/// Driver-side hook: records a checkpoint into the installed sink, or does
-/// nothing (one thread-local check) when none is installed.
-inline void telemetry_checkpoint(std::uint64_t iteration, double rnorm,
-                                 std::string_view norm_flavor, int s,
-                                 std::uint64_t recoveries,
-                                 std::span<const double> alpha,
-                                 double beta_fro) {
-  ConvergenceTelemetry* sink = ConvergenceTelemetry::current();
-  if (sink == nullptr) return;
-  TelemetryRecord rec;
-  rec.iteration = iteration;
-  rec.rnorm = rnorm;
-  rec.norm_flavor = std::string(norm_flavor);
-  rec.s = s;
-  rec.recoveries = recoveries;
-  rec.alpha.assign(alpha.begin(), alpha.end());
-  rec.beta_fro = beta_fro;
-  sink->record(std::move(rec));
-}
+/// Driver-side hook: records a checkpoint into the installed sink (if any)
+/// and forwards iteration/rnorm/s/recoveries to the installed live metrics
+/// gauges (metrics::LiveSolve::current(), if any).  Costs two thread-local
+/// null checks when neither observer is installed.
+void telemetry_checkpoint(std::uint64_t iteration, double rnorm,
+                          std::string_view norm_flavor, int s,
+                          std::uint64_t recoveries,
+                          std::span<const double> alpha, double beta_fro);
 
 }  // namespace pipescg::obs

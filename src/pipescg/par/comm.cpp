@@ -15,6 +15,7 @@ namespace pipescg::par {
 namespace {
 
 std::atomic<double> g_watchdog_ms{30000.0};
+std::atomic<std::uint64_t> g_watchdog_trips{0};
 
 // Spin with progressively more yielding.  On oversubscribed machines (this
 // target has a single core) pure spinning would serialize horribly, so we
@@ -73,6 +74,7 @@ class Backoff {
     if (!prof->spans().empty())
       os << " last=" << obs::to_string(prof->spans().back().kind);
   }
+  g_watchdog_trips.fetch_add(1, std::memory_order_relaxed);
   throw CommTimeout(rank, os.str());
 }
 
@@ -95,6 +97,14 @@ void set_comm_watchdog_ms(double ms) {
 
 double comm_watchdog_ms() {
   return g_watchdog_ms.load(std::memory_order_relaxed);
+}
+
+std::uint64_t comm_watchdog_trips() {
+  return g_watchdog_trips.load(std::memory_order_relaxed);
+}
+
+void reset_comm_watchdog_trips() {
+  g_watchdog_trips.store(0, std::memory_order_relaxed);
 }
 
 RankRange block_range(std::size_t n, int rank, int size) {

@@ -76,6 +76,12 @@ class CommTimeout : public Error {
 void set_comm_watchdog_ms(double ms);
 double comm_watchdog_ms();
 
+/// Process-wide count of CommTimeout throws (watchdog trips) since start or
+/// the last reset.  Exported as pipescg_watchdog_trips_total by
+/// obs::metrics::register_fault, and the number the fault harness reports.
+std::uint64_t comm_watchdog_trips();
+void reset_comm_watchdog_trips();
+
 /// RAII watchdog override (tests use short timeouts and must restore).
 class ScopedWatchdog {
  public:

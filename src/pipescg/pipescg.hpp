@@ -32,6 +32,7 @@
 #include "pipescg/obs/analysis.hpp"
 #include "pipescg/obs/chrome_trace.hpp"
 #include "pipescg/obs/json.hpp"
+#include "pipescg/obs/metrics.hpp"
 #include "pipescg/obs/profiler.hpp"
 #include "pipescg/obs/report.hpp"
 #include "pipescg/obs/telemetry.hpp"

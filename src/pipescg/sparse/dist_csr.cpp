@@ -90,6 +90,15 @@ DistCsr::DistCsr(const CsrMatrix& global, const Partition& partition, int rank)
         par::GhostPull{owner, ghost_globals_[g] - owner_begin, g, len});
     g += len;
   }
+
+  // Bytes-moved model of one local SPMV: values + column indices stream
+  // once per nonzero, the row pointer once per row, every owned/ghost x
+  // entry is read at least once, and y is written once.
+  bytes_per_apply_ =
+      local_.nnz() * (sizeof(double) + sizeof(CsrMatrix::Index)) +
+      (nlocal + 1) * sizeof(CsrMatrix::Index) +
+      (nlocal + ghost_globals_.size()) * sizeof(double) +
+      nlocal * sizeof(double);
 }
 
 void DistCsr::apply(par::Comm& comm, std::span<const double> x_local,
@@ -102,6 +111,8 @@ void DistCsr::apply(par::Comm& comm, std::span<const double> x_local,
   comm.exchange(pulls_, x_local, ghost_scratch);
 
   // Local SPMV on [x_local ; ghosts].
+  if (obs::Profiler* prof = obs::Profiler::current())
+    prof->counters().spmv_bytes += bytes_per_apply_;
   obs::SpanScope span(obs::Profiler::current(), obs::SpanKind::kSpmvLocal);
   const auto rp = local_.row_ptr();
   const auto ci = local_.col_indices();

@@ -49,12 +49,20 @@ class DistCsr {
   /// Coalesced ghost runs (messages) this rank pulls per apply.
   std::size_t halo_messages() const { return pulls_.size(); }
 
+  /// Bytes the local SPMV moves per apply, from operator shape alone
+  /// (matrix structure streamed once + x/ghost reads + y writes), so the
+  /// number is deterministic and identical across reruns.  Accumulated into
+  /// Profiler::Counters::spmv_bytes by apply(); measured throughput is this
+  /// over measured kSpmvLocal seconds (metrics::register_profile).
+  std::size_t bytes_per_apply() const { return bytes_per_apply_; }
+
  private:
   Partition partition_;
   int rank_;
   CsrMatrix local_;  // ncols = local_rows + ghost_count, remapped indices
   std::vector<std::size_t> ghost_globals_;  // sorted global ids of ghosts
   std::vector<par::GhostPull> pulls_;  // persistent run list for exchange()
+  std::size_t bytes_per_apply_ = 0;
 };
 
 }  // namespace pipescg::sparse

@@ -174,6 +174,26 @@ MatrixPowers::MatrixPowers(const CsrMatrix& global, const Partition& partition,
   }
 }
 
+std::size_t MatrixPowers::bytes_per_block(std::size_t count) const {
+  PIPESCG_CHECK(count >= 1 && count <= static_cast<std::size_t>(depth_),
+                "matrix-powers block size exceeds kernel depth");
+  // Every sweep streams the owned CSR plus the shrinking redundant
+  // ghost-row onion, reads the extended vector, and writes its outputs --
+  // the same per-sweep accounting as DistCsr::bytes_per_apply.
+  std::size_t bytes = 0;
+  for (std::size_t k = 1; k <= count; ++k) {
+    const std::size_t grows = rows_through_layer_[count - k];
+    const std::size_t gnnz = static_cast<std::size_t>(ghost_row_ptr_[grows]);
+    bytes += local_.nnz() * (sizeof(double) + sizeof(CsrMatrix::Index)) +
+             (nlocal_ + 1) * sizeof(CsrMatrix::Index) +
+             (nlocal_ + ghost_globals_.size()) * sizeof(double) +
+             nlocal_ * sizeof(double) +
+             gnnz * (sizeof(double) + sizeof(CsrMatrix::Index)) +
+             grows * (sizeof(CsrMatrix::Index) + sizeof(double));
+  }
+  return bytes;
+}
+
 void MatrixPowers::apply(par::Comm& comm, std::span<const double> x_local,
                          std::span<const std::span<double>> outs,
                          Scratch& scratch) const {
@@ -193,8 +213,10 @@ void MatrixPowers::apply(par::Comm& comm, std::span<const double> x_local,
   // The one halo epoch of the whole block: pull ghost layers 1..depth.
   comm.exchange(pulls_, x_local,
                 std::span<double>(scratch.cur).subspan(nlocal_));
-  if (obs::Profiler* prof = obs::Profiler::current())
+  if (obs::Profiler* prof = obs::Profiler::current()) {
     ++prof->counters().mpk_blocks;
+    prof->counters().spmv_bytes += bytes_per_block(count);
+  }
 
   const auto sweep_rows = [](const CsrMatrix::Index* rp,
                              const CsrMatrix::Index* ci, const double* v,

@@ -56,6 +56,13 @@ class MatrixPowers {
   /// layer-l rows are recomputed (depth - l) times.
   std::size_t redundant_nnz() const { return redundant_nnz_; }
 
+  /// Bytes the local sweeps of one apply() with outs.size() == count move,
+  /// from operator shape alone (owned CSR + redundant ghost-row onion +
+  /// vector traffic) -- deterministic across reruns.  apply() accumulates
+  /// exactly this into Profiler::Counters::spmv_bytes; bench_kernels uses it
+  /// for measured GB/s.
+  std::size_t bytes_per_block(std::size_t count) const;
+
   /// Reusable buffers for apply(); owned by the caller so apply() stays
   /// const and re-entrant per rank (mirrors DistCsr's ghost_scratch).
   struct Scratch {

@@ -1,0 +1,356 @@
+// Metrics-registry tests: Prometheus exposition determinism (escaping,
+// label ordering, family/series sort), cross-rank registration against the
+// profiler's uniformity contract, snapshot/report parity, fault-metric
+// agreement with the JSON report fields, and sampler thread-safety (the
+// test TSan certifies: rank threads record into atomic cells while the
+// sampler renders snapshots).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "pipescg/base/error.hpp"
+#include "pipescg/krylov/registry.hpp"
+#include "pipescg/krylov/spmd_engine.hpp"
+#include "pipescg/obs/metrics.hpp"
+#include "pipescg/obs/report.hpp"
+#include "pipescg/par/comm.hpp"
+#include "pipescg/precond/jacobi.hpp"
+#include "pipescg/sparse/dist_csr.hpp"
+#include "pipescg/sparse/stencil.hpp"
+
+namespace pipescg::obs::metrics {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// --- exposition determinism ------------------------------------------------
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotSplitSeries) {
+  Registry registry;
+  registry.counter("pipescg_test_total", "h", {{"b", "2"}, {"a", "1"}}).inc();
+  registry.counter("pipescg_test_total", "h", {{"a", "1"}, {"b", "2"}}).inc();
+  const std::string text = registry.prometheus();
+  // Both registrations hit the same cell, rendered once with sorted keys.
+  EXPECT_NE(text.find("pipescg_test_total{a=\"1\",b=\"2\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("{b="), std::string::npos) << text;
+}
+
+TEST(MetricsRegistryTest, EscapesLabelValuesAndHelp) {
+  Registry registry;
+  registry
+      .gauge("pipescg_escape", "help with \\ and\nnewline",
+             {{"path", "a\\b\"c\nd"}})
+      .set(1.0);
+  const std::string text = registry.prometheus();
+  EXPECT_NE(text.find("# HELP pipescg_escape help with \\\\ and\\nnewline"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("{path=\"a\\\\b\\\"c\\nd\"} 1"), std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, FamiliesAndSeriesRenderSorted) {
+  Registry registry;
+  registry.gauge("pipescg_zz", "last", {}).set(1.0);
+  registry.gauge("pipescg_aa", "first", {{"rank", "1"}}).set(2.0);
+  registry.gauge("pipescg_aa", "first", {{"rank", "0"}}).set(3.0);
+  const std::string text = registry.prometheus();
+  const std::size_t aa = text.find("# HELP pipescg_aa");
+  const std::size_t zz = text.find("# HELP pipescg_zz");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  EXPECT_LT(aa, zz);
+  EXPECT_LT(text.find("rank=\"0\""), text.find("rank=\"1\""));
+}
+
+TEST(MetricsRegistryTest, IdenticalRegistrationsRenderByteIdentical) {
+  const auto build = [] {
+    Registry registry;
+    registry.counter("pipescg_c_total", "c", {{"method", "pipe-pscg"}})
+        .add(41.0);
+    registry.gauge("pipescg_g", "g", {}).set(2.5e-9);
+    Histogram& h = registry.histogram("pipescg_h_seconds", "h", {});
+    h.observe(3e-9);
+    h.observe(1e-6);
+    return registry.prometheus();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(MetricsRegistryTest, TypeConflictThrows) {
+  Registry registry;
+  registry.counter("pipescg_typed_total", "h", {});
+  EXPECT_THROW(registry.gauge("pipescg_typed_total", "h", {}), Error);
+}
+
+TEST(MetricsRegistryTest, HistogramExposesCumulativeBucketsAndQuantiles) {
+  Registry registry;
+  Histogram& h = registry.histogram("pipescg_lat_seconds", "h", {});
+  for (int i = 0; i < 100; ++i) h.observe(1e-6);  // bucket [2^9, 2^10) ns
+  h.observe(1e-3);
+  const std::string text = registry.prometheus();
+  EXPECT_NE(text.find("pipescg_lat_seconds_bucket{le=\"+Inf\"} 101"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pipescg_lat_seconds_count 101"), std::string::npos);
+  const json::Value doc = registry.to_json();
+  const json::Value& series =
+      doc.at("pipescg_lat_seconds").at("series").at(std::size_t{0});
+  EXPECT_EQ(series.at("count").as_number(), 101.0);
+  const double p50 = series.at("p50_seconds").as_number();
+  EXPECT_GE(p50, 512e-9);
+  EXPECT_LT(p50, 1024e-9);
+}
+
+// --- cross-rank registration vs the profiler uniformity contract -----------
+
+struct SpmdArtifacts {
+  krylov::SolveStats stats;
+  SolveProfile profile{3};
+};
+
+SpmdArtifacts run_spmd(const std::string& method, int ranks) {
+  const sparse::CsrMatrix a =
+      sparse::assemble_stencil2d(sparse::stencil_poisson5(), 14, 14, "p");
+  krylov::SolverOptions opts;
+  opts.rtol = 1e-8;
+  opts.max_iterations = 2000;
+
+  SpmdArtifacts out;
+  out.profile = SolveProfile(ranks);
+  const sparse::Partition part(a.rows(), ranks);
+  par::Team::run(ranks, [&](par::Comm& comm) {
+    const sparse::DistCsr dist(a, part, comm.rank());
+    const std::size_t begin = part.begin(comm.rank());
+    const std::size_t len = part.local_size(comm.rank());
+    const std::vector<double> full_diag = a.diagonal();
+    std::vector<double> local_diag(
+        full_diag.begin() + static_cast<std::ptrdiff_t>(begin),
+        full_diag.begin() + static_cast<std::ptrdiff_t>(begin + len));
+    precond::JacobiPreconditioner local_pc(std::move(local_diag), a.stats());
+    krylov::SpmdEngine engine(comm, dist, &local_pc,
+                              &out.profile.rank(comm.rank()));
+    krylov::Vec ones = engine.new_vec();
+    for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
+    krylov::Vec b = engine.new_vec();
+    engine.apply_op(ones, b);
+    krylov::Vec x = engine.new_vec();
+    const krylov::SolveStats st =
+        krylov::make_solver(method)->solve(engine, b, x, opts);
+    if (comm.rank() == 0) out.stats = st;
+  });
+  return out;
+}
+
+double series_value(const json::Value& doc, const std::string& family,
+                    const std::string& label_key,
+                    const std::string& label_value) {
+  const json::Value& series = doc.at(family).at("series");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const json::Value& entry = series.at(i);
+    if (entry.at("labels").contains(label_key) &&
+        entry.at("labels").at(label_key).as_string() == label_value)
+      return entry.at("value").as_number();
+  }
+  ADD_FAILURE() << family << " has no series with " << label_key << "="
+                << label_value;
+  return -1.0;
+}
+
+TEST(MetricsRegistryTest, RegisterProfileMatchesCountersUniform) {
+  const SpmdArtifacts art = run_spmd("pipe-pscg", 3);
+  ASSERT_TRUE(art.profile.counters_uniform());
+
+  Registry registry;
+  register_profile(registry, art.profile);
+  const json::Value doc = registry.to_json();
+
+  EXPECT_EQ(doc.at("pipescg_counters_uniform")
+                .at("series")
+                .at(std::size_t{0})
+                .at("value")
+                .as_number(),
+            1.0);
+  EXPECT_EQ(doc.at("pipescg_ranks")
+                .at("series")
+                .at(std::size_t{0})
+                .at("value")
+                .as_number(),
+            3.0);
+  // The uniformity the gauge claims is visible in the per-rank series: the
+  // kernel counters inside the uniformity contract agree across ranks.
+  for (const char* family :
+       {"pipescg_spmvs_total", "pipescg_pc_applies_total",
+        "pipescg_allreduces_total", "pipescg_iterations_total"}) {
+    const double r0 = series_value(doc, family, "rank", "0");
+    EXPECT_EQ(series_value(doc, family, "rank", "1"), r0) << family;
+    EXPECT_EQ(series_value(doc, family, "rank", "2"), r0) << family;
+    EXPECT_EQ(r0, static_cast<double>([&] {
+                const Profiler::Counters& c = art.profile.rank(0).counters();
+                if (std::string(family) == "pipescg_spmvs_total")
+                  return c.spmvs;
+                if (std::string(family) == "pipescg_pc_applies_total")
+                  return c.pc_applies;
+                if (std::string(family) == "pipescg_allreduces_total")
+                  return c.allreduces;
+                return c.iterations;
+              }()))
+        << family;
+  }
+  // spmv_bytes is legitimately rank-dependent (row-block partition) and
+  // outside the uniformity contract; it still lands per rank and is > 0.
+  for (const char* rank : {"0", "1", "2"})
+    EXPECT_GT(series_value(doc, "pipescg_spmv_bytes_total", "rank", rank),
+              0.0);
+}
+
+// --- snapshot == report parity ---------------------------------------------
+
+TEST(MetricsReportTest, SolveReportFoldsIdenticalSnapshot) {
+  const SpmdArtifacts art = run_spmd("pipe-scg", 3);
+
+  Registry registry;
+  register_stats(registry, art.stats, {{"method", "pipe-scg"}});
+  register_profile(registry, art.profile, {{"method", "pipe-scg"}});
+
+  const json::Value report =
+      solve_report(art.stats, &art.profile, nullptr, nullptr, &registry);
+  ASSERT_TRUE(report.contains("metrics"));
+  // The folded snapshot is exactly Registry::to_json -- same keys, same
+  // ordering, same shortest-round-trip values.
+  EXPECT_EQ(report.at("metrics"), registry.to_json());
+  EXPECT_EQ(report.at("metrics").dump(), registry.to_json().dump());
+
+  // And the two surfaces agree on the numbers themselves.
+  const json::Value& metrics = report.at("metrics");
+  EXPECT_EQ(metrics.at("pipescg_solve_iterations")
+                .at("series")
+                .at(std::size_t{0})
+                .at("value")
+                .as_number(),
+            report.at("stats").at("iterations").as_number());
+  EXPECT_EQ(metrics.at("pipescg_solve_final_rnorm")
+                .at("series")
+                .at(std::size_t{0})
+                .at("value")
+                .as_number(),
+            report.at("stats").at("final_rnorm").as_number());
+}
+
+TEST(MetricsReportTest, FaultMetricsMatchReportFields) {
+  krylov::SolveStats stats;
+  stats.method = "pipe-pscg";
+  stats.converged = true;
+  stats.iterations = 77;
+  stats.recoveries = 2;
+
+  Registry registry;
+  register_stats(registry, stats);
+  register_fault(registry, /*injected_faults=*/3, stats.recoveries,
+                 /*watchdog_trips=*/1);
+
+  const json::Value report =
+      solve_report(stats, nullptr, nullptr, nullptr, &registry);
+  const json::Value& metrics = report.at("metrics");
+  const auto value = [&](const char* family) {
+    return metrics.at(family)
+        .at("series")
+        .at(std::size_t{0})
+        .at("value")
+        .as_number();
+  };
+  EXPECT_EQ(value("pipescg_fault_injected_total"), 3.0);
+  EXPECT_EQ(value("pipescg_fault_recoveries_total"),
+            report.at("stats").at("recoveries").as_number());
+  EXPECT_EQ(value("pipescg_watchdog_trips_total"), 1.0);
+  EXPECT_EQ(value("pipescg_solve_recoveries"),
+            report.at("stats").at("recoveries").as_number());
+}
+
+// --- live solve gauges ------------------------------------------------------
+
+TEST(LiveSolveTest, CheckpointHookUpdatesGauges) {
+  Registry registry;
+  LiveSolve live(registry, {{"method", "pipe-pscg"}});
+  {
+    const LiveSolve::Install install(&live);
+    ASSERT_EQ(LiveSolve::current(), &live);
+    LiveSolve::current()->checkpoint(12, 3.5e-7, 3, 1);
+    LiveSolve::current()->checkpoint(15, 1.5e-7, 3, 1);
+  }
+  EXPECT_EQ(LiveSolve::current(), nullptr);
+  const json::Value doc = registry.to_json();
+  const auto value = [&](const char* family) {
+    return doc.at(family)
+        .at("series")
+        .at(std::size_t{0})
+        .at("value")
+        .as_number();
+  };
+  EXPECT_EQ(value("pipescg_live_iteration"), 15.0);
+  EXPECT_DOUBLE_EQ(value("pipescg_live_rnorm"), 1.5e-7);
+  EXPECT_EQ(value("pipescg_live_s"), 3.0);
+  EXPECT_EQ(value("pipescg_live_recoveries"), 1.0);
+  EXPECT_EQ(value("pipescg_live_checkpoints_total"), 2.0);
+}
+
+TEST(LiveSolveTest, NullInstallIsNoOp) {
+  const LiveSolve::Install install(nullptr);
+  EXPECT_EQ(LiveSolve::current(), nullptr);
+}
+
+// --- sampler ---------------------------------------------------------------
+
+TEST(MetricsSamplerTest, SnapshotsWhileRecordersRun) {
+  Registry registry;
+  Counter& work = registry.counter("pipescg_work_total", "w", {});
+  Histogram& lat = registry.histogram("pipescg_work_seconds", "w", {});
+
+  const std::string path = ::testing::TempDir() + "metrics_sampler.prom";
+  MetricsSampler sampler(registry, path, /*period_ms=*/2.0);
+  sampler.start();
+  sampler.start();  // idempotent
+
+  // Two recorder threads hammer the atomic cells while the sampler renders:
+  // the data-race-freedom this exercises is what TSan certifies in CI.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < 2; ++t)
+    recorders.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        work.add(1.0);
+        lat.observe(1e-7);
+      }
+    });
+  while (sampler.samples() < 3) std::this_thread::yield();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : recorders) t.join();
+  sampler.stop();
+  sampler.stop();  // idempotent
+
+  EXPECT_GE(sampler.samples(), 3u);
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("# TYPE pipescg_work_total counter"),
+            std::string::npos)
+      << text;
+  // The final stop() flush renders the quiesced state exactly.
+  EXPECT_NE(text.find("pipescg_work_total " +
+                      json::number_to_string(work.value())),
+            std::string::npos)
+      << text;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pipescg::obs::metrics

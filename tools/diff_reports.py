@@ -2,7 +2,8 @@
 """Diff two JSON reports (bench BENCH_*.json or obs solve reports) key by key.
 
 Usage: tools/diff_reports.py baseline.json candidate.json
-           [--threshold 0.05] [--ignore REGEX] [--list-all]
+           [--threshold 0.05] [--class REGEX=THRESHOLD ...]
+           [--ignore REGEX] [--list-all]
 
 Both files are flattened to dotted key paths (arrays index as [i]).  For
 each key present in both files the relative delta is computed as
@@ -14,11 +15,22 @@ matches --ignore (a regular expression, searched anywhere in the path) are
 skipped.  Keys present in only one file are reported as ADDED/REMOVED and
 count as failures, since the reports are designed to be key-stable.
 
-Exits 0 when every compared key is within --threshold, 1 otherwise --
-suitable as a CI gate against a checked-in baseline.  Absolute wall-clock
-seconds never appear in BENCH_*.json (only modeled seconds and iteration
-counts), so a small threshold absorbs cross-machine libm drift without
-masking real regressions.
+Per-key-class tolerances: each --class REGEX=THRESHOLD pairs a path regex
+(searched anywhere in the dotted path) with its own relative threshold;
+the FIRST matching --class wins, and keys matching no class fall back to
+--threshold.  This lets CI hold exact quantities (iteration counts,
+ratios) tight while giving modeled absolute seconds more slack:
+
+    tools/diff_reports.py base.json cand.json --threshold 0.05 \\
+        --class 'iterations|converged=0.0' \\
+        --class 'ratios\\.=0.02' \\
+        --class 'modeled_seconds|_seconds=0.10'
+
+Exits 0 when every compared key is within its threshold, 1 otherwise --
+suitable as a CI hard gate against a checked-in baseline.  Absolute
+wall-clock seconds never appear in BENCH_*.json (only modeled seconds and
+iteration counts), so small thresholds absorb cross-machine libm drift
+without masking real regressions.
 """
 
 import argparse
@@ -58,6 +70,16 @@ def main(argv):
     parser.add_argument("--threshold", type=float, default=0.05,
                         help="max relative delta per numeric key "
                              "(default: 0.05)")
+    parser.add_argument("--class", dest="classes", action="append",
+                        default=[], metavar="REGEX=THRESHOLD",
+                        help="per-key-class tolerance; repeatable, first "
+                             "matching regex wins, others fall back to "
+                             "--threshold")
+    parser.add_argument("--abs-floor", type=float, default=1e-12,
+                        help="values with |x| below this on both sides "
+                             "compare equal; keeps catastrophic-cancellation "
+                             "noise (1e-19 vs 0.0) from tripping the "
+                             "relative gate (default: %(default)g)")
     parser.add_argument("--ignore", default="",
                         help="regex of key paths to skip (searched)")
     parser.add_argument("--list-all", action="store_true",
@@ -70,6 +92,19 @@ def main(argv):
         cand = flatten(json.load(f))
 
     ignore = re.compile(args.ignore) if args.ignore else None
+
+    classes = []
+    for spec in args.classes:
+        regex, sep, value = spec.rpartition("=")
+        if not sep or not regex:
+            parser.error(f"--class needs REGEX=THRESHOLD, got {spec!r}")
+        classes.append((re.compile(regex), float(value)))
+
+    def threshold_for(path):
+        for regex, value in classes:
+            if regex.search(path):
+                return value
+        return args.threshold
 
     def skipped(path):
         return ignore is not None and ignore.search(path)
@@ -92,11 +127,15 @@ def main(argv):
         numeric = (isinstance(a, (int, float)) and not isinstance(a, bool)
                    and isinstance(b, (int, float)) and not isinstance(b, bool))
         if numeric:
-            delta = relative_delta(a, b)
-            ok = delta <= args.threshold
+            if abs(a) < args.abs_floor and abs(b) < args.abs_floor:
+                delta = 0.0
+            else:
+                delta = relative_delta(a, b)
+            limit = threshold_for(path)
+            ok = delta <= limit
             if not ok or args.list_all:
                 print(f"{'ok    ' if ok else 'DELTA '} {path}: "
-                      f"{a!r} -> {b!r} (rel {delta:.3g})")
+                      f"{a!r} -> {b!r} (rel {delta:.3g}, limit {limit:g})")
             failures += 0 if ok else 1
         else:
             ok = a == b
@@ -104,8 +143,7 @@ def main(argv):
                 print(f"{'ok    ' if ok else 'DIFF  '} {path}: {a!r} -> {b!r}")
             failures += 0 if ok else 1
 
-    print(f"compared {compared} key(s), {failures} past threshold "
-          f"{args.threshold}")
+    print(f"compared {compared} key(s), {failures} past threshold")
     return 1 if failures else 0
 
 

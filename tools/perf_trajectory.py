@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Maintain the in-repo perf-trajectory history under bench/trajectory/.
+
+Every bench-smoke CI run produces a wall-clock-free BENCH_<name>.json
+(modeled seconds, iteration counts, ratio baselines).  This tool distills
+each such file into one compact JSONL record and appends it to
+bench/trajectory/<name>.jsonl, so the repository itself carries the
+perf trajectory: `git log -p bench/trajectory/` shows exactly when an
+iteration count, overlap efficiency, or kernel-trade ratio moved, and by
+how much.
+
+Usage:
+    tools/perf_trajectory.py append BENCH_fig1.json [--dir bench/trajectory]
+        [--commit SHA]
+    tools/perf_trajectory.py show bench/trajectory/fig1.jsonl [--last N]
+
+append  distill the bench JSON and append one record (commit defaults to
+        GITHUB_SHA, then `git rev-parse --short HEAD`, then "local").
+        Identical consecutive records are still appended -- the history is
+        append-only and the commit field disambiguates.
+show    print the history as a table: one row per record, one column per
+        tracked scalar, so drift is visible without plotting.
+
+The record keeps only trajectory-worthy scalars (per-method iterations and
+overlap efficiency, the ratio baselines, speedup at the largest modeled
+node count); no timestamps and no absolute wall-clock numbers, matching
+the determinism contract of the rest of the observability surface.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def resolve_commit(explicit):
+    if explicit:
+        return explicit
+    sha = os.environ.get("GITHUB_SHA", "")
+    if sha:
+        return sha[:12]
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "local"
+
+
+def distill(doc):
+    """Compact trajectory record from one BENCH_<name>.json document."""
+    record = {
+        "bench": doc.get("bench", "unknown"),
+        "ranks": doc.get("ranks"),
+    }
+    methods = {}
+    for name, entry in sorted(doc.get("methods", {}).items()):
+        overlap = entry.get("overlap", {})
+        methods[name] = {
+            "iterations": entry.get("iterations"),
+            "converged": entry.get("converged"),
+            "overlap_efficiency": overlap.get("overlap_efficiency"),
+        }
+    record["methods"] = methods
+
+    ratios = doc.get("ratios", {})
+    if ratios:
+        record["ratios"] = ratios
+
+    scaling = doc.get("scaling", {})
+    nodes = scaling.get("nodes", [])
+    if nodes:
+        record["max_nodes"] = nodes[-1]
+        record["speedup_at_max_nodes"] = {
+            m: curve[-1]
+            for m, curve in sorted(scaling.get("speedup", {}).items())
+            if curve
+        }
+    return record
+
+
+def cmd_append(args):
+    with open(args.bench_json, encoding="utf-8") as f:
+        doc = json.load(f)
+    record = distill(doc)
+    record["commit"] = resolve_commit(args.commit)
+
+    os.makedirs(args.dir, exist_ok=True)
+    path = os.path.join(args.dir, f"{record['bench']}.jsonl")
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"appended {record['bench']} @ {record['commit']} to {path}")
+    return 0
+
+
+def cmd_show(args):
+    with open(args.trajectory, encoding="utf-8") as f:
+        records = [json.loads(line) for line in f if line.strip()]
+    if args.last:
+        records = records[-args.last:]
+    if not records:
+        print("no records")
+        return 0
+
+    # One column per method iteration count + overlap efficiency, plus each
+    # scalar ratio; rows are records in append order.
+    columns = []
+    for rec in records:
+        for m in rec.get("methods", {}):
+            for col in (f"{m}.iters", f"{m}.eff"):
+                if col not in columns:
+                    columns.append(col)
+        for family, values in rec.get("ratios", {}).items():
+            if isinstance(values, dict):
+                for key in values:
+                    col = f"{family}.{key}"
+                    if col not in columns:
+                        columns.append(col)
+
+    def cell(rec, col):
+        if col.endswith(".iters"):
+            m = rec.get("methods", {}).get(col[:-len(".iters")], {})
+            v = m.get("iterations")
+            return str(v) if v is not None else "-"
+        if col.endswith(".eff"):
+            m = rec.get("methods", {}).get(col[:-len(".eff")], {})
+            v = m.get("overlap_efficiency")
+            return f"{v:.3f}" if v is not None else "-"
+        family, _, key = col.rpartition(".")
+        v = rec.get("ratios", {}).get(family, {}).get(key)
+        return f"{v:.3f}" if v is not None else "-"
+
+    widths = {c: max(len(c), 8) for c in columns}
+    header = "commit       " + " ".join(c.rjust(widths[c]) for c in columns)
+    print(header)
+    for rec in records:
+        row = f"{rec.get('commit', '?'):<12} " + " ".join(
+            cell(rec, c).rjust(widths[c]) for c in columns)
+        print(row)
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="append/show the in-repo bench perf trajectory")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_append = sub.add_parser("append", help="distill a BENCH json and append")
+    p_append.add_argument("bench_json")
+    p_append.add_argument("--dir", default="bench/trajectory",
+                          help="trajectory directory (default: %(default)s)")
+    p_append.add_argument("--commit", default="",
+                          help="commit id (default: GITHUB_SHA or git HEAD)")
+    p_append.set_defaults(func=cmd_append)
+
+    p_show = sub.add_parser("show", help="print a trajectory as a table")
+    p_show.add_argument("trajectory")
+    p_show.add_argument("--last", type=int, default=0,
+                        help="only the last N records")
+    p_show.set_defaults(func=cmd_show)
+
+    args = parser.parse_args(argv[1:])
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
