@@ -1,0 +1,234 @@
+#include "pipescg/krylov/multi_rhs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "pipescg/base/error.hpp"
+#include "pipescg/krylov/sstep_common.hpp"
+#include "pipescg/par/comm.hpp"
+
+namespace pipescg::krylov {
+
+using sstep::DotLayout;
+using sstep::ScalarWork;
+
+std::size_t max_batch_columns(int s) {
+  const DotLayout layout{s, /*preconditioned=*/false};
+  return par::Team::kMaxPayload / layout.total();
+}
+
+namespace {
+
+// Everything one right-hand side carries through the lockstep loop.  The
+// blocks mirror ScgSspmvSolver::solve exactly; only the dot batches are
+// shared with the other columns.
+struct Column {
+  Column(Engine& engine, int s)
+      : basis(engine.new_block(static_cast<std::size_t>(s) + 1)),
+        basis_next(engine.new_block(static_cast<std::size_t>(s) + 1)),
+        p_prev(engine.new_block(static_cast<std::size_t>(s))),
+        p_cur(engine.new_block(static_cast<std::size_t>(s))),
+        ap_prev(engine.new_block(static_cast<std::size_t>(s))),
+        ap_cur(engine.new_block(static_cast<std::size_t>(s))),
+        scalar_work(s) {}
+
+  VecBlock basis, basis_next;
+  VecBlock p_prev, p_cur;
+  VecBlock ap_prev, ap_cur;
+  ScalarWork scalar_work;
+  SolveStats stats;
+  std::vector<double> values;  // this column's slice of the fused batch
+  double tol = 0.0;
+  double rnorm = 0.0;
+  std::size_t iterations = 0;
+  std::size_t outer = 0;
+  bool active = true;
+};
+
+}  // namespace
+
+std::vector<SolveStats> scg_multi_solve(Engine& engine,
+                                        std::span<const Vec> bs,
+                                        std::span<Vec> xs,
+                                        const SolverOptions& opts) {
+  using namespace sstep;
+  const std::size_t k = bs.size();
+  PIPESCG_CHECK(k >= 1 && xs.size() == k,
+                "scg_multi_solve needs matching, non-empty b/x column sets");
+  const int s = opts.s;
+  const std::size_t su = static_cast<std::size_t>(s);
+  const DotLayout layout{s, /*preconditioned=*/false};
+  PIPESCG_CHECK(k <= max_batch_columns(s),
+                "multi-RHS batch of " + std::to_string(k) +
+                    " columns exceeds max_batch_columns(s=" +
+                    std::to_string(s) + ") = " +
+                    std::to_string(max_batch_columns(s)) +
+                    " (fused payload would overflow one allreduce)");
+
+  std::vector<Column> cols;
+  cols.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    cols.emplace_back(engine, s);
+    cols[i].stats.method = "scg-sspmv";
+    cols[i].stats.final_s = s;
+    cols[i].values.assign(layout.total(), 0.0);
+  }
+
+  // --- fused b-norm batch (mirrors detail::compute_b_norm per column) ----
+  {
+    std::vector<Vec> us;  // PC images, only for the preconditioned flavors
+    us.reserve(k);
+    std::vector<DotPair> pairs;
+    pairs.reserve(k);
+    const bool plain = opts.norm == NormType::kUnpreconditioned ||
+                       !engine.has_preconditioner();
+    for (std::size_t i = 0; i < k; ++i) {
+      if (plain) {
+        pairs.push_back(DotPair{&bs[i], &bs[i]});
+      } else {
+        us.emplace_back(engine.new_vec());
+        engine.apply_pc(bs[i], us.back());
+        const Vec& lhs =
+            opts.norm == NormType::kPreconditioned ? us.back() : bs[i];
+        pairs.push_back(DotPair{&lhs, &us.back()});
+      }
+    }
+    std::vector<double> vals(k, 0.0);
+    engine.dots(pairs, vals);
+    for (std::size_t i = 0; i < k; ++i) {
+      cols[i].stats.b_norm = std::sqrt(std::max(vals[i], 0.0));
+      cols[i].tol = detail::threshold(cols[i].stats, opts);
+    }
+  }
+
+  // --- initial residual and power basis per column ------------------------
+  for (std::size_t i = 0; i < k; ++i) {
+    Column& c = cols[i];
+    {
+      Vec ax = engine.new_vec();
+      engine.apply_op(xs[i], ax);
+      engine.waxpy(c.basis[0], -1.0, ax, bs[i]);
+    }
+    engine.apply_op_powers(c.basis[0], std::span<Vec>(c.basis.data() + 1, su));
+  }
+
+  // Fused dot batch across the active columns: each contributes its full
+  // DotLayout slice contiguously, so scattering the reduced payload back is
+  // a fixed-stride copy.  Reused across iterations.
+  std::vector<DotPair> fused;
+  std::vector<double> fused_values;
+  std::vector<Column*> batch_order;
+  std::vector<DotPair> col_pairs;
+
+  const auto reduce_active = [&](bool next_basis) {
+    fused.clear();
+    batch_order.clear();
+    for (Column& c : cols) {
+      if (!c.active) continue;
+      build_dot_pairs(next_basis ? c.basis_next : c.basis, c.ap_cur,
+                      col_pairs);
+      fused.insert(fused.end(), col_pairs.begin(), col_pairs.end());
+      batch_order.push_back(&c);
+    }
+    if (batch_order.empty()) return;
+    fused_values.assign(fused.size(), 0.0);
+    engine.dots(fused, fused_values);  // ONE allreduce for every column
+    std::size_t offset = 0;
+    for (Column* c : batch_order) {
+      std::copy(fused_values.begin() + static_cast<std::ptrdiff_t>(offset),
+                fused_values.begin() +
+                    static_cast<std::ptrdiff_t>(offset + layout.total()),
+                c->values.begin());
+      offset += layout.total();
+    }
+  };
+
+  reduce_active(/*next_basis=*/false);
+  for (Column& c : cols) {
+    c.rnorm = std::sqrt(std::max(layout.norm_sq(c.values, opts.norm), 0.0));
+    if (!detail::checkpoint(c.stats, opts, 0, c.rnorm)) {
+      c.active = false;  // non-finite initial batch: frozen, breakdown set
+      continue;
+    }
+    if (c.rnorm < c.tol || c.iterations >= opts.max_iterations)
+      c.active = false;
+  }
+
+  // --- lockstep outer loop ------------------------------------------------
+  const auto any_active = [&] {
+    return std::any_of(cols.begin(), cols.end(),
+                       [](const Column& c) { return c.active; });
+  };
+
+  while (any_active()) {
+    for (std::size_t i = 0; i < k; ++i) {
+      Column& c = cols[i];
+      if (!c.active) continue;
+      const la::DenseMatrix cross = layout.cross(c.values);
+      ScalarWork::Result sw = c.scalar_work.step(
+          std::span<const double>(c.values.data(), layout.moment_count()),
+          cross);
+      if (!sw.ok) {
+        // No rollback in the batched driver: freeze this column with the
+        // failure flagged and keep the others iterating.
+        c.stats.breakdown = true;
+        c.stats.stagnated = true;
+        c.active = false;
+        continue;
+      }
+
+      // Direction block and AQ/AP recurrence (paper Alg. 4 lines 9-11).
+      copy_block(engine, c.basis, c.p_cur, su);
+      for (std::size_t j = 0; j < su; ++j)
+        engine.copy(c.basis[j + 1], c.ap_cur[j]);
+      if (c.outer > 0) {
+        engine.block_maxpy(c.p_cur, c.p_prev, sw.b);
+        engine.block_maxpy(c.ap_cur, c.ap_prev, sw.b);
+      }
+
+      // x and the recurred residual (Alg. 4 lines 12-13), then the basis
+      // rebuild: s SPMVs, one halo epoch when an MPK is attached.
+      engine.block_axpy(xs[i], c.p_cur, sw.alpha);
+      engine.block_combine(c.basis_next[0], c.basis[0], c.ap_cur, sw.alpha);
+      engine.apply_op_powers(c.basis_next[0],
+                             std::span<Vec>(c.basis_next.data() + 1, su));
+    }
+
+    reduce_active(/*next_basis=*/true);
+
+    for (Column& c : cols) {
+      if (!c.active) continue;
+      c.iterations += su;
+      ++c.outer;
+      c.rnorm = std::sqrt(std::max(layout.norm_sq(c.values, opts.norm), 0.0));
+      if (!detail::checkpoint(c.stats, opts, c.iterations, c.rnorm)) {
+        c.stats.stagnated = true;
+        c.active = false;
+        continue;
+      }
+      engine.mark_iteration(c.iterations - 1, c.rnorm);
+      if (c.rnorm < c.tol || c.iterations >= opts.max_iterations) {
+        c.active = false;
+        continue;
+      }
+      std::swap(c.basis, c.basis_next);
+      std::swap(c.p_prev, c.p_cur);
+      std::swap(c.ap_prev, c.ap_cur);
+    }
+  }
+
+  std::vector<SolveStats> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    Column& c = cols[i];
+    c.stats.converged = c.rnorm < c.tol && !c.stats.breakdown;
+    c.stats.iterations = c.iterations;
+    c.stats.final_rnorm = c.rnorm;
+    detail::finalize_stats(engine, bs[i], xs[i], opts, c.stats);
+    out.push_back(std::move(c.stats));
+  }
+  return out;
+}
+
+}  // namespace pipescg::krylov

@@ -525,6 +525,62 @@ void register_fault(Registry& registry, std::size_t injected_faults,
       .add(static_cast<double>(watchdog_trips));
 }
 
+void register_session(Registry& registry, const SessionSnapshot& snapshot,
+                      const Labels& base) {
+  const auto with_kind = [&](const char* kind) {
+    Labels labels = base;
+    labels.emplace_back("kind", kind);
+    return labels;
+  };
+  const char* build_help =
+      "expensive per-operator builds the session performed (cold setup "
+      "only; warm solves must not move these)";
+  registry.counter("pipescg_session_setup_builds_total", build_help,
+                   with_kind("partition"))
+      .add(static_cast<double>(snapshot.partition_builds));
+  registry.counter("pipescg_session_setup_builds_total", build_help,
+                   with_kind("dist"))
+      .add(static_cast<double>(snapshot.dist_builds));
+  registry.counter("pipescg_session_setup_builds_total", build_help,
+                   with_kind("mpk"))
+      .add(static_cast<double>(snapshot.mpk_builds));
+  registry.counter("pipescg_session_setup_builds_total", build_help,
+                   with_kind("pc"))
+      .add(static_cast<double>(snapshot.pc_builds));
+  registry.counter("pipescg_session_setup_builds_total", build_help,
+                   with_kind("team"))
+      .add(static_cast<double>(snapshot.team_spawns));
+  registry.gauge("pipescg_session_ranks",
+                 "persistent rank-team size of the session", base)
+      .set(static_cast<double>(snapshot.ranks));
+  registry.gauge("pipescg_session_setup_seconds",
+                 "wall cost of the session's one-time cold setup", base)
+      .set(snapshot.setup_seconds);
+  registry.counter("pipescg_session_solves_total",
+                   "jobs the session completed (single + batched columns)",
+                   base)
+      .add(static_cast<double>(snapshot.solves));
+  registry.counter("pipescg_session_warm_hits_total",
+                   "solves served entirely from the cached operator state",
+                   base)
+      .add(static_cast<double>(snapshot.warm_hits));
+  registry.counter("pipescg_session_team_runs_total",
+                   "bodies executed on the persistent rank team", base)
+      .add(static_cast<double>(snapshot.team_runs));
+  if (snapshot.solve_latency)
+    registry
+        .histogram("pipescg_session_solve_latency_seconds",
+                   "wall-clock latency of completed solves", base)
+        .merge_from(*snapshot.solve_latency);
+  if (snapshot.queue_latency)
+    registry
+        .histogram("pipescg_session_queue_wait_seconds",
+                   "admission wait (submit to execution start) of drained "
+                   "jobs",
+                   base)
+        .merge_from(*snapshot.queue_latency);
+}
+
 // --- live solve monitoring --------------------------------------------------
 
 thread_local LiveSolve* LiveSolve::tls_current_ = nullptr;

@@ -206,6 +206,36 @@ void register_fault(Registry& registry, std::size_t injected_faults,
                     std::size_t recoveries, std::size_t watchdog_trips,
                     const Labels& base = {});
 
+/// One service::Session's observable state, flattened to plain fields so obs
+/// does not depend on the service layer (the session fills this in
+/// Session-land; bench_service and the metrics bridge consume it here).
+/// The histogram pointers may be null; when set they must outlive the
+/// register_session call (merge_from copies the buckets).
+struct SessionSnapshot {
+  int ranks = 0;
+  std::size_t solves = 0;        ///< jobs completed (single + batched columns)
+  std::size_t team_runs = 0;     ///< bodies executed on the persistent team
+  double setup_seconds = 0.0;    ///< wall cost of the one cold setup
+  // Setup-build counters (service::SetupCounters): frozen after the session
+  // constructor on the cache contract the tests pin down.
+  std::size_t partition_builds = 0;
+  std::size_t dist_builds = 0;
+  std::size_t mpk_builds = 0;
+  std::size_t pc_builds = 0;
+  std::size_t team_spawns = 0;
+  std::size_t warm_hits = 0;     ///< solves served entirely from cache
+  const LatencyHistogram* solve_latency = nullptr;  ///< per-solve wall clock
+  const LatencyHistogram* queue_latency = nullptr;  ///< admission wait
+};
+
+/// A SessionSnapshot as registry metrics: setup-build counters (label
+/// kind="partition|dist|mpk|pc|team"), warm-hit/solve/team-run totals, the
+/// setup cost gauge, and the solve-latency / queue-wait histograms.  All
+/// wall-clock series carry the `_seconds` suffix per the determinism
+/// convention above.
+void register_session(Registry& registry, const SessionSnapshot& snapshot,
+                      const Labels& base = {});
+
 // --- live solve monitoring --------------------------------------------------
 
 /// Mid-solve gauges fed from the s-step drivers' checkpoint hook

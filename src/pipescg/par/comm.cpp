@@ -263,6 +263,91 @@ void Team::run(int num_ranks, const std::function<void(Comm&)>& body) {
     if (e) std::rethrow_exception(e);
 }
 
+PersistentTeam::PersistentTeam(int num_ranks) : num_ranks_(num_ranks) {
+  PIPESCG_CHECK(num_ranks >= 1, "persistent team needs at least one rank");
+  team_.reset(new Team(num_ranks));
+  comms_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r)
+    comms_.emplace_back(new Comm(team_.get(), r));
+  errors_.assign(static_cast<std::size_t>(num_ranks), nullptr);
+  threads_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r)
+    threads_.emplace_back([this, r] { worker(r); });
+}
+
+PersistentTeam::~PersistentTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void PersistentTeam::worker(int rank) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(Comm&)>* body = nullptr;
+    Comm* comm = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      body = body_;
+      comm = comms_[static_cast<std::size_t>(rank)].get();
+    }
+    try {
+      LogRankScope log_rank(rank);
+      (*body)(*comm);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      errors_[static_cast<std::size_t>(rank)] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++done_count_;
+    }
+    cv_.notify_all();
+  }
+}
+
+void PersistentTeam::run(const std::function<void(Comm&)>& body) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PIPESCG_CHECK(body_ == nullptr,
+                  "PersistentTeam::run is not reentrant (one submitter at "
+                  "a time; see service::AdmissionQueue)");
+    body_ = &body;
+    done_count_ = 0;
+    std::fill(errors_.begin(), errors_.end(), nullptr);
+    ++generation_;
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_count_ == num_ranks_; });
+  body_ = nullptr;
+  ++runs_;
+  std::exception_ptr first = nullptr;
+  for (auto& e : errors_)
+    if (e != nullptr) {
+      first = e;
+      break;
+    }
+  if (first != nullptr) {
+    // A rank unwound mid-collective: slot generations / op ids are out of
+    // lockstep for good, so rebuild the collective state (fresh Team and
+    // Comms) before the next body -- the team itself stays usable.
+    team_.reset(new Team(num_ranks_));
+    comms_.clear();
+    for (int r = 0; r < num_ranks_; ++r)
+      comms_.emplace_back(new Comm(team_.get(), r));
+    lock.unlock();
+    std::rethrow_exception(first);
+  }
+}
+
 int Comm::size() const { return team_->num_ranks_; }
 
 void Comm::barrier() { team_->barrier_impl(rank_); }

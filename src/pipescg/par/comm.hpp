@@ -44,11 +44,15 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "pipescg/base/error.hpp"
@@ -196,6 +200,7 @@ class Comm {
 
  private:
   friend class Team;
+  friend class PersistentTeam;
   Comm(Team* team, int rank) : team_(team), rank_(rank) {}
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
@@ -223,6 +228,7 @@ class Team {
 
  private:
   friend class Comm;
+  friend class PersistentTeam;
   explicit Team(int num_ranks);
 
   struct Slot {
@@ -250,6 +256,68 @@ class Team {
   void barrier_impl(int rank);
   AllreduceRequest post_impl(Comm& comm, std::span<const double> in);
   void wait_impl(const AllreduceRequest& req, std::span<double> out, int rank);
+};
+
+/// A team of P SPMD ranks whose threads are spawned ONCE and reused across
+/// bodies -- the service layer's substitute for Team::run, which pays a
+/// thread spawn + join per solve.  A production MPI runtime keeps its ranks
+/// alive for the lifetime of the job; this is the in-process analogue, and
+/// it is what lets a warm service::Session amortize thread creation the
+/// same way it amortizes partition/closure/preconditioner setup.
+///
+///   par::PersistentTeam team(4);
+///   team.run([&](par::Comm& comm) { ... solve 1 ... });
+///   team.run([&](par::Comm& comm) { ... solve 2 ... });  // same threads
+///
+/// Semantics match Team::run: run() blocks until every rank finished the
+/// body, and if any rank threw, the first exception (by rank order) is
+/// rethrown on the calling thread.  A body that throws does NOT poison the
+/// team: the underlying collective state is recreated for the next run, so
+/// a failed solve (e.g. a fault-injection CommTimeout) leaves the team
+/// reusable.  run() itself is not thread-safe -- one submitter at a time
+/// (the admission queue in service/ serializes submissions).
+///
+/// Each worker parks on a condition variable between bodies (no spinning,
+/// no watchdog interaction while idle); per-run Comm objects carry fresh
+/// op-id counters so every body observes the same collective-ordering state
+/// it would under Team::run.
+class PersistentTeam {
+ public:
+  explicit PersistentTeam(int num_ranks);
+  ~PersistentTeam();
+  PersistentTeam(const PersistentTeam&) = delete;
+  PersistentTeam& operator=(const PersistentTeam&) = delete;
+
+  int size() const { return num_ranks_; }
+
+  /// Execute `body` SPMD on the persistent ranks; blocks until all finish.
+  void run(const std::function<void(Comm&)>& body);
+
+  /// Bodies executed so far -- the team-reuse counter the session's
+  /// cached-setup tests assert on (threads spawned == size(), always).
+  std::size_t runs() const { return runs_; }
+
+ private:
+  void worker(int rank);
+
+  int num_ranks_;
+  std::size_t runs_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t generation_ = 0;   // bumped per run(); workers chase it
+  int done_count_ = 0;             // ranks finished with current generation
+  bool shutdown_ = false;
+  const std::function<void(Comm&)>* body_ = nullptr;
+  // The Team's collective state (slot generations, op ids) persists across
+  // bodies, so each rank keeps ONE Comm whose op-id counter advances for
+  // the team's whole lifetime -- exactly like an MPI communicator.  Both
+  // are recreated after a failed body: an exception can unwind a rank
+  // mid-collective, which breaks the op-id lockstep for good.
+  std::unique_ptr<Team> team_;
+  std::vector<std::unique_ptr<Comm>> comms_;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> threads_;
 };
 
 }  // namespace pipescg::par

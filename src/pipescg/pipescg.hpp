@@ -24,6 +24,7 @@
 #include "pipescg/fault/injector.hpp"
 #include "pipescg/fault/recovery.hpp"
 #include "pipescg/fault/spec.hpp"
+#include "pipescg/krylov/multi_rhs.hpp"
 #include "pipescg/krylov/registry.hpp"
 #include "pipescg/krylov/serial_engine.hpp"
 #include "pipescg/krylov/solver.hpp"
@@ -45,6 +46,9 @@
 #include "pipescg/precond/multigrid.hpp"
 #include "pipescg/precond/preconditioner.hpp"
 #include "pipescg/precond/ssor.hpp"
+#include "pipescg/service/queue.hpp"
+#include "pipescg/service/session.hpp"
+#include "pipescg/service/solve_context.hpp"
 #include "pipescg/sim/auto_tune.hpp"
 #include "pipescg/sim/cost_table.hpp"
 #include "pipescg/sim/machine_model.hpp"

@@ -21,6 +21,12 @@ sparse::CsrMatrix extract_diagonal_block(const sparse::CsrMatrix& a,
                                          const sparse::Partition& partition,
                                          int rank);
 
+/// Block-Jacobi composition: each rank applies a serial inner
+/// preconditioner to its diagonal block A[begin:end, begin:end].  The
+/// global preconditioner is block-diagonal — SPD whenever the inner one
+/// is — and needs no communication per application.  This is how the SPMD
+/// engine runs SSOR/Chebyshev/MG (PETSc's PCBJACOBI plays the same role
+/// in the paper's experiments).
 class BlockJacobiPreconditioner final : public Preconditioner {
  public:
   /// Builds `inner_factory(local_block)` on this rank's diagonal block.

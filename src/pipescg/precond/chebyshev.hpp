@@ -19,6 +19,11 @@ namespace pipescg::precond {
 double estimate_lambda_max(const sparse::CsrMatrix& a, int iterations = 20,
                            std::uint64_t seed = 7777);
 
+/// Chebyshev polynomial preconditioner / smoother: k steps of the
+/// Chebyshev iteration for A z = r on [lambda_max/ratio, lambda_max].
+/// Communication-free apart from the SPMVs inside (no inner dot
+/// products), which is why it is the standard smoother for
+/// communication-sensitive multigrid; also usable standalone.
 class ChebyshevPreconditioner final : public Preconditioner {
  public:
   /// Keeps a reference to `a`.  `degree` SPMVs per application; the target
@@ -31,6 +36,7 @@ class ChebyshevPreconditioner final : public Preconditioner {
   std::string name() const override { return "chebyshev"; }
   sim::PcCostProfile cost_profile() const override;
 
+  /// The power-iteration spectrum estimate the interval was built from.
   double lambda_max() const { return lambda_max_; }
 
  private:

@@ -10,8 +10,12 @@
 
 namespace pipescg::precond {
 
+/// Jacobi (diagonal) preconditioner: u = D^{-1} r.  The paper's default
+/// for the strong-scaling experiments (Figs. 1-3); no communication, one
+/// vector pass per application.
 class JacobiPreconditioner final : public Preconditioner {
  public:
+  /// Extracts the diagonal of `a`; no reference to `a` is retained.
   explicit JacobiPreconditioner(const sparse::CsrMatrix& a);
 
   /// Direct construction from a diagonal (lets matrix-free operators and

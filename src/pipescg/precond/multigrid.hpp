@@ -37,8 +37,16 @@ std::vector<std::size_t> aggregate_geometric(const sparse::CsrMatrix& a);
 std::vector<std::size_t> aggregate_greedy(const sparse::CsrMatrix& a,
                                           double theta = 0.08);
 
+/// Multigrid V-cycle via (smoothed) aggregation.  One framework covers
+/// the paper's Fig. 4 "MG" (geometric aggregation) and "GAMG"
+/// (strength-graph aggregation) configurations.  Coarse operators are
+/// Galerkin products P^T A P, the smoother is fixed-degree Chebyshev (no
+/// inner dot products), the coarsest level is a dense Cholesky solve, and
+/// the cycle is symmetric — so the preconditioner is SPD and safe for
+/// every CG variant in the library.
 class MultigridPreconditioner final : public Preconditioner {
  public:
+  /// Hierarchy construction knobs; the defaults reproduce Fig. 4.
   struct Options {
     int max_levels = 12;
     std::size_t coarse_size = 100;  // direct solve at or below this
@@ -56,6 +64,7 @@ class MultigridPreconditioner final : public Preconditioner {
   std::string name() const override { return name_; }
   sim::PcCostProfile cost_profile() const override;
 
+  /// Levels in the hierarchy, fine grid included.
   std::size_t num_levels() const { return 1 + coarse_.size(); }
   /// Operator complexity: sum of nnz over levels / fine nnz.
   double operator_complexity() const;

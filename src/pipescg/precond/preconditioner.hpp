@@ -18,6 +18,10 @@
 
 namespace pipescg::precond {
 
+/// Interface for u = M^{-1} r.  For the CG family M must be SPD; every
+/// implementation in precond/ preserves symmetry.  Implementations are
+/// rank-local by construction — distribution happens by composition
+/// (BlockJacobiPreconditioner), never inside an apply.
 class Preconditioner {
  public:
   virtual ~Preconditioner() = default;
@@ -25,10 +29,14 @@ class Preconditioner {
   /// u = M^{-1} r.  r and u must not alias.
   virtual void apply(std::span<const double> r, std::span<double> u) const = 0;
 
+  /// Number of rows (= size of the vectors apply() accepts).
   virtual std::size_t rows() const = 0;
 
+  /// Registry-style name ("jacobi", "ssor", ...), used in reports.
   virtual std::string name() const = 0;
 
+  /// Per-application cost (flops/bytes in whole-problem units plus
+  /// halo-exchange count) for the machine-model timeline.
   virtual sim::PcCostProfile cost_profile() const = 0;
 };
 

@@ -12,6 +12,10 @@
 
 namespace pipescg::precond {
 
+/// SSOR preconditioner, M = 1/(w(2-w)) (D + wL) D^{-1} (D + wU):
+/// symmetric (hence SPD-preserving for CG) for any omega in (0, 2); one
+/// forward plus one backward triangular sweep per application.  The "SOR"
+/// configuration of the paper's Fig. 4.
 class SsorPreconditioner final : public Preconditioner {
  public:
   /// Keeps a reference to `a`; the matrix must outlive the preconditioner.

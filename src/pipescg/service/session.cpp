@@ -1,0 +1,213 @@
+#include "pipescg/service/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <mutex>
+
+#include "pipescg/base/error.hpp"
+#include "pipescg/base/timer.hpp"
+#include "pipescg/krylov/multi_rhs.hpp"
+#include "pipescg/krylov/registry.hpp"
+#include "pipescg/krylov/spmd_engine.hpp"
+
+namespace pipescg::service {
+
+Session::Session(sparse::CsrMatrix a, SessionConfig config)
+    : a_(std::move(a)), config_(config) {
+  PIPESCG_CHECK(config_.ranks >= 1, "Session needs at least one rank");
+  PIPESCG_CHECK(config_.s >= 1, "Session closure depth s must be >= 1");
+  PIPESCG_CHECK(a_.rows() >= static_cast<std::size_t>(config_.ranks),
+                "operator has fewer rows than ranks");
+
+  const WallTimer timer;
+  partition_ = sparse::Partition(a_.rows(), config_.ranks);
+  ++counters_.partition_builds;
+
+  const std::vector<double> full_diag =
+      config_.use_preconditioner ? a_.diagonal() : std::vector<double>{};
+  rank_state_.resize(static_cast<std::size_t>(config_.ranks));
+  for (int r = 0; r < config_.ranks; ++r) {
+    RankState& rs = rank_state_[static_cast<std::size_t>(r)];
+    rs.dist = std::make_unique<sparse::DistCsr>(a_, partition_, r);
+    ++counters_.dist_builds;
+    if (config_.mpk) {
+      rs.mpk = std::make_unique<sparse::MatrixPowers>(a_, partition_, r,
+                                                      config_.s);
+      ++counters_.mpk_builds;
+    }
+    if (config_.use_preconditioner) {
+      const std::size_t begin = partition_.begin(r);
+      const std::size_t end = partition_.end(r);
+      std::vector<double> local_diag(
+          full_diag.begin() + static_cast<std::ptrdiff_t>(begin),
+          full_diag.begin() + static_cast<std::ptrdiff_t>(end));
+      rs.pc = std::make_unique<precond::JacobiPreconditioner>(
+          std::move(local_diag), a_.stats());
+      ++counters_.pc_builds;
+    }
+  }
+
+  team_ = std::make_unique<par::PersistentTeam>(config_.ranks);
+  ++counters_.team_spawns;
+  setup_seconds_ = timer.seconds();
+}
+
+obs::metrics::SessionSnapshot Session::snapshot() const {
+  obs::metrics::SessionSnapshot s;
+  s.ranks = config_.ranks;
+  s.solves = solves_;
+  s.team_runs = team_->runs();
+  s.setup_seconds = setup_seconds_;
+  s.partition_builds = counters_.partition_builds;
+  s.dist_builds = counters_.dist_builds;
+  s.mpk_builds = counters_.mpk_builds;
+  s.pc_builds = counters_.pc_builds;
+  s.team_spawns = counters_.team_spawns;
+  s.warm_hits = counters_.warm_hits;
+  s.solve_latency = &solve_latency_;
+  s.queue_latency = &queue_latency_;
+  return s;
+}
+
+void Session::solve(SolveContext& ctx) {
+  SolveContext* one[] = {&ctx};
+  execute(one);
+}
+
+void Session::solve_batch(std::span<SolveContext* const> ctxs) {
+  PIPESCG_CHECK(!ctxs.empty(), "solve_batch needs at least one context");
+  for (std::size_t i = 1; i < ctxs.size(); ++i)
+    PIPESCG_CHECK(batchable(*ctxs[0], *ctxs[i]),
+                  "solve_batch contexts are not mutually batchable "
+                  "(method/s/tolerance/norm/max_iterations must match, no "
+                  "step limit)");
+  execute(ctxs);
+}
+
+std::size_t Session::drain(AdmissionQueue& queue, std::size_t max_batch) {
+  std::size_t executed = 0;
+  for (;;) {
+    const std::vector<SolveContext*> batch = queue.next_batch(max_batch);
+    if (batch.empty()) break;
+    const auto start = std::chrono::steady_clock::now();
+    for (const SolveContext* ctx : batch)
+      queue_latency_.add(
+          std::chrono::duration<double>(start - ctx->enqueued_at_).count());
+    execute(batch);
+    executed += batch.size();
+  }
+  return executed;
+}
+
+void Session::execute(std::span<SolveContext* const> ctxs) {
+  // Per-submission iteration budget: what max_iterations leaves after the
+  // iterations earlier submissions already spent, clamped by step_limit.
+  // Exhausted contexts complete immediately without touching the team.
+  std::vector<SolveContext*> live;
+  live.reserve(ctxs.size());
+  std::size_t budget = std::numeric_limits<std::size_t>::max();
+  for (SolveContext* ctx : ctxs) {
+    PIPESCG_CHECK(ctx->b_.size() == a_.rows(),
+                  "context right-hand side has " +
+                      std::to_string(ctx->b_.size()) +
+                      " entries, operator has " + std::to_string(a_.rows()) +
+                      " rows");
+    std::size_t remaining =
+        ctx->opts_.max_iterations > ctx->total_iterations_
+            ? ctx->opts_.max_iterations - ctx->total_iterations_
+            : 0;
+    if (ctx->step_limit_ > 0)
+      remaining = std::min(remaining, ctx->step_limit_);
+    if (remaining == 0) {
+      ctx->state_ = JobState::kDone;
+      continue;
+    }
+    budget = std::min(budget, remaining);
+    ctx->state_ = JobState::kRunning;
+    live.push_back(ctx);
+  }
+  if (live.empty()) return;
+
+  const std::size_t k = live.size();
+  krylov::SolverOptions opts = live[0]->opts_;
+  opts.max_iterations = budget;
+  const std::string& method = live[0]->method_;
+
+  const WallTimer timer;
+  std::vector<krylov::SolveStats> stats(k);
+  try {
+    team_->run([&](par::Comm& comm) {
+      const int rank = comm.rank();
+      const RankState& rs = rank_state_[static_cast<std::size_t>(rank)];
+      const bool use_pc =
+          rs.pc != nullptr && krylov::solver_uses_preconditioner(method);
+      const sparse::MatrixPowers* mpk =
+          rs.mpk != nullptr && opts.s <= rs.mpk->depth() ? rs.mpk.get()
+                                                        : nullptr;
+      krylov::SpmdEngine engine(comm, *rs.dist,
+                                use_pc ? rs.pc.get() : nullptr,
+                                /*profiler=*/nullptr, mpk);
+      const std::size_t begin = partition_.begin(rank);
+      const std::size_t len = partition_.local_size(rank);
+
+      std::vector<krylov::Vec> bs;
+      std::vector<krylov::Vec> xs;
+      bs.reserve(k);
+      xs.reserve(k);
+      for (const SolveContext* ctx : live) {
+        krylov::Vec b = engine.new_vec();
+        krylov::Vec x = engine.new_vec();
+        for (std::size_t i = 0; i < len; ++i) {
+          b[i] = ctx->b_[begin + i];
+          x[i] = ctx->x_[begin + i];
+        }
+        bs.push_back(std::move(b));
+        xs.push_back(std::move(x));
+      }
+
+      std::vector<krylov::SolveStats> local_stats;
+      if (k == 1) {
+        local_stats.push_back(
+            krylov::make_solver(method)->solve(engine, bs[0], xs[0], opts));
+      } else {
+        local_stats = krylov::scg_multi_solve(
+            engine, std::span<const krylov::Vec>(bs),
+            std::span<krylov::Vec>(xs), opts);
+      }
+
+      // Every rank writes its own disjoint row slice of each iterate; the
+      // replicated scalar stats are taken from rank 0.
+      for (std::size_t c = 0; c < k; ++c)
+        for (std::size_t i = 0; i < len; ++i)
+          live[c]->x_[begin + i] = xs[c][i];
+      if (rank == 0)
+        for (std::size_t c = 0; c < k; ++c) stats[c] = std::move(local_stats[c]);
+    });
+  } catch (const std::exception& e) {
+    // The persistent team has already recovered its collective state; the
+    // jobs in flight are what failed.
+    for (SolveContext* ctx : live) {
+      ctx->state_ = JobState::kFailed;
+      ctx->error_ = e.what();
+      ++ctx->submissions_;
+    }
+    return;
+  }
+  const double seconds = timer.seconds();
+
+  for (std::size_t c = 0; c < k; ++c) {
+    SolveContext* ctx = live[c];
+    ctx->stats_ = std::move(stats[c]);
+    ctx->total_iterations_ += ctx->stats_.iterations;
+    ++ctx->submissions_;
+    ctx->error_.clear();
+    ctx->state_ = JobState::kDone;
+    solve_latency_.add(seconds);
+  }
+  solves_ += k;
+  counters_.warm_hits += k;
+}
+
+}  // namespace pipescg::service

@@ -1,0 +1,147 @@
+// Session: solver-as-a-service over one operator.
+//
+// The runtime used to solve one system per process run: every solve paid
+// partition construction, ghost-run discovery, matrix-powers closure, and
+// preconditioner setup, then spawned (and joined) a team of rank threads.
+// A Session makes that cost a ONE-TIME event: it caches everything about
+// the operator that is independent of the right-hand side --
+//
+//   * the row-block sparse::Partition,
+//   * each rank's sparse::DistCsr (remapped local CSR + GhostPull run
+//     lists),
+//   * each rank's depth-s sparse::MatrixPowers closure (optional),
+//   * each rank's local preconditioner (block-Jacobi composition),
+//   * the par::PersistentTeam of rank threads,
+//
+// and then serves any number of SolveContexts against that warm state.
+// This is the same cost-shape argument the paper makes for the s-step
+// methods themselves -- amortize a fixed cost (there: one reduction; here:
+// operator setup and thread spawn) over many units of useful work -- and
+// it is what makes a "heavy traffic" deployment viable: thousands of
+// solves against a handful of operators.
+//
+// Cached-setup accounting: SetupCounters records every expensive build;
+// tests assert the counters FREEZE after construction (a warm solve builds
+// nothing), and bench_service reports the measured amortization.
+//
+// Ownership/thread-safety contract: see DESIGN.md section 12.  In short --
+// the Session owns all cached state; a SolveContext owns its b/x/stats; at
+// most one thread calls solve/solve_batch/drain at a time; rank threads
+// never touch a context directly, only the slices the session hands them.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pipescg/krylov/solver.hpp"
+#include "pipescg/obs/metrics.hpp"
+#include "pipescg/obs/profiler.hpp"
+#include "pipescg/par/comm.hpp"
+#include "pipescg/precond/jacobi.hpp"
+#include "pipescg/service/queue.hpp"
+#include "pipescg/service/solve_context.hpp"
+#include "pipescg/sparse/csr_matrix.hpp"
+#include "pipescg/sparse/dist_csr.hpp"
+#include "pipescg/sparse/matrix_powers.hpp"
+#include "pipescg/sparse/partition.hpp"
+
+namespace pipescg::service {
+
+struct SessionConfig {
+  int ranks = 2;                 ///< persistent rank-team size
+  bool use_preconditioner = true;  ///< build rank-local Jacobi (block-Jacobi)
+  bool mpk = false;              ///< build the depth-s MatrixPowers closure
+  int s = 3;                     ///< closure depth == largest opts.s served
+};
+
+/// Counts of the expensive per-operator builds a Session performs.  All of
+/// them happen in the constructor ("cold"); warm solves must not move any
+/// build counter -- that is the cache contract the tests pin down.
+struct SetupCounters {
+  std::size_t partition_builds = 0;  ///< row-block partitions computed
+  std::size_t dist_builds = 0;       ///< per-rank DistCsr constructions
+  std::size_t mpk_builds = 0;        ///< per-rank MatrixPowers closures
+  std::size_t pc_builds = 0;         ///< per-rank preconditioner setups
+  std::size_t team_spawns = 0;       ///< rank-team thread spawns
+  std::size_t warm_hits = 0;         ///< solves served entirely from cache
+};
+
+class Session {
+ public:
+  /// Cold setup: partitions `a`, builds every rank's distributed slice,
+  /// ghost-run lists, optional matrix-powers closure and local
+  /// preconditioner, and spawns the persistent rank team.  Everything the
+  /// constructor builds is reused by every subsequent solve; setup_seconds()
+  /// reports what it cost.
+  Session(sparse::CsrMatrix a, SessionConfig config);
+
+  int ranks() const { return config_.ranks; }
+  std::size_t unknowns() const { return a_.rows(); }
+  const SessionConfig& config() const { return config_; }
+  const sparse::CsrMatrix& matrix() const { return a_; }
+
+  /// Execute one job on the warm team.  Scatters ctx.b()/ctx.x() over the
+  /// ranks, runs the context's method against the cached state, gathers the
+  /// solution back, and updates the context's stats/state.  On a solver or
+  /// runtime exception the context moves to kFailed with error() set; the
+  /// session itself stays usable (the persistent team recovers its
+  /// collective state).
+  void solve(SolveContext& ctx);
+
+  /// Execute k jobs as ONE batched multi-RHS solve (one s-step basis build
+  /// cadence, dot batches widened to k columns; krylov::scg_multi_solve).
+  /// All contexts must be mutually batchable(); a single-element span
+  /// degenerates to solve().
+  void solve_batch(std::span<SolveContext* const> ctxs);
+
+  /// Drain the admission queue: repeatedly pop the next batchable run
+  /// (capped at `max_batch` columns) and execute it, until the queue is
+  /// empty.  Records per-job admission-wait latency.  Returns the number of
+  /// jobs executed.
+  std::size_t drain(AdmissionQueue& queue, std::size_t max_batch = 16);
+
+  // --- observability ------------------------------------------------------
+  const SetupCounters& setup_counters() const { return counters_; }
+  /// Wall seconds the constructor spent building the cached state.
+  double setup_seconds() const { return setup_seconds_; }
+  /// Jobs completed (single + batched columns).
+  std::size_t solves() const { return solves_; }
+  /// Bodies executed on the persistent team (== solve calls + batch calls).
+  std::size_t team_runs() const { return team_->runs(); }
+  /// Wall-clock latency of every completed solve (p50/p95/p99 via
+  /// LatencyHistogram::quantile); batched columns record the batch latency.
+  const obs::LatencyHistogram& solve_latency() const { return solve_latency_; }
+  /// Admission wait (submit -> execution start) of drained jobs.
+  const obs::LatencyHistogram& queue_latency() const { return queue_latency_; }
+  /// Flattened observable state for obs::metrics::register_session (the
+  /// histogram pointers reference this session; keep it alive while used).
+  obs::metrics::SessionSnapshot snapshot() const;
+
+ private:
+  // Everything one rank needs to construct its SpmdEngine, built once.
+  struct RankState {
+    std::unique_ptr<sparse::DistCsr> dist;
+    std::unique_ptr<sparse::MatrixPowers> mpk;
+    std::unique_ptr<precond::JacobiPreconditioner> pc;
+  };
+
+  // Shared body of solve/solve_batch: run `ctxs` (1 => single-RHS driver,
+  // else scg_multi_solve) on the team and finalize every context.
+  void execute(std::span<SolveContext* const> ctxs);
+
+  sparse::CsrMatrix a_;
+  SessionConfig config_;
+  sparse::Partition partition_;
+  std::vector<RankState> rank_state_;
+  std::unique_ptr<par::PersistentTeam> team_;
+
+  SetupCounters counters_;
+  double setup_seconds_ = 0.0;
+  std::size_t solves_ = 0;
+  obs::LatencyHistogram solve_latency_;
+  obs::LatencyHistogram queue_latency_;
+};
+
+}  // namespace pipescg::service

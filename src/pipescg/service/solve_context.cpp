@@ -1,0 +1,31 @@
+#include "pipescg/service/solve_context.hpp"
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::service {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+void SolveContext::set_initial_guess(std::vector<double> x0) {
+  PIPESCG_CHECK(x0.size() == b_.size(),
+                "initial guess has " + std::to_string(x0.size()) +
+                    " entries, right-hand side has " +
+                    std::to_string(b_.size()));
+  x_ = std::move(x0);
+}
+
+}  // namespace pipescg::service

@@ -1,0 +1,104 @@
+// SolveContext: one solve request as a resumable job.
+//
+// The krylov drivers are free functions over an Engine -- one call, one
+// converged (or failed) solve.  The service layer wraps a request in a
+// SolveContext that owns the *global* right-hand side and iterate, so the
+// same job can be submitted to a Session repeatedly: every submission
+// continues from the current iterate (Krylov solvers start from the
+// provided initial guess), and `step_limit` bounds how many CG-equivalent
+// iterations one submission may spend.  Resubmitting a partially converged
+// context is a *restart* -- the Krylov space is rebuilt from the current
+// residual, so iteration counts can differ from one uninterrupted solve --
+// but the iterate trajectory is monotone in the same sense a restarted CG
+// is, and a context left to run with step_limit == 0 is exactly the
+// one-shot driver call.
+//
+// Thread-safety: a context belongs to one submitter at a time.  The Session
+// mutates it while solving (see DESIGN.md section 12 for the full ownership
+// contract); producers may build and enqueue contexts from other threads as
+// long as each context is enqueued once.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pipescg/krylov/solver.hpp"
+
+namespace pipescg::service {
+
+/// Lifecycle of a SolveContext inside the service.
+enum class JobState : std::uint8_t {
+  kPending,  ///< constructed, not yet queued or solved
+  kQueued,   ///< sitting in an AdmissionQueue
+  kRunning,  ///< a Session is executing it on the rank team
+  kDone,     ///< last submission finished (converged or budget exhausted)
+  kFailed,   ///< the solve aborted (exception; see error())
+};
+
+/// Stable lowercase name of a JobState ("pending", "queued", ...).
+const char* to_string(JobState state);
+
+class Session;
+class AdmissionQueue;
+
+class SolveContext {
+ public:
+  /// A job solving A x = b for the Session's operator A.  `method` is any
+  /// krylov registry name; `b` is the GLOBAL right-hand side (the session
+  /// scatters it over the rank team); the iterate starts at zero unless
+  /// set_initial_guess() is called.
+  SolveContext(std::string method, std::vector<double> b,
+               krylov::SolverOptions opts)
+      : method_(std::move(method)), opts_(opts), b_(std::move(b)),
+        x_(b_.size(), 0.0) {}
+
+  const std::string& method() const { return method_; }
+  const krylov::SolverOptions& options() const { return opts_; }
+  JobState state() const { return state_; }
+
+  const std::vector<double>& b() const { return b_; }
+  /// Current global iterate: the initial guess before the first submission,
+  /// the (partial) solution after each one.
+  const std::vector<double>& x() const { return x_; }
+  void set_initial_guess(std::vector<double> x0);
+
+  /// CG-equivalent iteration budget per submission; 0 (default) lets one
+  /// submission run to opts.max_iterations.  The remaining overall budget
+  /// is opts.max_iterations - total_iterations() regardless.
+  void set_step_limit(std::size_t limit) { step_limit_ = limit; }
+  std::size_t step_limit() const { return step_limit_; }
+
+  /// Statistics of the most recent submission.
+  const krylov::SolveStats& stats() const { return stats_; }
+  /// CG-equivalent iterations accumulated over all submissions.
+  std::size_t total_iterations() const { return total_iterations_; }
+  /// Times this context has been executed by a Session.
+  std::size_t submissions() const { return submissions_; }
+  bool converged() const { return stats_.converged; }
+  /// What() of the exception that aborted the last submission (kFailed).
+  const std::string& error() const { return error_; }
+
+ private:
+  friend class Session;
+  friend class AdmissionQueue;
+
+  std::string method_;
+  krylov::SolverOptions opts_;
+  std::vector<double> b_;
+  std::vector<double> x_;
+  std::size_t step_limit_ = 0;
+
+  JobState state_ = JobState::kPending;
+  krylov::SolveStats stats_;
+  std::size_t total_iterations_ = 0;
+  std::size_t submissions_ = 0;
+  std::string error_;
+  // Set by AdmissionQueue::submit; read by Session::drain for the
+  // admission-wait latency histogram.
+  std::chrono::steady_clock::time_point enqueued_at_{};
+};
+
+}  // namespace pipescg::service

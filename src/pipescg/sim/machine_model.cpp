@@ -65,6 +65,25 @@ double MachineModel::allreduce_seconds(int ranks, std::size_t doubles) const {
          bytes_beta * 8.0 * static_cast<double>(doubles) * hops;
 }
 
+double MachineModel::setup_seconds(const sparse::OperatorStats& stats,
+                                   int ranks, int s_depth, bool with_pc) const {
+  const double nnz = static_cast<double>(stats.nnz);
+  const double n = static_cast<double>(stats.rows);
+  // Structure bytes of one full pass: CSR values+indices plus row pointers.
+  const double structure_bytes = 12.0 * nnz + 8.0 * n;
+  double passes = setup_pass_factor;  // partition + remap + ghost discovery
+  if (s_depth > 1) {
+    // Matrix-powers closure: one BFS layer pass per extra depth level over
+    // the halo neighbourhood; bounded by a full structure pass each.
+    passes += static_cast<double>(s_depth - 1);
+  }
+  if (with_pc) passes += 0.5;  // diagonal extraction + inversion
+  // Builds are bandwidth-bound pointer chasing, not flops.
+  double t = compute_seconds(0.0, passes * structure_bytes, ranks);
+  t += spawn_per_rank * static_cast<double>(ranks);
+  return t;
+}
+
 std::string MachineModel::describe() const {
   std::ostringstream os;
   os << "MachineModel{cores/node=" << cores_per_node

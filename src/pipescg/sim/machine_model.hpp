@@ -89,6 +89,34 @@ struct MachineModel {
   /// Blocking allreduce of `doubles` values across `ranks` ranks.
   double allreduce_seconds(int ranks, std::size_t doubles) const;
 
+  // One-time session setup (service::Session): partitioning, per-rank
+  // distributed-CSR remap + ghost-run discovery, the optional depth-s
+  // matrix-powers closure, preconditioner setup, and spawning the rank
+  // team.  Modelled as structure-streaming passes over the operator (the
+  // builds are pointer-chasing over nnz, priced at the memory roofline with
+  // `setup_pass_factor` passes) plus a per-rank thread/communicator spawn
+  // cost.  Deliberately coarse -- its role is the amortization story, not
+  // kernel-level fidelity.
+  double setup_pass_factor = 3.0;   // structure passes per build
+  double spawn_per_rank = 50.0e-6;  // thread + communicator spawn
+
+  /// Wall cost of the cold Session setup for an operator with `stats` at
+  /// `ranks` ranks.  `s_depth` > 1 adds the matrix-powers closure (one more
+  /// structure pass per ghost layer); `with_pc` adds the diagonal pass.
+  double setup_seconds(const sparse::OperatorStats& stats, int ranks,
+                       int s_depth, bool with_pc) const;
+
+  /// Per-solve cost once the setup is amortized over `solves` requests:
+  ///   solve_seconds + setup / solves.
+  /// The break-even request count against a cold per-solve setup is
+  /// setup / solve_seconds -- the service-layer analogue of the paper's
+  /// s-step latency-amortization argument.
+  static double amortized_solve_seconds(double setup_s, double solve_s,
+                                        std::size_t solves) {
+    return solve_s + (solves == 0 ? setup_s
+                                  : setup_s / static_cast<double>(solves));
+  }
+
   /// End-to-end latency of the non-blocking allreduce.
   double iallreduce_seconds(int ranks, std::size_t doubles) const {
     return nonblocking_penalty * allreduce_seconds(ranks, doubles);

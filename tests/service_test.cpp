@@ -1,0 +1,407 @@
+// Service-layer certification: the warm Session must be a pure cache (warm
+// solves bitwise identical to cold ones, setup counters frozen after
+// construction), the batched multi-RHS driver must be column-wise identical
+// to independent solves, the persistent team must survive reuse AND a
+// failed body, and the admission queue must batch without reordering.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "pipescg/base/error.hpp"
+#include "pipescg/krylov/multi_rhs.hpp"
+#include "pipescg/krylov/registry.hpp"
+#include "pipescg/krylov/serial_engine.hpp"
+#include "pipescg/par/comm.hpp"
+#include "pipescg/precond/jacobi.hpp"
+#include "pipescg/service/queue.hpp"
+#include "pipescg/service/session.hpp"
+#include "pipescg/service/solve_context.hpp"
+#include "pipescg/sparse/surrogates.hpp"
+
+namespace pipescg::service {
+namespace {
+
+sparse::CsrMatrix test_matrix(std::size_t n = 14) {
+  return sparse::make_thermal2_like(n, n);
+}
+
+std::vector<double> test_rhs(const sparse::CsrMatrix& a, std::size_t j) {
+  std::vector<double> xstar(a.rows());
+  for (std::size_t i = 0; i < xstar.size(); ++i)
+    xstar[i] = 1.0 + 0.5 * std::sin(static_cast<double>(i + 5 * j + 1));
+  std::vector<double> b(a.rows(), 0.0);
+  a.apply(xstar, b);
+  return b;
+}
+
+krylov::SolverOptions test_opts() {
+  krylov::SolverOptions opts;
+  opts.rtol = 1e-8;
+  opts.s = 3;
+  return opts;
+}
+
+TEST(PersistentTeamTest, ReusesRanksAcrossRuns) {
+  par::PersistentTeam team(3);
+  EXPECT_EQ(team.size(), 3);
+  std::atomic<int> visits{0};
+  for (int run = 0; run < 4; ++run) {
+    team.run([&](par::Comm& comm) {
+      EXPECT_EQ(comm.size(), 3);
+      // Collectives must work across repeated bodies on the SAME comms
+      // (op-id lockstep persists between runs).
+      const double v[] = {1.0 + comm.rank()};
+      double sum[] = {0.0};
+      comm.allreduce_sum(v, sum);
+      EXPECT_DOUBLE_EQ(sum[0], 6.0);
+      ++visits;
+    });
+  }
+  EXPECT_EQ(team.runs(), 4u);
+  EXPECT_EQ(visits.load(), 12);
+}
+
+TEST(PersistentTeamTest, RecoversAfterFailedBody) {
+  par::PersistentTeam team(2);
+  EXPECT_THROW(team.run([&](par::Comm& comm) {
+                 if (comm.rank() == 1)
+                   throw std::runtime_error("injected body failure");
+                 // Rank 0 proceeds without collectives so the team joins.
+               }),
+               std::runtime_error);
+  // A failed body may have broken collective lockstep; the team must have
+  // recovered and serve subsequent runs.
+  std::atomic<int> visits{0};
+  team.run([&](par::Comm& comm) {
+    const double v[] = {static_cast<double>(comm.rank())};
+    double sum[] = {0.0};
+    comm.allreduce_sum(v, sum);
+    EXPECT_DOUBLE_EQ(sum[0], 1.0);
+    ++visits;
+  });
+  EXPECT_EQ(visits.load(), 2);
+}
+
+TEST(SessionTest, WarmSolveBitwiseIdenticalToCold) {
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  const krylov::SolverOptions opts = test_opts();
+  const std::vector<double> b = test_rhs(a, 0);
+
+  // Cold: a fresh session, first solve.
+  Session cold(a, config);
+  SolveContext cold_ctx("scg-sspmv", b, opts);
+  cold.solve(cold_ctx);
+  ASSERT_EQ(cold_ctx.state(), JobState::kDone);
+  ASSERT_TRUE(cold_ctx.converged());
+
+  // Warm: the same session after unrelated traffic serves the same request.
+  Session warm(a, config);
+  SolveContext filler("scg-sspmv", test_rhs(a, 1), opts);
+  warm.solve(filler);
+  ASSERT_TRUE(filler.converged());
+  SolveContext warm_ctx("scg-sspmv", b, opts);
+  warm.solve(warm_ctx);
+  ASSERT_TRUE(warm_ctx.converged());
+
+  EXPECT_EQ(warm_ctx.stats().iterations, cold_ctx.stats().iterations);
+  ASSERT_EQ(warm_ctx.x().size(), cold_ctx.x().size());
+  for (std::size_t i = 0; i < warm_ctx.x().size(); ++i)
+    EXPECT_EQ(warm_ctx.x()[i], cold_ctx.x()[i]) << "entry " << i;
+}
+
+TEST(SessionTest, SetupCountersFreezeAfterConstruction) {
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 3;
+  config.mpk = true;
+  Session session(a, config);
+
+  const SetupCounters before = session.setup_counters();
+  EXPECT_EQ(before.partition_builds, 1u);
+  EXPECT_EQ(before.dist_builds, 3u);
+  EXPECT_EQ(before.mpk_builds, 3u);
+  EXPECT_EQ(before.pc_builds, 3u);
+  EXPECT_EQ(before.team_spawns, 1u);
+  EXPECT_EQ(before.warm_hits, 0u);
+  EXPECT_GT(session.setup_seconds(), 0.0);
+
+  for (std::size_t j = 0; j < 3; ++j) {
+    SolveContext ctx("scg-sspmv", test_rhs(a, j), test_opts());
+    session.solve(ctx);
+    ASSERT_TRUE(ctx.converged());
+  }
+
+  // The cache contract: warm solves perform ZERO re-partitioning,
+  // re-distribution, re-closure, or re-factorization, and never respawn
+  // the team.
+  const SetupCounters after = session.setup_counters();
+  EXPECT_EQ(after.partition_builds, before.partition_builds);
+  EXPECT_EQ(after.dist_builds, before.dist_builds);
+  EXPECT_EQ(after.mpk_builds, before.mpk_builds);
+  EXPECT_EQ(after.pc_builds, before.pc_builds);
+  EXPECT_EQ(after.team_spawns, before.team_spawns);
+  EXPECT_EQ(after.warm_hits, 3u);
+  EXPECT_EQ(session.solves(), 3u);
+  EXPECT_EQ(session.team_runs(), 3u);
+}
+
+TEST(SessionTest, NonBatchableMethodRunsOnWarmTeam) {
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  Session session(a, config);
+  krylov::SolverOptions opts = test_opts();
+  opts.replacement_period = 4;
+  SolveContext ctx("pipe-pscg", test_rhs(a, 0), opts);
+  session.solve(ctx);
+  ASSERT_EQ(ctx.state(), JobState::kDone);
+  EXPECT_TRUE(ctx.converged());
+  EXPECT_EQ(ctx.stats().method, "pipe-pscg");
+}
+
+TEST(SessionTest, FailedJobLeavesSessionUsable) {
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  Session session(a, config);
+  SolveContext bad("no-such-method", test_rhs(a, 0), test_opts());
+  session.solve(bad);
+  EXPECT_EQ(bad.state(), JobState::kFailed);
+  EXPECT_FALSE(bad.error().empty());
+
+  SolveContext good("scg-sspmv", test_rhs(a, 1), test_opts());
+  session.solve(good);
+  EXPECT_EQ(good.state(), JobState::kDone);
+  EXPECT_TRUE(good.converged());
+}
+
+TEST(SessionTest, StepLimitedContextResumesToConvergence) {
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  Session session(a, config);
+  const krylov::SolverOptions opts = test_opts();
+
+  SolveContext limited("scg-sspmv", test_rhs(a, 0), opts);
+  limited.set_step_limit(9);  // 3 outer iterations at s = 3 per submission
+  std::size_t guard = 0;
+  while (!limited.converged() && ++guard < 200) {
+    session.solve(limited);
+    ASSERT_EQ(limited.state(), JobState::kDone);
+    ASSERT_LE(limited.stats().iterations, 9u);
+  }
+  EXPECT_TRUE(limited.converged());
+  EXPECT_GT(limited.submissions(), 1u);
+
+  // The resumed trajectory is a restarted CG, so iteration counts may
+  // differ from one uninterrupted solve -- but the solution must satisfy
+  // the same tolerance against the true residual.
+  std::vector<double> r(a.rows(), 0.0);
+  a.apply(limited.x(), r);
+  double rnorm = 0.0;
+  double bnorm = 0.0;
+  const std::vector<double> b = test_rhs(a, 0);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const double ri = b[i] - r[i];
+    rnorm += ri * ri;
+    bnorm += b[i] * b[i];
+  }
+  EXPECT_LT(std::sqrt(rnorm), 10.0 * opts.rtol * std::sqrt(bnorm));
+}
+
+TEST(MultiRhsTest, MatchesIndependentSolvesColumnWise) {
+  const sparse::CsrMatrix a = test_matrix();
+  const krylov::SolverOptions opts = test_opts();
+  const std::size_t k = 3;
+  ASSERT_LE(k, krylov::max_batch_columns(opts.s));
+
+  // Independent reference solves on a serial engine.
+  std::vector<std::vector<double>> x_ref(k);
+  std::vector<krylov::SolveStats> stats_ref(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    krylov::SerialEngine engine(a);
+    krylov::Vec b = engine.new_vec();
+    const std::vector<double> bj = test_rhs(a, j);
+    for (std::size_t i = 0; i < bj.size(); ++i) b[i] = bj[i];
+    krylov::Vec x = engine.new_vec();
+    stats_ref[j] = krylov::make_solver("scg-sspmv")->solve(engine, b, x, opts);
+    ASSERT_TRUE(stats_ref[j].converged);
+    x_ref[j].assign(x.data(), x.data() + x.size());
+  }
+
+  // One batched solve, all k columns in lockstep with fused dot batches.
+  krylov::SerialEngine engine(a);
+  std::vector<krylov::Vec> bs;
+  std::vector<krylov::Vec> xs;
+  for (std::size_t j = 0; j < k; ++j) {
+    krylov::Vec b = engine.new_vec();
+    const std::vector<double> bj = test_rhs(a, j);
+    for (std::size_t i = 0; i < bj.size(); ++i) b[i] = bj[i];
+    bs.push_back(std::move(b));
+    xs.push_back(engine.new_vec());
+  }
+  const std::vector<krylov::SolveStats> stats = krylov::scg_multi_solve(
+      engine, std::span<const krylov::Vec>(bs), std::span<krylov::Vec>(xs),
+      opts);
+
+  ASSERT_EQ(stats.size(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    EXPECT_TRUE(stats[j].converged) << "column " << j;
+    EXPECT_EQ(stats[j].iterations, stats_ref[j].iterations) << "column " << j;
+    EXPECT_EQ(stats[j].final_rnorm, stats_ref[j].final_rnorm)
+        << "column " << j;
+    for (std::size_t i = 0; i < x_ref[j].size(); ++i)
+      ASSERT_EQ(xs[j][i], x_ref[j][i]) << "column " << j << " entry " << i;
+  }
+}
+
+TEST(MultiRhsTest, SessionBatchMatchesIndependentSessionSolves) {
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  const krylov::SolverOptions opts = test_opts();
+  const std::size_t k = 3;
+
+  // Independent solves, each on a warm session.
+  Session solo(a, config);
+  std::vector<std::vector<double>> x_ref(k);
+  std::vector<std::size_t> iters_ref(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    SolveContext ctx("scg-sspmv", test_rhs(a, j), opts);
+    solo.solve(ctx);
+    ASSERT_TRUE(ctx.converged());
+    x_ref[j] = ctx.x();
+    iters_ref[j] = ctx.stats().iterations;
+  }
+
+  // The same requests as ONE batched team run.
+  Session batched(a, config);
+  std::vector<std::unique_ptr<SolveContext>> ctxs;
+  std::vector<SolveContext*> ptrs;
+  for (std::size_t j = 0; j < k; ++j) {
+    ctxs.push_back(
+        std::make_unique<SolveContext>("scg-sspmv", test_rhs(a, j), opts));
+    ptrs.push_back(ctxs.back().get());
+  }
+  batched.solve_batch(ptrs);
+  EXPECT_EQ(batched.team_runs(), 1u);
+  EXPECT_EQ(batched.solves(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    ASSERT_EQ(ctxs[j]->state(), JobState::kDone);
+    EXPECT_TRUE(ctxs[j]->converged());
+    EXPECT_EQ(ctxs[j]->stats().iterations, iters_ref[j]) << "column " << j;
+    for (std::size_t i = 0; i < x_ref[j].size(); ++i)
+      ASSERT_EQ(ctxs[j]->x()[i], x_ref[j][i])
+          << "column " << j << " entry " << i;
+  }
+}
+
+TEST(MultiRhsTest, BatchWidthIsCappedByPayload) {
+  // The fused payload k * (2s+1 + s^2) must fit one allreduce slot.
+  const std::size_t cap3 = krylov::max_batch_columns(3);
+  EXPECT_EQ(cap3, par::Team::kMaxPayload / (2 * 3 + 1 + 3 * 3));
+  EXPECT_GE(cap3, 16u);
+}
+
+TEST(AdmissionQueueTest, BatchesLongestCompatiblePrefix) {
+  const sparse::CsrMatrix a = test_matrix(8);
+  const krylov::SolverOptions opts = test_opts();
+  SolveContext a1("scg-sspmv", test_rhs(a, 0), opts);
+  SolveContext a2("scg-sspmv", test_rhs(a, 1), opts);
+  SolveContext other("pipe-pscg", test_rhs(a, 2), opts);
+  SolveContext a3("scg-sspmv", test_rhs(a, 3), opts);
+
+  EXPECT_TRUE(batchable(a1, a2));
+  EXPECT_FALSE(batchable(a1, other));
+  krylov::SolverOptions loose = opts;
+  loose.rtol = 1e-4;
+  SolveContext different_tol("scg-sspmv", test_rhs(a, 4), loose);
+  EXPECT_FALSE(batchable(a1, different_tol));
+
+  AdmissionQueue queue;
+  queue.submit(&a1);
+  queue.submit(&a2);
+  queue.submit(&other);
+  queue.submit(&a3);
+  EXPECT_EQ(queue.pending(), 4u);
+  EXPECT_EQ(a1.state(), JobState::kQueued);
+
+  // FIFO with prefix batching: {a1, a2} pop together, `other` blocks a3
+  // from jumping ahead, then each pops singly.
+  const std::vector<SolveContext*> first = queue.next_batch(8);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0], &a1);
+  EXPECT_EQ(first[1], &a2);
+  const std::vector<SolveContext*> second = queue.next_batch(8);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], &other);
+  const std::vector<SolveContext*> third = queue.next_batch(8);
+  ASSERT_EQ(third.size(), 1u);
+  EXPECT_EQ(third[0], &a3);
+  EXPECT_TRUE(queue.next_batch(8).empty());
+  EXPECT_EQ(queue.admitted(), 4u);
+  EXPECT_EQ(queue.batches(), 1u);
+}
+
+TEST(AdmissionQueueTest, DrainExecutesMixedStream) {
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  Session session(a, config);
+  const krylov::SolverOptions opts = test_opts();
+
+  std::vector<std::unique_ptr<SolveContext>> stream;
+  for (std::size_t j = 0; j < 3; ++j)
+    stream.push_back(
+        std::make_unique<SolveContext>("scg-sspmv", test_rhs(a, j), opts));
+  stream.push_back(
+      std::make_unique<SolveContext>("pipe-pscg", test_rhs(a, 3), opts));
+
+  AdmissionQueue queue;
+  for (auto& ctx : stream) queue.submit(ctx.get());
+  const std::size_t executed = session.drain(queue);
+  EXPECT_EQ(executed, 4u);
+  EXPECT_EQ(queue.pending(), 0u);
+  // 3 batchable jobs in one team run + 1 single = 2 runs.
+  EXPECT_EQ(session.team_runs(), 2u);
+  EXPECT_EQ(session.queue_latency().count(), 4u);
+  for (const auto& ctx : stream) {
+    EXPECT_EQ(ctx->state(), JobState::kDone);
+    EXPECT_TRUE(ctx->converged());
+  }
+}
+
+TEST(SessionTest, SnapshotCarriesCountersAndHistograms) {
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  Session session(a, config);
+  SolveContext ctx("scg-sspmv", test_rhs(a, 0), test_opts());
+  session.solve(ctx);
+  ASSERT_TRUE(ctx.converged());
+
+  const obs::metrics::SessionSnapshot snap = session.snapshot();
+  EXPECT_EQ(snap.ranks, 2);
+  EXPECT_EQ(snap.solves, 1u);
+  EXPECT_EQ(snap.dist_builds, 2u);
+  EXPECT_EQ(snap.warm_hits, 1u);
+  ASSERT_NE(snap.solve_latency, nullptr);
+  EXPECT_EQ(snap.solve_latency->count(), 1u);
+
+  obs::metrics::Registry registry;
+  obs::metrics::register_session(registry, snap, {{"method", "scg-sspmv"}});
+  const std::string text = registry.prometheus();
+  EXPECT_NE(text.find("pipescg_session_solves_total"), std::string::npos);
+  EXPECT_NE(text.find("pipescg_session_solve_latency_seconds"),
+            std::string::npos);
+  EXPECT_NE(text.find("kind=\"dist\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pipescg::service
