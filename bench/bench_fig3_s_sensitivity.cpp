@@ -14,6 +14,7 @@
 
 #include "pipescg/base/cli.hpp"
 #include "pipescg/bench_support/figures.hpp"
+#include "pipescg/krylov/basis.hpp"
 #include "pipescg/obs/metrics.hpp"
 #include "pipescg/obs/telemetry.hpp"
 #include "pipescg/par/comm.hpp"
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
   cli.add_option("bench-json", "",
                  "write machine-readable BENCH_<name>.json (per-method "
                  "iterations, modeled overlap efficiency, speedups)");
+  cli.add_stability_options();
   cli.add_observability_options();
   if (!cli.parse(argc, argv)) return 0;
 
@@ -66,6 +68,7 @@ int main(int argc, char** argv) {
     opts.s = s;
     opts.max_iterations = 100000;
     opts.norm = krylov::NormType::kPreconditioned;
+    krylov::apply_stability_cli(cli, opts);
     obs::ConvergenceTelemetry telem("s=" + std::to_string(s));
     const obs::metrics::Labels labels = {
         {"method", "pipe-pscg"}, {"s", std::to_string(s)}, {"bench", "fig3"}};
@@ -161,10 +164,14 @@ int main(int argc, char** argv) {
   std::printf("\nauto-s (paper Section VII future work, implemented):\n");
   std::printf("%8s %12s %22s\n", "nodes", "suggested s",
               "modeled us/iteration");
+  const bool shifted_basis =
+      krylov::parse_basis_type(cli.str("basis")) !=
+      krylov::BasisType::kMonomial;
   for (int nodes : {10, 40, 70, 100, 140}) {
     const sim::SRecommendation rec = sim::suggest_s(
         timeline.machine(), op->stats(), jacobi->cost_profile(),
-        timeline.machine().ranks_for_nodes(nodes));
+        timeline.machine().ranks_for_nodes(nodes), /*max_s=*/5,
+        shifted_basis);
     std::printf("%8d %12d %22.2f\n", nodes, rec.s,
                 rec.seconds_per_iteration * 1e6);
   }

@@ -38,8 +38,10 @@ int main(int argc, char** argv) {
   cli.add_option("size", "96", "surrogate grid size per dimension");
   cli.add_option("rtol", "1e-5", "relative tolerance");
   cli.add_option("pc", "jacobi", "preconditioner: jacobi|ssor|chebyshev|mg|gamg");
+  cli.add_option("s", "3", "s-step depth for the s-step methods");
   cli.add_option("trace-nodes", "4",
                  "node count the modeled --trace-out schedule is priced at");
+  cli.add_stability_options();
   cli.add_observability_options();
   if (!cli.parse(argc, argv)) return 0;
 
@@ -80,8 +82,10 @@ int main(int argc, char** argv) {
 
   krylov::SolverOptions opts;
   opts.rtol = cli.real("rtol");
+  opts.s = static_cast<int>(cli.integer("s"));
   opts.max_iterations = 200000;
   opts.compute_true_residual = true;
+  krylov::apply_stability_cli(cli, opts);
 
   const bool profile = cli.flag("profile");
   const bool analyze = cli.flag("analyze");

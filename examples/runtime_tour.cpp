@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
                  "relative tolerance (use 1e-2 for ecology2, paper Fig. 2)");
   cli.add_option("max-ranks", "4", "largest rank count to demo");
   cli.add_mpk_option();
+  cli.add_stability_options();
   cli.add_observability_options();
   cli.add_fault_options();
   if (!cli.parse(argc, argv)) return 0;
@@ -87,6 +88,9 @@ int main(int argc, char** argv) {
   // recurrences are rounding-sensitive, and different reduction orders can
   // otherwise take visibly different trajectories.
   opts.replacement_period = 4;
+  // --basis / --replace-every / --gap-tol override the defaults above.
+  krylov::apply_stability_cli(cli, opts);
+  if (opts.replacement_period == 0) opts.replacement_period = 4;
 
   if (use_mpk && use_pc)
     std::printf("note: %s uses a preconditioner; the matrix-powers kernel "

@@ -57,6 +57,25 @@ void CliParser::add_mpk_option() {
              "per SPMV (bit-identical to builds without the kernel)");
 }
 
+void CliParser::add_stability_options() {
+  add_option("basis", "mono",
+             "s-step basis family: 'mono' (the paper's power basis), "
+             "'newton' (Leja-ordered shifts) or 'chebyshev' (shifted "
+             "Chebyshev polynomials) -- the shifted families keep the basis "
+             "Gram matrix well conditioned at large s with the same SPMV "
+             "count and allreduce schedule");
+  add_option("replace-every", "0",
+             "residual-replacement period in outer iterations: rebuild the "
+             "recurred residual from b - A x every N outers (van der Vorst); "
+             "0 = auto (16/4/1 by s), negative = never");
+  add_option("gap-tol", "0",
+             "relative predicted-vs-true residual gap tolerance: > 0 "
+             "enables the drift monitor (periodic true-residual dot riding "
+             "the existing batch), which forces a replacement past the "
+             "tolerance and escalates to degrade-s after two failed "
+             "replacements; 0 disables");
+}
+
 void CliParser::add_fault_options() {
   add_option("fault-spec", "",
              "';'-separated deterministic fault specs "

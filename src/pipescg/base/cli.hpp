@@ -42,6 +42,15 @@ class CliParser {
   /// Value of --mpk as a bool; throws on values other than on/off.
   bool mpk_enabled() const;
 
+  /// Register the numerical-stability options shared by the s-step
+  /// examples/benches (applied via krylov::apply_stability_cli):
+  ///   --basis mono|newton|chebyshev  s-step basis family (default mono)
+  ///   --replace-every <N>  residual-replacement period in outer iterations
+  ///                        (0 = auto, < 0 = never)
+  ///   --gap-tol <X>        predicted-vs-true residual gap tolerance; > 0
+  ///                        enables the drift monitor + forced replacement
+  void add_stability_options();
+
   /// Register the fault-injection options shared by the examples/benches
   /// (see fault/spec.hpp for the full --fault-spec grammar):
   ///   --fault-spec <spec[;spec...]>  inject deterministic faults, e.g.

@@ -296,6 +296,23 @@ void write_bench_json(const std::string& bench_name,
     ratios.set("overlap_efficiency", std::move(efficiency));
     ratios.set("allreduce_to_compute", std::move(comm_share));
   }
+  {
+    // Stability: per-method robustness telemetry (basis family, residual
+    // replacements, gap-monitor activity).  Counts, not times, so they are
+    // machine-independent like the other ratio keys.
+    obs::json::Value stability = obs::json::Value::object();
+    for (const RunRecord& run : runs) {
+      obs::json::Value e = obs::json::Value::object();
+      e.set("basis", run.stats.basis);
+      e.set("replacements", run.stats.replacements);
+      e.set("gap_checks", run.stats.gap_checks);
+      e.set("failed_replacements", run.stats.failed_replacements);
+      e.set("gram_breakdowns", run.stats.gram_breakdowns);
+      e.set("max_gap", run.stats.max_residual_gap);
+      stability.set(run.method, std::move(e));
+    }
+    ratios.set("stability", std::move(stability));
+  }
   doc.set("ratios", std::move(ratios));
 
   obs::json::write_file(path, doc);

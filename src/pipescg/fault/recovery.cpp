@@ -31,7 +31,13 @@ std::size_t RecoveryManager::restore(std::span<double> x) const {
 bool RecoveryManager::admit_failure() {
   if (!enabled_) return false;
   ++recoveries_;
-  consecutive_ = saved_since_failure_ ? 1 : consecutive_ + 1;
+  if (escalated_) {
+    // Gap-monitor escalation: jump straight to the degrade-s threshold.
+    consecutive_ = 2;
+    escalated_ = false;
+  } else {
+    consecutive_ = saved_since_failure_ ? 1 : consecutive_ + 1;
+  }
   saved_since_failure_ = false;
   return recoveries_ <= static_cast<std::size_t>(std::max(max_recoveries_, 0));
 }

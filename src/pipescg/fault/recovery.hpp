@@ -53,6 +53,16 @@ class RecoveryManager {
   /// count as consecutive -- the restart made no progress.
   bool admit_failure();
 
+  /// Mark the NEXT admitted failure as a direct degrade-s request: the
+  /// residual-gap monitor escalates here after two replacements in a row
+  /// failed to close the predicted-vs-true gap, which is evidence the
+  /// recurrences are unstable at the current depth -- rolling back and
+  /// retrying at the same s would just reproduce the drift, so the ladder
+  /// skips the "two consecutive no-progress failures" wait.
+  void escalate_degrade() {
+    if (enabled_) escalated_ = true;
+  }
+
   /// Degrade s after two consecutive no-progress failures.
   bool should_degrade() const { return consecutive_ >= 2; }
   /// Reset the consecutive-failure count once the caller degraded s.
@@ -69,6 +79,7 @@ class RecoveryManager {
   std::size_t recoveries_ = 0;
   int consecutive_ = 0;
   bool saved_since_failure_ = false;
+  bool escalated_ = false;
 };
 
 }  // namespace pipescg::fault

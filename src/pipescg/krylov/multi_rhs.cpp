@@ -14,7 +14,11 @@ using sstep::DotLayout;
 using sstep::ScalarWork;
 
 std::size_t max_batch_columns(int s) {
-  const DotLayout layout{s, /*preconditioned=*/false};
+  return max_batch_columns(s, /*shifted_basis=*/false);
+}
+
+std::size_t max_batch_columns(int s, bool shifted_basis) {
+  const DotLayout layout{s, /*preconditioned=*/false, shifted_basis};
   return par::Team::kMaxPayload / layout.total();
 }
 
@@ -58,12 +62,20 @@ std::vector<SolveStats> scg_multi_solve(Engine& engine,
                 "scg_multi_solve needs matching, non-empty b/x column sets");
   const int s = opts.s;
   const std::size_t su = static_cast<std::size_t>(s);
-  const DotLayout layout{s, /*preconditioned=*/false};
-  PIPESCG_CHECK(k <= max_batch_columns(s),
+
+  // Basis shifts resolved once for the whole batch: every column shares the
+  // operator, so one power-iteration estimate serves all of them.
+  const BasisSpec basis_spec =
+      resolve_basis(engine, opts.basis, /*preconditioned=*/false);
+  const ShiftedBasis sbasis(basis_spec, s);
+  const bool shifted = !sbasis.monomial();
+
+  const DotLayout layout{s, /*preconditioned=*/false, shifted};
+  PIPESCG_CHECK(k <= max_batch_columns(s, shifted),
                 "multi-RHS batch of " + std::to_string(k) +
                     " columns exceeds max_batch_columns(s=" +
                     std::to_string(s) + ") = " +
-                    std::to_string(max_batch_columns(s)) +
+                    std::to_string(max_batch_columns(s, shifted)) +
                     " (fused payload would overflow one allreduce)");
 
   std::vector<Column> cols;
@@ -72,8 +84,12 @@ std::vector<SolveStats> scg_multi_solve(Engine& engine,
     cols.emplace_back(engine, s);
     cols[i].stats.method = "scg-sspmv";
     cols[i].stats.final_s = s;
+    cols[i].stats.basis = to_string(basis_spec.type);
+    cols[i].stats.basis_lambda_min = basis_spec.lambda_min;
+    cols[i].stats.basis_lambda_max = basis_spec.lambda_max;
     cols[i].values.assign(layout.total(), 0.0);
   }
+  Vec scratch = engine.new_vec();
 
   // --- fused b-norm batch (mirrors detail::compute_b_norm per column) ----
   {
@@ -110,7 +126,12 @@ std::vector<SolveStats> scg_multi_solve(Engine& engine,
       engine.apply_op(xs[i], ax);
       engine.waxpy(c.basis[0], -1.0, ax, bs[i]);
     }
-    engine.apply_op_powers(c.basis[0], std::span<Vec>(c.basis.data() + 1, su));
+    if (shifted)
+      extend_chain(engine, sbasis, ChainView{&c.basis, nullptr}, 1, su,
+                   scratch);
+    else
+      engine.apply_op_powers(c.basis[0],
+                             std::span<Vec>(c.basis.data() + 1, su));
   }
 
   // Fused dot batch across the active columns: each contributes its full
@@ -126,8 +147,12 @@ std::vector<SolveStats> scg_multi_solve(Engine& engine,
     batch_order.clear();
     for (Column& c : cols) {
       if (!c.active) continue;
-      build_dot_pairs(next_basis ? c.basis_next : c.basis, c.ap_cur,
-                      col_pairs);
+      if (shifted)
+        build_gram_dot_pairs(next_basis ? c.basis_next : c.basis, c.ap_cur,
+                             col_pairs);
+      else
+        build_dot_pairs(next_basis ? c.basis_next : c.basis, c.ap_cur,
+                        col_pairs);
       fused.insert(fused.end(), col_pairs.begin(), col_pairs.end());
       batch_order.push_back(&c);
     }
@@ -166,12 +191,20 @@ std::vector<SolveStats> scg_multi_solve(Engine& engine,
       Column& c = cols[i];
       if (!c.active) continue;
       const la::DenseMatrix cross = layout.cross(c.values);
-      ScalarWork::Result sw = c.scalar_work.step(
-          std::span<const double>(c.values.data(), layout.moment_count()),
-          cross);
+      ScalarWork::Result sw =
+          shifted ? c.scalar_work.step_gram(
+                        sbasis,
+                        std::span<const double>(c.values.data(),
+                                                layout.tri_count()),
+                        cross)
+                  : c.scalar_work.step(
+                        std::span<const double>(c.values.data(),
+                                                layout.moment_count()),
+                        cross);
       if (!sw.ok) {
         // No rollback in the batched driver: freeze this column with the
         // failure flagged and keep the others iterating.
+        if (sw.gram_breakdown) ++c.stats.gram_breakdowns;
         c.stats.breakdown = true;
         c.stats.stagnated = true;
         c.active = false;
@@ -180,8 +213,13 @@ std::vector<SolveStats> scg_multi_solve(Engine& engine,
 
       // Direction block and AQ/AP recurrence (paper Alg. 4 lines 9-11).
       copy_block(engine, c.basis, c.p_cur, su);
-      for (std::size_t j = 0; j < su; ++j)
-        engine.copy(c.basis[j + 1], c.ap_cur[j]);
+      for (std::size_t j = 0; j < su; ++j) {
+        if (shifted)
+          combine_chain(engine, sbasis.seed(0, static_cast<int>(j)),
+                        ChainView{&c.basis, nullptr}, c.ap_cur[j]);
+        else
+          engine.copy(c.basis[j + 1], c.ap_cur[j]);
+      }
       if (c.outer > 0) {
         engine.block_maxpy(c.p_cur, c.p_prev, sw.b);
         engine.block_maxpy(c.ap_cur, c.ap_prev, sw.b);
@@ -191,8 +229,12 @@ std::vector<SolveStats> scg_multi_solve(Engine& engine,
       // rebuild: s SPMVs, one halo epoch when an MPK is attached.
       engine.block_axpy(xs[i], c.p_cur, sw.alpha);
       engine.block_combine(c.basis_next[0], c.basis[0], c.ap_cur, sw.alpha);
-      engine.apply_op_powers(c.basis_next[0],
-                             std::span<Vec>(c.basis_next.data() + 1, su));
+      if (shifted)
+        extend_chain(engine, sbasis, ChainView{&c.basis_next, nullptr}, 1, su,
+                     scratch);
+      else
+        engine.apply_op_powers(c.basis_next[0],
+                               std::span<Vec>(c.basis_next.data() + 1, su));
     }
 
     reduce_active(/*next_basis=*/true);

@@ -32,7 +32,10 @@ namespace pipescg::krylov {
 
 /// Largest k the batched driver accepts at block depth s: the fused payload
 /// k * (2s+1 + s^2) must fit one par::Team allreduce (kMaxPayload doubles).
+/// The two-argument overload accounts for a shifted (Newton/Chebyshev)
+/// basis, whose Gram payload k * ((s+1)(s+2)/2 + s^2) is wider.
 std::size_t max_batch_columns(int s);
+std::size_t max_batch_columns(int s, bool shifted_basis);
 
 /// Solve A x_i = b_i for every column i in lockstep (method "scg-sspmv",
 /// paper Alg. 4, basis builds through Engine::apply_op_powers).  `bs` and

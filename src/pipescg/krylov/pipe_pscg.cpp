@@ -59,6 +59,22 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
   std::size_t iterations = 0;
   double rnorm = 0.0;
 
+  // Resolve the basis shifts once per solve (setup-only collectives for the
+  // non-monomial families; a monomial spec passes through with no kernels,
+  // keeping default-configuration trajectories bitwise identical).
+  const BasisSpec basis_spec =
+      resolve_basis(engine, opts.basis, /*preconditioned=*/true);
+  stats.basis = to_string(basis_spec.type);
+  stats.basis_lambda_min = basis_spec.lambda_min;
+  stats.basis_lambda_max = basis_spec.lambda_max;
+
+  // Residual-gap monitor: lives outside the attempt loop so the failure
+  // ladder survives rollbacks (an escalation is what *causes* the rollback).
+  GapMonitor gap_monitor(opts.gap_tol);
+  const int gap_period = resolve_gap_period(opts);
+  Vec gap_r = engine.new_vec();
+  Vec gap_u = engine.new_vec();
+
   // Fault recovery: every verdict below derives from the reduced dot batch,
   // which is identical on all ranks, so rollback decisions stay in SPMD
   // lockstep with no extra communication.  The initial save means there is
@@ -77,6 +93,9 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
   // identical to the historical non-recovering driver.
   auto attempt = [&](int s_att) -> AttemptEnd {
     const std::size_t su = static_cast<std::size_t>(s_att);
+    const ShiftedBasis basis(basis_spec, s_att);
+    const bool shifted = !basis.monomial();
+    gap_monitor.new_attempt();
 
     // u-side powers v_j = (M^{-1}A)^j u and r-side powers
     // w_j = (A M^{-1})^j r, j = 0..s, plus extended powers j = s+1..2s.
@@ -102,19 +121,35 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
       engine.waxpy(wb[0], -1.0, ax, b);  // w_0 = r_0 = b - A x_0
     }
     engine.apply_pc(wb[0], v[0]);  // v_0 = u_0 = M^{-1} r_0
-    extend_power_chain(engine, v[0], std::span<Vec>(wb.data() + 1, su),
-                       std::span<Vec>(v.data() + 1, su));
+    if (shifted) {
+      extend_chain_pc(engine, basis, ChainView{&wb, &ew}, ChainView{&v, &ev},
+                      1, su, scratch);
+    } else {
+      extend_power_chain(engine, v[0], std::span<Vec>(wb.data() + 1, su),
+                         std::span<Vec>(v.data() + 1, su));
+    }
 
-    const DotLayout layout{s_att, /*preconditioned=*/true};
+    const DotLayout layout{s_att, /*preconditioned=*/true, shifted};
     std::vector<DotPair> pairs;
-    std::vector<double> values(layout.total());
-    build_dot_pairs(wb, v, tr_cur[0], pairs);  // tr_cur[0] is zero: C = 0
+    // One spare slot for the piggybacked gap-check dot; on iterations with
+    // no check pending only the leading layout.total() values are live.
+    std::vector<double> values(layout.total() + 1);
+    const std::span<const double> active(values.data(), layout.total());
+    if (shifted)
+      build_gram_dot_pairs(wb, v, tr_cur[0], pairs);  // tr_cur[0] zero: C = 0
+    else
+      build_dot_pairs(wb, v, tr_cur[0], pairs);
     DotHandle handle = engine.dot_post(pairs);
 
     // Overlapped with the first allreduce: extend powers to 2s
     // (paper Alg. 6 line 13).
-    extend_power_chain(engine, v[su], std::span<Vec>(ew.data(), su),
-                       std::span<Vec>(ev.data(), su));
+    if (shifted) {
+      extend_chain_pc(engine, basis, ChainView{&wb, &ew}, ChainView{&v, &ev},
+                      su + 1, su, scratch);
+    } else {
+      extend_power_chain(engine, v[su], std::span<Vec>(ew.data(), su),
+                         std::span<Vec>(ev.data(), su));
+    }
 
     const int replacement_period = resolve_replacement_period(opts, s_att);
 
@@ -124,14 +159,46 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
     double initial_rnorm = 0.0;
     detail::DivergenceDetector diverge(0.0);
     bool force_replace = false;
+    bool gap_pending = false;
 
     for (;;) {
       engine.dot_wait(handle, values);
       // Fault gate: a corrupted kernel output (SDC) or overflow lands in
       // the moments / Gram cross-block as NaN or Inf.  Detect before the
       // values feed anything; the roll back reruns from the checkpoint.
-      if (recovery.active() && !batch_finite(values)) return AttemptEnd::kFault;
+      // Only the ACTIVE prefix is gated -- the spare gap slot holds a stale
+      // value on iterations with no check pending.
+      if (recovery.active() && !batch_finite(active)) return AttemptEnd::kFault;
       rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+      if (gap_pending) {
+        // The true-residual dot posted last iteration resolved in the same
+        // allreduce as this batch: both norms describe the CURRENT iterate,
+        // so the comparison is apples-to-apples and cost zero extra
+        // collectives.
+        gap_pending = false;
+        const double true_norm =
+            std::sqrt(std::max(values[layout.total()], 0.0));
+        if (std::isfinite(true_norm)) {
+          const GapMonitor::Action act =
+              gap_monitor.observe(rnorm, true_norm, stats);
+          telem.note_gap(true_norm, gap_monitor.last_gap());
+          if (act == GapMonitor::Action::kReplace) {
+            force_replace = true;
+          } else if (act == GapMonitor::Action::kEscalate) {
+            if (recovery.active()) {
+              // Two gap-triggered replacements failed to close the gap:
+              // the recurrences are unstable at this depth.  Hand the
+              // RecoveryManager a direct degrade-s request.
+              recovery.escalate_degrade();
+              return AttemptEnd::kFault;
+            }
+            stats.stagnated = true;
+            break;
+          }
+        } else if (recovery.active()) {
+          return AttemptEnd::kFault;
+        }
+      }
       telem.checkpoint(iterations, rnorm, opts, s_att, stats.recoveries);
       if (!detail::checkpoint(stats, opts, iterations, rnorm)) {
         if (recovery.active()) {
@@ -187,12 +254,20 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
         break;
       }
 
-      // Scalar work (two s x s LU solves).
+      // Scalar work (two s x s LU solves behind an SPD Cholesky guard).
       const la::DenseMatrix cross = layout.cross(values);
-      ScalarWork::Result sw = scalar_work.step(
-          std::span<const double>(values.data(), layout.moment_count()),
-          cross);
+      ScalarWork::Result sw =
+          shifted ? scalar_work.step_gram(
+                        basis,
+                        std::span<const double>(values.data(),
+                                                layout.tri_count()),
+                        cross)
+                  : scalar_work.step(
+                        std::span<const double>(values.data(),
+                                                layout.moment_count()),
+                        cross);
       if (!sw.ok) {
+        if (sw.gram_breakdown) ++stats.gram_breakdowns;
         if (recovery.active()) return AttemptEnd::kFault;
         stats.breakdown = true;
         stats.stagnated = true;
@@ -206,13 +281,25 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
       copy_block(engine, v, p_cur, su);
       if (!first) engine.block_maxpy(p_cur, p_prev, sw.b);
 
-      // Towers: tu_cur[j] = [v_{j+1} .. v_{j+s}] + tu_prev[j] B  (same on
-      // the r side with w).  Source index beyond s reads extended powers.
+      // Towers: tu_cur[j] seed + tu_prev[j] B (same on the r side with w).
+      // Monomial seed column c of tower j is the basis vector of degree
+      // j+1+c (a copy; index beyond s reads extended powers); a shifted
+      // basis seeds with the expansion of p_j(x) * x * p_c(x) over the
+      // chain -- degree <= j+c+1 <= 2s, exactly what basis+extension hold.
       for (std::size_t j = 0; j <= su; ++j) {
         for (std::size_t c = 0; c < su; ++c) {
-          const std::size_t idx = j + 1 + c;
-          engine.copy(idx <= su ? v[idx] : ev[idx - su - 1], tu_cur[j][c]);
-          engine.copy(idx <= su ? wb[idx] : ew[idx - su - 1], tr_cur[j][c]);
+          if (shifted) {
+            combine_chain(engine, basis.seed(static_cast<int>(j),
+                                             static_cast<int>(c)),
+                          ChainView{&v, &ev}, tu_cur[j][c]);
+            combine_chain(engine, basis.seed(static_cast<int>(j),
+                                             static_cast<int>(c)),
+                          ChainView{&wb, &ew}, tr_cur[j][c]);
+          } else {
+            const std::size_t idx = j + 1 + c;
+            engine.copy(idx <= su ? v[idx] : ev[idx - su - 1], tu_cur[j][c]);
+            engine.copy(idx <= su ? wb[idx] : ew[idx - su - 1], tr_cur[j][c]);
+          }
         }
         if (!first) {
           engine.block_maxpy(tu_cur[j], tu_prev[j], sw.b);
@@ -235,12 +322,18 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
            (outer % static_cast<std::size_t>(replacement_period)) == 0);
       force_replace = false;
       if (replace) {
+        ++stats.replacements;
         engine.apply_op(x, scratch);
         engine.waxpy(wb_next[0], -1.0, scratch, b);
         engine.apply_pc(wb_next[0], v_next[0]);
-        extend_power_chain(engine, v_next[0],
-                           std::span<Vec>(wb_next.data() + 1, su),
-                           std::span<Vec>(v_next.data() + 1, su));
+        if (shifted) {
+          extend_chain_pc(engine, basis, ChainView{&wb_next, &ew_next},
+                          ChainView{&v_next, &ev_next}, 1, su, scratch);
+        } else {
+          extend_power_chain(engine, v_next[0],
+                             std::span<Vec>(wb_next.data() + 1, su),
+                             std::span<Vec>(v_next.data() + 1, su));
+        }
       } else {
         for (std::size_t j = 0; j <= su; ++j) {
           engine.block_combine(v_next[j], v[j], tu_cur[j], alpha);
@@ -253,15 +346,49 @@ SolveStats pipe_pscg_core(Engine& engine, const Vec& b, Vec& x,
                       extra_flops_per_outer * n_global * 8.0);
       }
 
+      // Gap monitor: on due iterations measure the true residual of the
+      // just-updated iterate (one SPMV + at most one PC) and ride its norm
+      // dot on the batch below -- the allreduce schedule is untouched.
+      // Skipped on replacement iterations: the basis was just anchored to
+      // the truth, so the comparison would be vacuously zero and reset the
+      // failure ladder without measuring recurrence health.
+      const bool gap_due =
+          gap_monitor.enabled() && !replace &&
+          ((outer + 1) % static_cast<std::size_t>(gap_period)) == 0;
+      const Vec* gx = &gap_r;
+      const Vec* gy = &gap_r;
+      if (gap_due) {
+        engine.apply_op(x, scratch);
+        engine.waxpy(gap_r, -1.0, scratch, b);
+        if (opts.norm != NormType::kUnpreconditioned &&
+            engine.has_preconditioner()) {
+          engine.apply_pc(gap_r, gap_u);
+          gy = &gap_u;
+          if (opts.norm == NormType::kPreconditioned) gx = &gap_u;
+        }
+      }
+
       // Post the dots for the *next* iteration (moments + cross + norms)...
-      build_dot_pairs(wb_next, v_next, tr_cur[0], pairs);
+      if (shifted)
+        build_gram_dot_pairs(wb_next, v_next, tr_cur[0], pairs);
+      else
+        build_dot_pairs(wb_next, v_next, tr_cur[0], pairs);
+      if (gap_due) {
+        pairs.push_back(DotPair{gx, gy});
+        gap_pending = true;
+      }
       handle = engine.dot_post(pairs);
 
       // ...and overlap the s PCs + s SPMVs that extend the powers to 2s
       // (paper Alg. 6 line 36 / Alg. 7 line 20).
-      extend_power_chain(engine, v_next[su],
-                         std::span<Vec>(ew_next.data(), su),
-                         std::span<Vec>(ev_next.data(), su));
+      if (shifted) {
+        extend_chain_pc(engine, basis, ChainView{&wb_next, &ew_next},
+                        ChainView{&v_next, &ev_next}, su + 1, su, scratch);
+      } else {
+        extend_power_chain(engine, v_next[su],
+                           std::span<Vec>(ew_next.data(), su),
+                           std::span<Vec>(ev_next.data(), su));
+      }
 
       std::swap(v, v_next);
       std::swap(wb, wb_next);

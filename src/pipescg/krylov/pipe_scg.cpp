@@ -30,6 +30,18 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
   std::size_t iterations = 0;
   double rnorm = 0.0;
 
+  // Basis shifts resolved once per solve; monomial passes through with no
+  // kernels (see pipe_pscg.cpp).
+  const BasisSpec basis_spec =
+      resolve_basis(engine, opts.basis, /*preconditioned=*/false);
+  stats.basis = to_string(basis_spec.type);
+  stats.basis_lambda_min = basis_spec.lambda_min;
+  stats.basis_lambda_max = basis_spec.lambda_max;
+
+  GapMonitor gap_monitor(opts.gap_tol);
+  const int gap_period = resolve_gap_period(opts);
+  Vec gap_r = engine.new_vec();
+
   // Fault recovery (see pipe_pscg.cpp for the full rationale): verdicts
   // derive from the reduced dot batch, identical on all ranks, so rollback
   // stays in SPMD lockstep.
@@ -41,8 +53,12 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
 
   auto attempt = [&](int s_att) -> AttemptEnd {
     const std::size_t su = static_cast<std::size_t>(s_att);
+    const ShiftedBasis sbasis(basis_spec, s_att);
+    const bool shifted = !sbasis.monomial();
+    gap_monitor.new_attempt();
 
-    // Monomial powers S[j] = A^j r, j = 0..s, extended E = A^{s+1..2s} r.
+    // Basis S[j] = p_j(A) r, j = 0..s, extension E = degrees s+1..2s
+    // (monomial: plain powers A^j r).
     VecBlock basis = engine.new_block(su + 1),
              basis_next = engine.new_block(su + 1);
     VecBlock ext = engine.new_block(su), ext_next = engine.new_block(su);
@@ -59,16 +75,28 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
       engine.apply_op(x, ax);
       engine.waxpy(basis[0], -1.0, ax, b);  // r_0 = b - A x_0
     }
-    engine.apply_op_powers(basis[0], std::span<Vec>(basis.data() + 1, su));
+    if (shifted)
+      extend_chain(engine, sbasis, ChainView{&basis, &ext}, 1, su, scratch);
+    else
+      engine.apply_op_powers(basis[0], std::span<Vec>(basis.data() + 1, su));
 
-    const DotLayout layout{s_att, /*preconditioned=*/false};
+    const DotLayout layout{s_att, /*preconditioned=*/false, shifted};
     std::vector<DotPair> pairs;
-    std::vector<double> values(layout.total());
-    build_dot_pairs(basis, t_cur[0], pairs);  // t_cur[0] zero: C = 0
+    // One spare slot for the piggybacked gap-check dot.
+    std::vector<double> values(layout.total() + 1);
+    const std::span<const double> active(values.data(), layout.total());
+    if (shifted)
+      build_gram_dot_pairs(basis, t_cur[0], pairs);  // t_cur[0] zero: C = 0
+    else
+      build_dot_pairs(basis, t_cur[0], pairs);
     DotHandle handle = engine.dot_post(pairs);
 
-    // Overlapped: extend powers to A^{2s} r (paper Alg. 5 line 10).
-    engine.apply_op_powers(basis[su], std::span<Vec>(ext.data(), su));
+    // Overlapped: extend the basis to degree 2s (paper Alg. 5 line 10).
+    if (shifted)
+      extend_chain(engine, sbasis, ChainView{&basis, &ext}, su + 1, su,
+                   scratch);
+    else
+      engine.apply_op_powers(basis[su], std::span<Vec>(ext.data(), su));
 
     const int replacement_period = resolve_replacement_period(opts, s_att);
 
@@ -77,13 +105,37 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
     std::size_t outer = 0;
     detail::DivergenceDetector diverge(0.0);
     bool force_replace = false;
+    bool gap_pending = false;
 
     for (;;) {
       engine.dot_wait(handle, values);
       // Fault gate: corrupted kernel output (SDC) or overflow surfaces in
       // the reduced batch as NaN/Inf; roll back instead of consuming it.
-      if (recovery.active() && !batch_finite(values)) return AttemptEnd::kFault;
+      // Only the active prefix is gated (the gap slot may be stale).
+      if (recovery.active() && !batch_finite(active)) return AttemptEnd::kFault;
       rnorm = std::sqrt(std::max(layout.norm_sq(values, opts.norm), 0.0));
+      if (gap_pending) {
+        gap_pending = false;
+        const double true_norm =
+            std::sqrt(std::max(values[layout.total()], 0.0));
+        if (std::isfinite(true_norm)) {
+          const GapMonitor::Action act =
+              gap_monitor.observe(rnorm, true_norm, stats);
+          telem.note_gap(true_norm, gap_monitor.last_gap());
+          if (act == GapMonitor::Action::kReplace) {
+            force_replace = true;
+          } else if (act == GapMonitor::Action::kEscalate) {
+            if (recovery.active()) {
+              recovery.escalate_degrade();
+              return AttemptEnd::kFault;
+            }
+            stats.stagnated = true;
+            break;
+          }
+        } else if (recovery.active()) {
+          return AttemptEnd::kFault;
+        }
+      }
       telem.checkpoint(iterations, rnorm, opts, s_att, stats.recoveries);
       if (!detail::checkpoint(stats, opts, iterations, rnorm)) {
         if (recovery.active()) {
@@ -131,10 +183,18 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
       }
 
       const la::DenseMatrix cross = layout.cross(values);
-      ScalarWork::Result sw = scalar_work.step(
-          std::span<const double>(values.data(), layout.moment_count()),
-          cross);
+      ScalarWork::Result sw =
+          shifted ? scalar_work.step_gram(
+                        sbasis,
+                        std::span<const double>(values.data(),
+                                                layout.tri_count()),
+                        cross)
+                  : scalar_work.step(
+                        std::span<const double>(values.data(),
+                                                layout.moment_count()),
+                        cross);
       if (!sw.ok) {
+        if (sw.gram_breakdown) ++stats.gram_breakdowns;
         if (recovery.active()) return AttemptEnd::kFault;
         stats.breakdown = true;
         stats.stagnated = true;
@@ -147,13 +207,20 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
       copy_block(engine, basis, p_cur, su);
       if (!first) engine.block_maxpy(p_cur, p_prev, sw.b);
 
-      // Towers t_cur[j] = [A^{j+1} r .. A^{j+s} r] + t_prev[j] B
-      // (paper Alg. 5 lines 14-20).
+      // Towers t_cur[j] = seed + t_prev[j] B (paper Alg. 5 lines 14-20).
+      // Monomial seed column c of tower j is the degree-(j+1+c) basis
+      // vector; shifted bases seed with the p_j * x * p_c expansion.
       for (std::size_t j = 0; j <= su; ++j) {
         for (std::size_t c = 0; c < su; ++c) {
-          const std::size_t idx = j + 1 + c;
-          engine.copy(idx <= su ? basis[idx] : ext[idx - su - 1],
-                      t_cur[j][c]);
+          if (shifted) {
+            combine_chain(engine, sbasis.seed(static_cast<int>(j),
+                                              static_cast<int>(c)),
+                          ChainView{&basis, &ext}, t_cur[j][c]);
+          } else {
+            const std::size_t idx = j + 1 + c;
+            engine.copy(idx <= su ? basis[idx] : ext[idx - su - 1],
+                        t_cur[j][c]);
+          }
         }
         if (!first) engine.block_maxpy(t_cur[j], t_prev[j], sw.b);
       }
@@ -170,23 +237,51 @@ SolveStats PipeScgSolver::solve(Engine& engine, const Vec& b, Vec& x,
         // Residual replacement: anchor to the true residual b - A x, then
         // rebuild the powers explicitly (resets recurrence drift and keeps
         // the reported residual honest).
+        ++stats.replacements;
         engine.apply_op(x, scratch);
         engine.waxpy(basis_next[0], -1.0, scratch, b);
-        engine.apply_op_powers(basis_next[0],
-                               std::span<Vec>(basis_next.data() + 1, su));
+        if (shifted)
+          extend_chain(engine, sbasis, ChainView{&basis_next, &ext_next}, 1,
+                       su, scratch);
+        else
+          engine.apply_op_powers(basis_next[0],
+                                 std::span<Vec>(basis_next.data() + 1, su));
       } else {
         for (std::size_t j = 0; j <= su; ++j)
           engine.block_combine(basis_next[j], basis[j], t_cur[j], sw.alpha);
       }
 
+      // Gap monitor: true residual of the just-updated iterate, its norm
+      // dot riding the batch below (all norm flavors coincide here).
+      // Skipped on replacement iterations (vacuous comparison; see
+      // pipe_pscg.cpp).
+      const bool gap_due =
+          gap_monitor.enabled() && !replace &&
+          ((outer + 1) % static_cast<std::size_t>(gap_period)) == 0;
+      if (gap_due) {
+        engine.apply_op(x, scratch);
+        engine.waxpy(gap_r, -1.0, scratch, b);
+      }
+
       // Post dots for the next iteration (Alg. 5 lines 26-27)...
-      build_dot_pairs(basis_next, t_cur[0], pairs);
+      if (shifted)
+        build_gram_dot_pairs(basis_next, t_cur[0], pairs);
+      else
+        build_dot_pairs(basis_next, t_cur[0], pairs);
+      if (gap_due) {
+        pairs.push_back(DotPair{&gap_r, &gap_r});
+        gap_pending = true;
+      }
       handle = engine.dot_post(pairs);
 
       // ...overlapped with the s new SPMVs (Alg. 5 line 28), one halo
       // exchange for the whole extension when the engine has an MPK.
-      engine.apply_op_powers(basis_next[su],
-                             std::span<Vec>(ext_next.data(), su));
+      if (shifted)
+        extend_chain(engine, sbasis, ChainView{&basis_next, &ext_next},
+                     su + 1, su, scratch);
+      else
+        engine.apply_op_powers(basis_next[su],
+                               std::span<Vec>(ext_next.data(), su));
 
       std::swap(basis, basis_next);
       std::swap(ext, ext_next);

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "pipescg/krylov/basis.hpp"
 #include "pipescg/krylov/engine.hpp"
 
 namespace pipescg::krylov {
@@ -39,6 +40,14 @@ struct SolverOptions {
   int s = 3;                           // depth for the s-step methods
   NormType norm = NormType::kPreconditioned;
 
+  // s-step basis construction (monomial | Newton | Chebyshev; see
+  // krylov/basis.hpp).  Shifted bases keep the basis Gram matrix
+  // well-conditioned at depths where the monomial powers collapse, with the
+  // same SPMV count and an unchanged allreduce schedule (the dot-batch
+  // payload grows from 2s+1 to (s+1)(s+2)/2 scalars).  Unset interval
+  // bounds are estimated at solve setup (resolve_basis).
+  BasisSpec basis;
+
   // Stagnation detection (pipelined s-step variants; drives Hybrid).
   // Declared stagnated when the residual norm fails to improve by at least
   // `stall_improvement` over `stall_window` consecutive *honest* residual
@@ -56,6 +65,19 @@ struct SolverOptions {
   //   <0 = always disabled (pure recurrences, exactly the paper's Alg. 5/6)
   //   >0 = explicit period
   int replacement_period = 0;
+
+  // Residual gap monitor (s-step drivers): every `gap_check_period` outer
+  // iterations compute the true residual b - A x (one extra SPMV, plus one
+  // PC for the preconditioned flavors) and ride its norm dot on the NEXT
+  // posted batch -- no extra allreduce, the per-outer-iteration collective
+  // count is unchanged.  When |recurred - true| / true exceeds `gap_tol`
+  // the driver forces a residual replacement (van der Vorst); when two
+  // consecutive gap-triggered replacements fail to close the gap it
+  // escalates to the RecoveryManager degrade-s path.  gap_tol <= 0
+  // disables the monitor (default); gap_check_period 0 = auto (every 8
+  // outer iterations).
+  double gap_tol = 0.0;
+  int gap_check_period = 0;
 
   // Compute ||b - A x|| at the end (costs one extra SPMV; off for benches
   // so traces stay clean).
@@ -104,6 +126,20 @@ struct SolveStats {
   // the method has no s parameter).
   std::size_t recoveries = 0;
   int final_s = 0;
+  // Basis / residual-gap monitor telemetry (s-step drivers).  `basis` is
+  // the basis family the solve ran with; the lambda bounds are the resolved
+  // shift interval (0 for the monomial basis).  `replacements` counts every
+  // residual replacement (scheduled, verified-acceptance and gap-triggered);
+  // gap fields are -1 until the monitor performs a check.
+  std::string basis;
+  double basis_lambda_min = 0.0;
+  double basis_lambda_max = 0.0;
+  std::size_t replacements = 0;
+  std::size_t gap_checks = 0;
+  std::size_t failed_replacements = 0;
+  std::size_t gram_breakdowns = 0;  // soft-failed non-SPD scalar-work solves
+  double last_residual_gap = -1.0;
+  double max_residual_gap = -1.0;
   // (CG-equivalent iteration, residual norm) at every check point.
   std::vector<std::pair<std::size_t, double>> history;
 };

@@ -1,8 +1,10 @@
 #include "pipescg/krylov/sstep_common.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "pipescg/base/error.hpp"
+#include "pipescg/la/cholesky.hpp"
 #include "pipescg/obs/metrics.hpp"
 #include "pipescg/obs/telemetry.hpp"
 
@@ -32,16 +34,60 @@ ScalarWork::Result ScalarWork::step(std::span<const double> moments,
                                     const la::DenseMatrix& cross) {
   const std::size_t s = static_cast<std::size_t>(s_);
   PIPESCG_CHECK(moments.size() >= 2 * s + 1, "need 2s+1 moments");
+  if (!all_finite(moments)) {
+    Result result;
+    result.b = la::DenseMatrix(s, s);
+    result.alpha.assign(s, 0.0);
+    return result;
+  }
+  la::DenseMatrix m_s(s, s);
+  for (std::size_t j = 0; j < s; ++j)
+    for (std::size_t k = 0; k < s; ++k) m_s(j, k) = moments[j + k + 1];
+  return solve_with(m_s, moments.subspan(0, s), cross);
+}
+
+ScalarWork::Result ScalarWork::step_gram(const ShiftedBasis& basis,
+                                         std::span<const double> tri,
+                                         const la::DenseMatrix& cross) {
+  const std::size_t s = static_cast<std::size_t>(s_);
+  PIPESCG_CHECK(basis.s() == s_, "basis depth mismatch");
+  const DotLayout layout{s_, false, true};
+  PIPESCG_CHECK(tri.size() >= layout.tri_count(),
+                "need (s+1)(s+2)/2 Gram values");
+  // Symmetric triangle access: G(j, k) = G(k, j).
+  const auto g_at = [&](std::size_t j, std::size_t k) {
+    return j <= k ? tri[layout.gram_index(j, k)]
+                  : tri[layout.gram_index(k, j)];
+  };
+  // M_S(j, k) = (S[j], x S[k]) expanded through the three-term recurrence
+  // x p_k = gamma_k p_{k+1} + theta_k p_k + sigma_k p_{k-1}; symmetrized
+  // because the expansion is only symmetric in exact arithmetic.
+  la::DenseMatrix m_s(s, s);
+  for (std::size_t j = 0; j < s; ++j) {
+    for (std::size_t k = 0; k < s; ++k) {
+      const int ki = static_cast<int>(k);
+      double v = basis.gamma(ki) * g_at(j, k + 1) +
+                 basis.theta(ki) * g_at(j, k);
+      if (k > 0) v += basis.sigma(ki) * g_at(j, k - 1);
+      m_s(j, k) = v;
+    }
+  }
+  m_s.symmetrize();
+  std::vector<double> g(s);
+  for (std::size_t j = 0; j < s; ++j) g[j] = g_at(0, j);
+  return solve_with(m_s, g, cross);
+}
+
+ScalarWork::Result ScalarWork::solve_with(const la::DenseMatrix& m_s,
+                                          std::span<const double> g,
+                                          const la::DenseMatrix& cross) {
+  const std::size_t s = static_cast<std::size_t>(s_);
   PIPESCG_CHECK(cross.rows() == s && cross.cols() == s, "cross must be s x s");
 
   Result result;
   result.b = la::DenseMatrix(s, s);
   result.alpha.assign(s, 0.0);
-  if (!all_finite(moments) || !all_finite(cross)) return result;
-
-  la::DenseMatrix m_s(s, s);
-  for (std::size_t j = 0; j < s; ++j)
-    for (std::size_t k = 0; k < s; ++k) m_s(j, k) = moments[j + k + 1];
+  if (!all_finite(m_s) || !all_finite(cross) || !all_finite(g)) return result;
 
   la::DenseMatrix w(s, s);
   try {
@@ -61,10 +107,20 @@ ScalarWork::Result ScalarWork::step(std::span<const double> moments,
       w.add_scaled(ct_b, 1.0);
       w.symmetrize();
     }
+    // SPD guard: W = P^T A P is SPD whenever the direction block has full
+    // rank, so a failed (near-singular-tolerant) Cholesky is a certificate
+    // that the basis Gram has numerically collapsed.  Fail soft -- the LU
+    // below would "succeed" and hand back huge garbage coefficients.  When
+    // the guard passes the actual solves still run through LU, bitwise
+    // identical to the historical path.
+    la::DenseMatrix w_sym = w;
+    w_sym.symmetrize();
+    if (!la::CholeskyFactorization::try_factor(w_sym, 1e-13)) {
+      result.gram_breakdown = true;
+      return result;
+    }
     la::LuFactorization lu_w(w);
-    std::vector<double> g(s);
-    for (std::size_t j = 0; j < s; ++j) g[j] = moments[j];
-    result.alpha = lu_w.solve(g);
+    result.alpha = lu_w.solve(std::vector<double>(g.begin(), g.end()));
   } catch (const Error&) {
     return result;  // singular scalar work => breakdown
   }
@@ -140,6 +196,41 @@ void build_dot_pairs(const VecBlock& wb, const VecBlock& v,
   out.push_back(DotPair{&v[0], &v[0]});
 }
 
+void build_gram_dot_pairs(const VecBlock& s_basis, const VecBlock& ap,
+                          std::vector<DotPair>& out) {
+  const std::size_t s = ap.size();
+  PIPESCG_CHECK(s_basis.size() == s + 1, "basis must have s+1 columns");
+  out.clear();
+  // Gram upper triangle G(j, k) = (S[j], S[k]), j <= k <= s.
+  for (std::size_t j = 0; j <= s; ++j)
+    for (std::size_t k = j; k <= s; ++k)
+      out.push_back(DotPair{&s_basis[j], &s_basis[k]});
+  // Cross C(k, j) = (A P_cur[k], S_new[j]).
+  for (std::size_t k = 0; k < s; ++k)
+    for (std::size_t j = 0; j < s; ++j)
+      out.push_back(DotPair{&ap[k], &s_basis[j]});
+}
+
+void build_gram_dot_pairs(const VecBlock& wb, const VecBlock& v,
+                          const VecBlock& apr, std::vector<DotPair>& out) {
+  const std::size_t s = apr.size();
+  PIPESCG_CHECK(wb.size() == s + 1 && v.size() == s + 1,
+                "bases must have s+1 columns");
+  out.clear();
+  // G(j, k) = (wb[j], v[k]) = v[j]^T M v[k]: the M-inner Gram of the u-side
+  // basis (wb[j] = M v[j]), symmetric, so the upper triangle suffices.
+  for (std::size_t j = 0; j <= s; ++j)
+    for (std::size_t k = j; k <= s; ++k)
+      out.push_back(DotPair{&wb[j], &v[k]});
+  // Cross C(k, j) = ((A P_cur)[k], V_new[j]).
+  for (std::size_t k = 0; k < s; ++k)
+    for (std::size_t j = 0; j < s; ++j)
+      out.push_back(DotPair{&apr[k], &v[j]});
+  // Norm extras: unpreconditioned (r, r) and preconditioned (u, u).
+  out.push_back(DotPair{&wb[0], &wb[0]});
+  out.push_back(DotPair{&v[0], &v[0]});
+}
+
 double true_flavored_norm(Engine& engine, const Vec& b, const Vec& x,
                           NormType norm, Vec& scratch_r, Vec& scratch_u) {
   engine.apply_op(x, scratch_u);
@@ -163,9 +254,44 @@ int resolve_replacement_period(const SolverOptions& opts, int s) {
   if (opts.replacement_period < 0) return 0;
   // Auto: infrequent truth anchoring at s <= 3 (keeps the reported residual
   // honest at ~(s+1)/(16 s) extra kernel cost), tighter periods at the
-  // depths where the monomial tower recurrences destabilize.
+  // depths where the monomial tower recurrences destabilize.  The shifted
+  // bases exist precisely so the tower stays conditioned at large s, so
+  // they keep the relaxed period everywhere -- the same assumption
+  // sim::auto_tune prices when comparing bases.
+  if (opts.basis.type != BasisType::kMonomial) return 16;
   if (s <= 3) return 16;
   return s == 4 ? 4 : 1;
+}
+
+int resolve_gap_period(const SolverOptions& opts) {
+  return opts.gap_check_period > 0 ? opts.gap_check_period : 8;
+}
+
+GapMonitor::Action GapMonitor::observe(double recurred_rnorm,
+                                       double true_rnorm, SolveStats& stats) {
+  const double gap = std::abs(recurred_rnorm - true_rnorm) /
+                     std::max(true_rnorm, 1e-300);
+  last_gap_ = gap;
+  ++stats.gap_checks;
+  stats.last_residual_gap = gap;
+  stats.max_residual_gap = std::max(stats.max_residual_gap, gap);
+  if (!enabled() || !(gap > tol_)) {
+    // Healthy (or a replacement just closed the gap): reset the ladder.
+    awaiting_ = false;
+    failures_ = 0;
+    return Action::kNone;
+  }
+  if (awaiting_) {
+    // The previous gap-triggered replacement did not close the gap.
+    ++failures_;
+    ++stats.failed_replacements;
+    if (failures_ >= 2) {
+      awaiting_ = false;
+      return Action::kEscalate;
+    }
+  }
+  awaiting_ = true;
+  return Action::kReplace;
 }
 
 void copy_block(Engine& engine, const VecBlock& src, VecBlock& dst,
@@ -187,15 +313,20 @@ void TelemetrySnapshot::capture(const ScalarWork::Result& sw) {
 
 void TelemetrySnapshot::checkpoint(std::uint64_t iteration, double rnorm,
                                    const SolverOptions& opts, int cur_s,
-                                   std::size_t recoveries) const {
+                                   std::size_t recoveries) {
   // Fire when either observer is installed: the JSONL telemetry sink or the
   // live metrics gauges (alpha/beta only reach the former; capture() stays
-  // gated on it).
+  // gated on it).  Gap fields are one-shot: consumed by this record, reset
+  // to the -1 "no check" sentinel for the next one.
+  const double tr = true_rnorm;
+  const double gap = residual_gap;
+  true_rnorm = -1.0;
+  residual_gap = -1.0;
   if (obs::ConvergenceTelemetry::current() == nullptr &&
       obs::metrics::LiveSolve::current() == nullptr)
     return;
   obs::telemetry_checkpoint(iteration, rnorm, to_string(opts.norm), cur_s,
-                            recoveries, alpha, beta_fro);
+                            recoveries, alpha, beta_fro, tr, gap);
 }
 
 }  // namespace pipescg::krylov::sstep

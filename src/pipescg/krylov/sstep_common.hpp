@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "pipescg/krylov/basis.hpp"
 #include "pipescg/krylov/solver.hpp"
 #include "pipescg/la/dense_matrix.hpp"
 #include "pipescg/la/lu.hpp"
@@ -46,15 +47,33 @@ class ScalarWork {
     la::DenseMatrix b;          // s x s conjugation coefficients (beta's)
     std::vector<double> alpha;  // s step sizes
     bool ok = false;            // false on singular/non-finite scalar work
+    // The W system failed the SPD guard (la::CholeskyFactorization::
+    // try_factor): the basis Gram matrix has numerically collapsed.  A
+    // structured soft failure -- the caller rolls back / replaces instead of
+    // iterating on the garbage an LU solve of a near-singular system would
+    // produce.  Always false when `ok`.
+    bool gram_breakdown = false;
   };
 
-  /// moments m_0..m_2s (size 2s+1), cross C (s x s, C(k,j) = (AP_prev[k],
-  /// S_new[j])).  Maintains W_{i-1} across calls.
+  /// Monomial basis: moments m_0..m_2s (size 2s+1), cross C (s x s,
+  /// C(k,j) = (AP_prev[k], S_new[j])).  Maintains W_{i-1} across calls.
   Result step(std::span<const double> moments, const la::DenseMatrix& cross);
+
+  /// Shifted basis: `tri` is the basis Gram upper triangle G(j,k) =
+  /// (S[j], S[k]) for 0 <= j <= k <= s in DotLayout::gram_index order
+  /// ((s+1)(s+2)/2 values); M_S and g are recovered through the three-term
+  /// recurrence, N(j,k) = gamma_k G(j,k+1) + theta_k G(j,k) +
+  /// sigma_k G(j,k-1) and g_j = G(0,j).  Degenerates to step() numbers for
+  /// a monomial `basis`.
+  Result step_gram(const ShiftedBasis& basis, std::span<const double> tri,
+                   const la::DenseMatrix& cross);
 
   bool first() const { return first_; }
 
  private:
+  Result solve_with(const la::DenseMatrix& m_s, std::span<const double> g,
+                    const la::DenseMatrix& cross);
+
   int s_;
   bool first_ = true;
   la::DenseMatrix w_prev_;
@@ -64,13 +83,33 @@ class ScalarWork {
 struct DotLayout {
   int s;
   bool preconditioned;  // adds (r,r) and (u,u) norm dots
+  // Shifted (non-monomial) basis: the leading scalars are the basis Gram
+  // upper triangle ((s+1)(s+2)/2 values) instead of the 2s+1 moments.
+  // values[0] is G(0,0) = m_0 either way, so the norm flavors read the same
+  // slots.  Still ONE allreduce per outer iteration -- only the payload
+  // grows.
+  bool gram = false;
 
   std::size_t moment_count() const { return static_cast<std::size_t>(2 * s + 1); }
-  std::size_t cross_offset() const { return moment_count(); }
+  std::size_t tri_count() const {
+    const std::size_t n = static_cast<std::size_t>(s) + 1;
+    return n * (n + 1) / 2;
+  }
+  std::size_t scalar_count() const {
+    return gram ? tri_count() : moment_count();
+  }
+  std::size_t cross_offset() const { return scalar_count(); }
   std::size_t cross_count() const { return static_cast<std::size_t>(s) * s; }
   std::size_t norm_offset() const { return cross_offset() + cross_count(); }
   std::size_t total() const {
     return norm_offset() + (preconditioned ? 2 : 0);
+  }
+
+  /// Position of G(j, k), j <= k <= s, in the leading triangle (row-major
+  /// by j over the upper triangle).
+  std::size_t gram_index(std::size_t j, std::size_t k) const {
+    const std::size_t n = static_cast<std::size_t>(s) + 1;
+    return j * n - j * (j - 1) / 2 + (k - j);
   }
 
   /// Residual norm^2 in the requested flavor from the reduced values.
@@ -90,6 +129,18 @@ void build_dot_pairs(const VecBlock& s_basis, const VecBlock& ap,
 void build_dot_pairs(const VecBlock& wb, const VecBlock& v,
                      const VecBlock& apr, std::vector<DotPair>& out);
 
+/// Shifted-basis batch (DotLayout::gram): Gram upper triangle
+/// G(j,k) = (S[j], S[k]), j <= k, then the cross block -- same shape of
+/// communication as the monomial batch, larger payload.
+void build_gram_dot_pairs(const VecBlock& s_basis, const VecBlock& ap,
+                          std::vector<DotPair>& out);
+
+/// Preconditioned shifted-basis batch: G(j,k) = (wb[j], v[k]) = the
+/// M-inner product of the u-side basis columns (wb[j] = M v[j]), j <= k;
+/// cross and the two norm extras follow as in the monomial layout.
+void build_gram_dot_pairs(const VecBlock& wb, const VecBlock& v,
+                          const VecBlock& apr, std::vector<DotPair>& out);
+
 /// NaN/Inf guard on a reduced dot batch (the 2s+1 moments plus the Gram
 /// cross block).  The reduced values are identical on all ranks, so every
 /// rank reaches the same verdict without extra communication -- this is
@@ -102,6 +153,55 @@ bool batch_finite(std::span<const double> values);
 /// 4 at s = 4 and 1 at s >= 5 (measured stability limits of the
 /// monomial-basis tower recurrences; see DESIGN.md).
 int resolve_replacement_period(const SolverOptions& opts, int s);
+
+/// Resolve SolverOptions::gap_check_period: explicit values pass through,
+/// auto (0) checks every 8 outer iterations.  Callers gate on
+/// opts.gap_tol > 0 (the monitor master switch) separately.
+int resolve_gap_period(const SolverOptions& opts);
+
+/// Predicted-vs-true residual gap state machine (DESIGN.md section 13).
+///
+/// The s-step drivers feed it one (recurred, true) residual-norm pair per
+/// gap check; it classifies the relative gap against the tolerance and
+/// drives the van der Vorst escalation ladder:
+///
+///   gap <= tol                  -> kNone (healthy; failure streak resets)
+///   gap  > tol, fresh           -> kReplace (force a residual replacement)
+///   gap  > tol after a replace  -> failed replacement; kReplace again, or
+///                                  kEscalate once TWO replacements in a row
+///                                  failed to close the gap -- the caller
+///                                  hands control to the RecoveryManager
+///                                  degrade-s path.
+///
+/// The monitor outlives recovery attempts (it owns the failure history);
+/// new_attempt() clears the in-flight state after a rollback so the fresh
+/// attempt is not blamed for the old attempt's gap.
+class GapMonitor {
+ public:
+  explicit GapMonitor(double tol) : tol_(tol) {}
+
+  enum class Action { kNone, kReplace, kEscalate };
+
+  bool enabled() const { return tol_ > 0.0; }
+
+  /// Classify one gap check and record it into `stats` (gap_checks,
+  /// last/max_residual_gap, failed_replacements).
+  Action observe(double recurred_rnorm, double true_rnorm, SolveStats& stats);
+
+  /// Relative gap of the most recent observe() (-1 before the first).
+  double last_gap() const { return last_gap_; }
+
+  void new_attempt() {
+    awaiting_ = false;
+    failures_ = 0;
+  }
+
+ private:
+  double tol_;
+  double last_gap_ = -1.0;
+  bool awaiting_ = false;      // a gap-triggered replacement is in flight
+  std::size_t failures_ = 0;   // consecutive replacements that didn't close it
+};
 
 /// True residual norm in the requested flavor: r = b - A x (one SPMV),
 /// u = M^{-1} r when needed (one PC), one blocking dot.  Used for verified
@@ -124,11 +224,21 @@ void copy_block(Engine& engine, const VecBlock& src, VecBlock& dst,
 struct TelemetrySnapshot {
   std::vector<double> alpha;
   double beta_fro = 0.0;
+  // Residual-gap monitor readings for the NEXT checkpoint only (set by
+  // note_gap on the outer iteration where a gap check resolves; cleared
+  // after the record is emitted so later records honestly report -1 = "no
+  // check this iteration").
+  double true_rnorm = -1.0;
+  double residual_gap = -1.0;
 
   void capture(const ScalarWork::Result& sw);
+  void note_gap(double true_norm, double gap) {
+    true_rnorm = true_norm;
+    residual_gap = gap;
+  }
   void checkpoint(std::uint64_t iteration, double rnorm,
                   const SolverOptions& opts, int cur_s,
-                  std::size_t recoveries) const;
+                  std::size_t recoveries);
 };
 
 /// The preconditioned pipelined core (paper Alg. 6 + 7), parameterized so

@@ -1,29 +1,62 @@
 #include "pipescg/la/cholesky.hpp"
 
 #include <cmath>
+#include <optional>
+#include <string>
 #include <utility>
 
 namespace pipescg::la {
+namespace {
+
+struct PivotFailure {
+  std::size_t index;
+  double value;
+};
+
+// In-place lower Cholesky of `l`.  A pivot d fails when it is non-finite or
+// d <= min_pivot (min_pivot 0 = the classical strict-positivity test).
+// Reports the failure instead of throwing so callers can fail soft.
+std::optional<PivotFailure> factor_in_place(DenseMatrix& l, double min_pivot) {
+  const std::size_t n = l.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = l(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (!(d > min_pivot) || !std::isfinite(d)) return PivotFailure{j, d};
+    const double ljj = std::sqrt(d);
+    l(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = l(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+      l(i, j) = v * inv;
+    }
+    // Zero the strictly-upper part as we go so lower() is clean.
+    for (std::size_t i = 0; i < j; ++i) l(i, j) = 0.0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 CholeskyFactorization::CholeskyFactorization(DenseMatrix a) : l_(std::move(a)) {
   PIPESCG_CHECK(l_.rows() == l_.cols(), "Cholesky requires a square matrix");
-  const std::size_t n = l_.rows();
-  for (std::size_t j = 0; j < n; ++j) {
-    double d = l_(j, j);
-    for (std::size_t k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
-    PIPESCG_CHECK(d > 0.0 && std::isfinite(d),
-                  "Cholesky pivot non-positive: matrix is not SPD");
-    const double ljj = std::sqrt(d);
-    l_(j, j) = ljj;
-    const double inv = 1.0 / ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double v = l_(i, j);
-      for (std::size_t k = 0; k < j; ++k) v -= l_(i, k) * l_(j, k);
-      l_(i, j) = v * inv;
-    }
-    // Zero the strictly-upper part as we go so lower() is clean.
-    for (std::size_t i = 0; i < j; ++i) l_(i, j) = 0.0;
+  if (const auto fail = factor_in_place(l_, 0.0)) {
+    throw NotSpdError("Cholesky pivot " + std::to_string(fail->index) +
+                          " non-positive: matrix is not SPD",
+                      fail->index, fail->value);
   }
+}
+
+std::optional<CholeskyFactorization> CholeskyFactorization::try_factor(
+    const DenseMatrix& a, double pivot_rtol) {
+  if (a.rows() != a.cols() || a.rows() == 0) return std::nullopt;
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    max_diag = std::max(max_diag, std::abs(a(i, i)));
+  DenseMatrix l = a;
+  if (factor_in_place(l, std::max(0.0, pivot_rtol * max_diag)))
+    return std::nullopt;
+  return CholeskyFactorization(std::move(l), Factored{});
 }
 
 std::vector<double> CholeskyFactorization::solve(

@@ -5,16 +5,45 @@
 // certificate).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "pipescg/la/dense_matrix.hpp"
 
 namespace pipescg::la {
 
+/// Structured, recoverable failure: the matrix handed to Cholesky is not
+/// (numerically) symmetric positive definite, or is singular to the
+/// requested tolerance.  Subclasses Error so existing catch sites keep
+/// working; the s-step scalar work catches THIS type to fail soft (return a
+/// recoverable not-ok result that feeds the stagnation/recovery path)
+/// instead of propagating NaNs into the iterate.
+class NotSpdError : public Error {
+ public:
+  NotSpdError(const std::string& what, std::size_t pivot, double value)
+      : Error(what), pivot_(pivot), value_(value) {}
+
+  /// Index of the offending pivot and its (pre-sqrt) value.
+  std::size_t pivot() const { return pivot_; }
+  double pivot_value() const { return value_; }
+
+ private:
+  std::size_t pivot_;
+  double value_;
+};
+
 class CholeskyFactorization {
  public:
-  /// Throws pipescg::Error if `a` is not (numerically) SPD.
+  /// Throws la::NotSpdError if `a` is not (numerically) SPD.
   explicit CholeskyFactorization(DenseMatrix a);
+
+  /// Non-throwing factorization with near-singularity detection: fails
+  /// (nullopt) when any pivot is non-positive, non-finite, or smaller than
+  /// `pivot_rtol` times the largest diagonal entry of `a` -- the "almost
+  /// singular but LU would still produce huge garbage" regime the s-step
+  /// Gram systems hit when the basis conditioning collapses.
+  static std::optional<CholeskyFactorization> try_factor(
+      const DenseMatrix& a, double pivot_rtol = 0.0);
 
   std::size_t dim() const { return l_.rows(); }
 
@@ -23,6 +52,9 @@ class CholeskyFactorization {
   const DenseMatrix& lower() const { return l_; }
 
  private:
+  struct Factored {};  // tag: `l` is already the computed factor
+  CholeskyFactorization(DenseMatrix l, Factored) : l_(std::move(l)) {}
+
   DenseMatrix l_;
 };
 

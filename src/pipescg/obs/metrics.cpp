@@ -425,6 +425,32 @@ void register_stats(Registry& registry, const krylov::SolveStats& stats,
   registry.gauge("pipescg_solve_recoveries",
                  "fault-recovery rollback-restarts during the solve", base)
       .set(static_cast<double>(stats.recoveries));
+  registry.gauge("pipescg_solve_replacements",
+                 "residual replacements performed (scheduled, verified-"
+                 "acceptance and gap-triggered)",
+                 base)
+      .set(static_cast<double>(stats.replacements));
+  registry.gauge("pipescg_solve_gram_breakdowns",
+                 "soft-failed near-singular Gram (scalar-work) solves", base)
+      .set(static_cast<double>(stats.gram_breakdowns));
+  // Residual-gap monitor family (SolverOptions::gap_tol): -1 = the monitor
+  // never performed a check (off, or the solve finished before the first
+  // check was due).
+  registry.gauge("pipescg_residual_gap",
+                 "relative recurred-vs-true residual gap at the last check",
+                 base)
+      .set(stats.last_residual_gap);
+  registry.gauge("pipescg_residual_gap_max",
+                 "largest relative residual gap observed during the solve",
+                 base)
+      .set(stats.max_residual_gap);
+  registry.gauge("pipescg_residual_gap_checks",
+                 "gap checks the monitor performed", base)
+      .set(static_cast<double>(stats.gap_checks));
+  registry.gauge("pipescg_residual_gap_failed_replacements",
+                 "gap-triggered replacements that did not close the gap",
+                 base)
+      .set(static_cast<double>(stats.failed_replacements));
 }
 
 void register_profile(Registry& registry, const SolveProfile& profile,
@@ -567,6 +593,11 @@ void register_session(Registry& registry, const SessionSnapshot& snapshot,
   registry.counter("pipescg_session_team_runs_total",
                    "bodies executed on the persistent rank team", base)
       .add(static_cast<double>(snapshot.team_runs));
+  registry.counter("pipescg_session_expired_total",
+                   "jobs dropped because their deadline passed before "
+                   "execution (or between resumed chunks)",
+                   base)
+      .add(static_cast<double>(snapshot.expired));
   if (snapshot.solve_latency)
     registry
         .histogram("pipescg_session_solve_latency_seconds",
@@ -599,15 +630,22 @@ LiveSolve::LiveSolve(Registry& registry, const Labels& base)
       recoveries_(registry.gauge("pipescg_live_recoveries",
                                  "fault recoveries so far in the running solve",
                                  base)),
+      gap_(registry.gauge("pipescg_residual_gap",
+                          "relative recurred-vs-true residual gap at the "
+                          "last check",
+                          base)),
       checkpoints_(registry.counter("pipescg_live_checkpoints_total",
-                                    "driver checkpoints observed", base)) {}
+                                    "driver checkpoints observed", base)) {
+  gap_.set(-1.0);  // "no check yet" sentinel, matching SolveStats
+}
 
 void LiveSolve::checkpoint(std::uint64_t iteration, double rnorm, int s,
-                           std::uint64_t recoveries) {
+                           std::uint64_t recoveries, double gap) {
   iteration_.set(static_cast<double>(iteration));
   rnorm_.set(rnorm);
   s_.set(static_cast<double>(s));
   recoveries_.set(static_cast<double>(recoveries));
+  if (gap >= 0.0) gap_.set(gap);
   checkpoints_.inc();
 }
 

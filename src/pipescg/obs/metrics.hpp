@@ -224,6 +224,7 @@ struct SessionSnapshot {
   std::size_t pc_builds = 0;
   std::size_t team_spawns = 0;
   std::size_t warm_hits = 0;     ///< solves served entirely from cache
+  std::size_t expired = 0;       ///< jobs dropped past their deadline
   const LatencyHistogram* solve_latency = nullptr;  ///< per-solve wall clock
   const LatencyHistogram* queue_latency = nullptr;  ///< admission wait
 };
@@ -240,17 +241,20 @@ void register_session(Registry& registry, const SessionSnapshot& snapshot,
 
 /// Mid-solve gauges fed from the s-step drivers' checkpoint hook
 /// (obs::telemetry_checkpoint forwards here): current iteration, residual
-/// norm, block size s, and recovery count, updated atomically so the
-/// MetricsSampler exposes a running solve's trajectory, not just its
-/// post-mortem.  Install on the rank-0 thread (same discipline as
-/// ConvergenceTelemetry: the scalar recurrences are replicated, so one rank
-/// suffices and the gauges stay single-writer).
+/// norm, block size s, recovery count and -- when the residual-gap monitor
+/// is on -- the latest predicted-vs-true gap (`pipescg_residual_gap`),
+/// updated atomically so the MetricsSampler exposes a running solve's
+/// trajectory, not just its post-mortem.  Install on the rank-0 thread
+/// (same discipline as ConvergenceTelemetry: the scalar recurrences are
+/// replicated, so one rank suffices and the gauges stay single-writer).
 class LiveSolve {
  public:
   LiveSolve(Registry& registry, const Labels& base = {});
 
+  /// `gap` < 0 = no gap check resolved at this checkpoint (the gauge keeps
+  /// its previous value; -1 initially = monitor silent so far).
   void checkpoint(std::uint64_t iteration, double rnorm, int s,
-                  std::uint64_t recoveries);
+                  std::uint64_t recoveries, double gap = -1.0);
 
   static LiveSolve* current() { return tls_current_; }
 
@@ -273,6 +277,7 @@ class LiveSolve {
   Gauge& rnorm_;
   Gauge& s_;
   Gauge& recoveries_;
+  Gauge& gap_;
   Counter& checkpoints_;
 };
 

@@ -19,6 +19,23 @@ json::Value stats_to_json(const krylov::SolveStats& stats) {
   v.set("b_norm", stats.b_norm);
   v.set("final_rnorm", stats.final_rnorm);
   v.set("true_residual", stats.true_residual);
+  v.set("basis", stats.basis);
+  if (stats.basis_lambda_max > 0.0) {
+    v.set("basis_lambda_min", stats.basis_lambda_min);
+    v.set("basis_lambda_max", stats.basis_lambda_max);
+  }
+  // Stability section: emitted zero-or-not so reports diff key-for-key
+  // (gaps stay at the -1 sentinel when the monitor never ran).
+  {
+    json::Value gap = json::Value::object();
+    gap.set("checks", stats.gap_checks);
+    gap.set("replacements", stats.replacements);
+    gap.set("failed_replacements", stats.failed_replacements);
+    gap.set("gram_breakdowns", stats.gram_breakdowns);
+    gap.set("last_gap", stats.last_residual_gap);
+    gap.set("max_gap", stats.max_residual_gap);
+    v.set("residual_gap", std::move(gap));
+  }
   if (stats.condition_est > 0.0) {
     v.set("lambda_min_est", stats.lambda_min_est);
     v.set("lambda_max_est", stats.lambda_max_est);

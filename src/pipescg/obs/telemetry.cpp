@@ -12,9 +12,10 @@ namespace pipescg::obs {
 void telemetry_checkpoint(std::uint64_t iteration, double rnorm,
                           std::string_view norm_flavor, int s,
                           std::uint64_t recoveries,
-                          std::span<const double> alpha, double beta_fro) {
+                          std::span<const double> alpha, double beta_fro,
+                          double true_rnorm, double gap) {
   if (metrics::LiveSolve* live = metrics::LiveSolve::current())
-    live->checkpoint(iteration, rnorm, s, recoveries);
+    live->checkpoint(iteration, rnorm, s, recoveries, gap);
   ConvergenceTelemetry* sink = ConvergenceTelemetry::current();
   if (sink == nullptr) return;
   TelemetryRecord rec;
@@ -25,6 +26,8 @@ void telemetry_checkpoint(std::uint64_t iteration, double rnorm,
   rec.recoveries = recoveries;
   rec.alpha.assign(alpha.begin(), alpha.end());
   rec.beta_fro = beta_fro;
+  rec.true_rnorm = true_rnorm;
+  rec.gap = gap;
   sink->record(std::move(rec));
 }
 
@@ -71,6 +74,10 @@ std::string ConvergenceTelemetry::to_jsonl() const {
     for (double a : rec.alpha) alpha.push_back(a);
     v.set("alpha", std::move(alpha));
     v.set("beta_fro", rec.beta_fro);
+    if (rec.gap >= 0.0) {
+      v.set("true_rnorm", rec.true_rnorm);
+      v.set("gap", rec.gap);
+    }
     out += v.dump(-1);
     out += '\n';
   }
@@ -106,6 +113,10 @@ std::vector<TelemetryRecord> ConvergenceTelemetry::parse_jsonl(
     for (std::size_t i = 0; i < alpha.size(); ++i)
       rec.alpha.push_back(alpha.at(i).as_number());
     rec.beta_fro = v.at("beta_fro").as_number();
+    if (v.contains("gap")) {
+      rec.true_rnorm = v.at("true_rnorm").as_number();
+      rec.gap = v.at("gap").as_number();
+    }
     out.push_back(std::move(rec));
   }
   return out;

@@ -38,6 +38,13 @@ struct TelemetryRecord {
   std::uint64_t recoveries = 0;
   std::vector<double> alpha;
   double beta_fro = 0.0;
+  // Residual-gap monitor readings (SolverOptions::gap_tol): the true
+  // residual norm measured this checkpoint and the relative recurred-vs-true
+  // gap.  -1 = no gap check resolved at this checkpoint; the JSONL keys
+  // ("true_rnorm", "gap") are emitted only when a check resolved, so
+  // monitor-off runs serialize byte-identically to the historical format.
+  double true_rnorm = -1.0;
+  double gap = -1.0;
 };
 
 class ConvergenceTelemetry {
@@ -97,12 +104,14 @@ class ConvergenceTelemetry {
 };
 
 /// Driver-side hook: records a checkpoint into the installed sink (if any)
-/// and forwards iteration/rnorm/s/recoveries to the installed live metrics
-/// gauges (metrics::LiveSolve::current(), if any).  Costs two thread-local
-/// null checks when neither observer is installed.
+/// and forwards iteration/rnorm/s/recoveries (and, when a gap check
+/// resolved this checkpoint, the residual gap) to the installed live
+/// metrics gauges (metrics::LiveSolve::current(), if any).  Costs two
+/// thread-local null checks when neither observer is installed.
 void telemetry_checkpoint(std::uint64_t iteration, double rnorm,
                           std::string_view norm_flavor, int s,
                           std::uint64_t recoveries,
-                          std::span<const double> alpha, double beta_fro);
+                          std::span<const double> alpha, double beta_fro,
+                          double true_rnorm = -1.0, double gap = -1.0);
 
 }  // namespace pipescg::obs

@@ -66,6 +66,7 @@ obs::metrics::SessionSnapshot Session::snapshot() const {
   s.pc_builds = counters_.pc_builds;
   s.team_spawns = counters_.team_spawns;
   s.warm_hits = counters_.warm_hits;
+  s.expired = expired_;
   s.solve_latency = &solve_latency_;
   s.queue_latency = &queue_latency_;
   return s;
@@ -108,12 +109,22 @@ void Session::execute(std::span<SolveContext* const> ctxs) {
   std::vector<SolveContext*> live;
   live.reserve(ctxs.size());
   std::size_t budget = std::numeric_limits<std::size_t>::max();
+  const auto now = std::chrono::steady_clock::now();
   for (SolveContext* ctx : ctxs) {
     PIPESCG_CHECK(ctx->b_.size() == a_.rows(),
                   "context right-hand side has " +
                       std::to_string(ctx->b_.size()) +
                       " entries, operator has " + std::to_string(a_.rows()) +
                       " rows");
+    // Deadline check at the start of every submission: this covers both
+    // dequeue (drain -> execute) and each resumed chunk of a step-limited
+    // job.  An expired job keeps the iterate it has but never runs again.
+    if (ctx->has_deadline_ && now > ctx->deadline_) {
+      ctx->state_ = JobState::kExpired;
+      ctx->error_ = "deadline exceeded before execution";
+      ++expired_;
+      continue;
+    }
     std::size_t remaining =
         ctx->opts_.max_iterations > ctx->total_iterations_
             ? ctx->opts_.max_iterations - ctx->total_iterations_
@@ -133,6 +144,16 @@ void Session::execute(std::span<SolveContext* const> ctxs) {
   const std::size_t k = live.size();
   krylov::SolverOptions opts = live[0]->opts_;
   opts.max_iterations = budget;
+  // Session-wide stability defaults: knobs the context left unset inherit
+  // the session's.  Applied uniformly to a batch (batchable() guarantees
+  // the contexts share their convergence contract).
+  if (opts.basis.type == krylov::BasisType::kMonomial)
+    opts.basis = config_.basis;
+  if (opts.replacement_period == 0)
+    opts.replacement_period = config_.replacement_period;
+  if (opts.gap_tol <= 0.0) opts.gap_tol = config_.gap_tol;
+  if (opts.gap_check_period == 0)
+    opts.gap_check_period = config_.gap_check_period;
   const std::string& method = live[0]->method_;
 
   const WallTimer timer;

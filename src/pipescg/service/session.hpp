@@ -54,6 +54,14 @@ struct SessionConfig {
   bool use_preconditioner = true;  ///< build rank-local Jacobi (block-Jacobi)
   bool mpk = false;              ///< build the depth-s MatrixPowers closure
   int s = 3;                     ///< closure depth == largest opts.s served
+
+  // Session-wide stability defaults, applied to every served solve whose
+  // own SolverOptions left the knob at its unset value (a context that set
+  // one explicitly wins).  See krylov::SolverOptions for semantics.
+  krylov::BasisSpec basis;       ///< s-step basis family served by default
+  int replacement_period = 0;    ///< residual-replacement cadence (0 = auto)
+  double gap_tol = 0.0;          ///< gap-monitor tolerance (<= 0 = off)
+  int gap_check_period = 0;      ///< gap-check cadence (0 = auto)
 };
 
 /// Counts of the expensive per-operator builds a Session performs.  All of
@@ -108,6 +116,8 @@ class Session {
   double setup_seconds() const { return setup_seconds_; }
   /// Jobs completed (single + batched columns).
   std::size_t solves() const { return solves_; }
+  /// Jobs whose deadline passed before a submission could start (kExpired).
+  std::size_t expired() const { return expired_; }
   /// Bodies executed on the persistent team (== solve calls + batch calls).
   std::size_t team_runs() const { return team_->runs(); }
   /// Wall-clock latency of every completed solve (p50/p95/p99 via
@@ -140,6 +150,7 @@ class Session {
   SetupCounters counters_;
   double setup_seconds_ = 0.0;
   std::size_t solves_ = 0;
+  std::size_t expired_ = 0;
   obs::LatencyHistogram solve_latency_;
   obs::LatencyHistogram queue_latency_;
 };

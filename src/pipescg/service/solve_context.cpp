@@ -16,6 +16,8 @@ const char* to_string(JobState state) {
       return "done";
     case JobState::kFailed:
       return "failed";
+    case JobState::kExpired:
+      return "expired";
   }
   return "unknown";
 }

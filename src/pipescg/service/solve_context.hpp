@@ -36,6 +36,7 @@ enum class JobState : std::uint8_t {
   kRunning,  ///< a Session is executing it on the rank team
   kDone,     ///< last submission finished (converged or budget exhausted)
   kFailed,   ///< the solve aborted (exception; see error())
+  kExpired,  ///< deadline passed before a submission could start (terminal)
 };
 
 /// Stable lowercase name of a JobState ("pending", "queued", ...).
@@ -71,6 +72,19 @@ class SolveContext {
   void set_step_limit(std::size_t limit) { step_limit_ = limit; }
   std::size_t step_limit() const { return step_limit_; }
 
+  /// Absolute deadline for STARTING work on this job.  The Session checks
+  /// it when the job is dequeued and again before every resumed chunk of a
+  /// step-limited solve; a submission that would begin after the deadline
+  /// moves the context to the kExpired terminal state instead of running
+  /// (work already done -- the current iterate -- is kept).  Unset by
+  /// default: no deadline.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
   /// Statistics of the most recent submission.
   const krylov::SolveStats& stats() const { return stats_; }
   /// CG-equivalent iterations accumulated over all submissions.
@@ -90,6 +104,8 @@ class SolveContext {
   std::vector<double> b_;
   std::vector<double> x_;
   std::size_t step_limit_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
 
   JobState state_ = JobState::kPending;
   krylov::SolveStats stats_;

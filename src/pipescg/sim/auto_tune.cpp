@@ -9,7 +9,8 @@ namespace pipescg::sim {
 double pipe_pscg_seconds_per_iteration(const MachineModel& machine,
                                        const sparse::OperatorStats& stats,
                                        const PcCostProfile& pc, int ranks,
-                                       int s, bool include_anchoring) {
+                                       int s, bool include_anchoring,
+                                       bool shifted_basis) {
   PIPESCG_CHECK(s >= 1, "s must be positive");
   const double n = static_cast<double>(stats.rows);
 
@@ -23,8 +24,13 @@ double pipe_pscg_seconds_per_iteration(const MachineModel& machine,
                      machine.link_bw);
   }
 
-  // Dot batch: (2s+1) moments + s^2 cross + 2 norms.
-  const std::size_t payload = static_cast<std::size_t>(2 * s + 1 + s * s + 2);
+  // Dot batch: (2s+1) moments + s^2 cross + 2 norms for the monomial basis;
+  // a shifted basis reduces the Gram upper triangle instead of the moment
+  // vector, widening the payload to (s+1)(s+2)/2 + s^2 + 2.
+  const std::size_t payload =
+      shifted_basis
+          ? static_cast<std::size_t>((s + 1) * (s + 2) / 2 + s * s + 2)
+          : static_cast<std::size_t>(2 * s + 1 + s * s + 2);
   const double g = machine.iallreduce_seconds(ranks, payload);
 
   // Recurrence vector work per s iterations (Table I) as stream traffic.
@@ -35,9 +41,13 @@ double pipe_pscg_seconds_per_iteration(const MachineModel& machine,
 
   // Stability anchoring (DESIGN.md): extra (s+1) SPMVs + PCs every
   // `period` outer iterations.
+  // A shifted basis keeps the basis Gram matrix well conditioned at large
+  // s, so the aggressive period-4/1 anchoring the monomial powers need at
+  // s >= 4 relaxes back to the period-16 cadence for every depth.
   double anchoring = 0.0;
   if (include_anchoring) {
-    const int period = s <= 3 ? 16 : (s == 4 ? 4 : 1);
+    const int period =
+        shifted_basis ? 16 : (s <= 3 ? 16 : (s == 4 ? 4 : 1));
     anchoring = (s + 1.0) * (spmv + pc_apply) / period;
   }
 
@@ -51,14 +61,16 @@ double pipe_pscg_seconds_per_iteration(const MachineModel& machine,
 
 SRecommendation suggest_s(const MachineModel& machine,
                           const sparse::OperatorStats& stats,
-                          const PcCostProfile& pc, int ranks, int max_s) {
+                          const PcCostProfile& pc, int ranks, int max_s,
+                          bool shifted_basis) {
   PIPESCG_CHECK(max_s >= 1 && max_s <= 16, "max_s out of range");
   SRecommendation rec;
   rec.per_s_seconds.reserve(static_cast<std::size_t>(max_s));
   double best = 1e300;
   for (int s = 1; s <= max_s; ++s) {
-    const double t =
-        pipe_pscg_seconds_per_iteration(machine, stats, pc, ranks, s);
+    const double t = pipe_pscg_seconds_per_iteration(
+        machine, stats, pc, ranks, s, /*include_anchoring=*/true,
+        shifted_basis);
     rec.per_s_seconds.push_back(t);
     if (t < best) {
       best = t;

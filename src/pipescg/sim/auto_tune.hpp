@@ -31,15 +31,23 @@ struct SRecommendation {
 /// `include_anchoring` adds this implementation's stability-replacement
 /// kernels; pass false for the paper's pure-recurrence cost (used by the
 /// Fig. 3 model-view, which exhibits the paper's s-crossover).
+/// `shifted_basis` models a Newton/Chebyshev basis (krylov::BasisSpec): the
+/// dot-batch payload widens to the Gram triangle (s+1)(s+2)/2 + s^2 + 2,
+/// and the anchoring cadence stays at the relaxed period 16 for EVERY s --
+/// the conditioning penalty that forces period 4/1 on the monomial basis at
+/// s >= 4 is what the shifted family removes.
 double pipe_pscg_seconds_per_iteration(const MachineModel& machine,
                                        const sparse::OperatorStats& stats,
                                        const PcCostProfile& pc, int ranks,
-                                       int s, bool include_anchoring = true);
+                                       int s, bool include_anchoring = true,
+                                       bool shifted_basis = false);
 
 /// Best depth for the given operator/preconditioner/node count, over
-/// s in [1, max_s] (default stability-capped at 5).
+/// s in [1, max_s] (default stability-capped at 5; a shifted basis makes
+/// larger max_s worth asking about).
 SRecommendation suggest_s(const MachineModel& machine,
                           const sparse::OperatorStats& stats,
-                          const PcCostProfile& pc, int ranks, int max_s = 5);
+                          const PcCostProfile& pc, int ranks, int max_s = 5,
+                          bool shifted_basis = false);
 
 }  // namespace pipescg::sim

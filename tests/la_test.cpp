@@ -163,6 +163,50 @@ TEST(CholeskyTest, IsSpdPredicate) {
   EXPECT_FALSE(is_spd(indef));
 }
 
+TEST(CholeskyTest, ThrowsTypedNotSpdErrorWithPivotLocation) {
+  DenseMatrix a = DenseMatrix::identity(3);
+  a(1, 1) = -1.0;
+  try {
+    CholeskyFactorization chol(a);
+    FAIL() << "expected NotSpdError";
+  } catch (const NotSpdError& e) {
+    EXPECT_EQ(e.pivot(), 1u);
+    EXPECT_LT(e.pivot_value(), 0.0);
+  }
+}
+
+TEST(CholeskyTest, TryFactorSoftFailsInsteadOfThrowing) {
+  // SPD input: a factorization that solves.
+  const DenseMatrix a = random_spd(8, 77);
+  const auto chol = CholeskyFactorization::try_factor(a);
+  ASSERT_TRUE(chol.has_value());
+  Rng rng(5);
+  std::vector<double> x_true(8);
+  for (auto& v : x_true) v = rng.uniform(-1, 1);
+  const std::vector<double> x = chol->solve(a.apply(x_true));
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+
+  // Indefinite input: nullopt, no exception, no NaNs escaping.
+  DenseMatrix indef = DenseMatrix::identity(4);
+  indef(2, 2) = -4.0;
+  EXPECT_FALSE(CholeskyFactorization::try_factor(indef).has_value());
+}
+
+TEST(CholeskyTest, TryFactorRelativePivotThresholdDetectsNearSingular) {
+  // A Gram matrix whose columns have nearly collapsed: the trailing pivot
+  // is ~1e-16 of the leading diagonal.  A plain factorization would accept
+  // it (the pivot is still positive); the relative threshold rejects it.
+  DenseMatrix g = DenseMatrix::identity(3);
+  g(0, 0) = 1.0;
+  g(1, 1) = 1.0;
+  g(2, 2) = 1e-16;
+  EXPECT_TRUE(CholeskyFactorization::try_factor(g).has_value());
+  EXPECT_FALSE(CholeskyFactorization::try_factor(g, 1e-13).has_value());
+  // Non-finite entries are a hard reject at any threshold.
+  g(2, 2) = std::nan("");
+  EXPECT_FALSE(CholeskyFactorization::try_factor(g).has_value());
+}
+
 TEST(TridiagonalTest, SturmCountsEigenvaluesBelowX) {
   // T = tridiag(-1, 2, -1), n = 4: eigenvalues 2 - 2 cos(k pi / 5).
   const std::vector<double> diag(4, 2.0), off(3, -1.0);

@@ -237,6 +237,41 @@ TEST(TelemetryTest, JsonlRoundTrip) {
   EXPECT_THROW(ConvergenceTelemetry::parse_jsonl("{broken\n"), Error);
 }
 
+TEST(TelemetryTest, GapFieldsRoundTripAndStayOffTheWireWhenUnset) {
+  // Records from gap-check iterations carry true_rnorm/gap; every other
+  // record omits the keys entirely so pre-gap-monitor JSONL consumers (and
+  // byte-level diffs of runs with the monitor off) see unchanged lines.
+  ConvergenceTelemetry t("pipe-pscg");
+  TelemetryRecord checked;
+  checked.iteration = 12;
+  checked.rnorm = 2.0e-4;
+  checked.true_rnorm = 2.5e-4;
+  checked.gap = 0.2;
+  t.record(checked);
+  TelemetryRecord plain;
+  plain.iteration = 15;
+  plain.rnorm = 1.0e-4;
+  t.record(plain);
+
+  const std::string text = t.to_jsonl();
+  const auto nl = text.find('\n');
+  const json::Value first = json::parse(text.substr(0, nl));
+  EXPECT_TRUE(first.contains("gap"));
+  EXPECT_TRUE(first.contains("true_rnorm"));
+  const json::Value second =
+      json::parse(text.substr(nl + 1, text.size() - nl - 2));
+  EXPECT_FALSE(second.contains("gap"));
+  EXPECT_FALSE(second.contains("true_rnorm"));
+
+  const std::vector<TelemetryRecord> back =
+      ConvergenceTelemetry::parse_jsonl(text);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back[0].true_rnorm, 2.5e-4);
+  EXPECT_DOUBLE_EQ(back[0].gap, 0.2);
+  EXPECT_DOUBLE_EQ(back[1].true_rnorm, -1.0);  // sentinel survives the trip
+  EXPECT_DOUBLE_EQ(back[1].gap, -1.0);
+}
+
 TEST(TelemetryTest, RingBufferEvictsOldestAndKeepsChronologicalOrder) {
   ConvergenceTelemetry t("", /*capacity=*/3);
   for (std::uint64_t i = 0; i < 5; ++i) {

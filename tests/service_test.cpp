@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -375,6 +376,96 @@ TEST(AdmissionQueueTest, DrainExecutesMixedStream) {
     EXPECT_EQ(ctx->state(), JobState::kDone);
     EXPECT_TRUE(ctx->converged());
   }
+}
+
+TEST(DeadlineTest, ExpiredJobIsDroppedWithDistinctTerminalState) {
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  Session session(a, config);
+
+  SolveContext late("scg-sspmv", test_rhs(a, 0), test_opts());
+  late.set_deadline(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+  SolveContext fresh("scg-sspmv", test_rhs(a, 1), test_opts());
+  fresh.set_deadline(std::chrono::steady_clock::now() +
+                     std::chrono::hours(1));
+
+  AdmissionQueue queue;
+  queue.submit(&late);
+  queue.submit(&fresh);
+  const std::size_t executed = session.drain(queue);
+  EXPECT_EQ(executed, 2u);  // both dequeued; one expired at dequeue
+
+  EXPECT_EQ(late.state(), JobState::kExpired);
+  EXPECT_STREQ(to_string(late.state()), "expired");
+  EXPECT_FALSE(late.converged());
+  EXPECT_EQ(late.submissions(), 0u);  // never ran on the team
+
+  EXPECT_EQ(fresh.state(), JobState::kDone);
+  EXPECT_TRUE(fresh.converged());
+
+  EXPECT_EQ(session.expired(), 1u);
+  EXPECT_EQ(session.solves(), 1u);
+  const obs::metrics::SessionSnapshot snap = session.snapshot();
+  EXPECT_EQ(snap.expired, 1u);
+  obs::metrics::Registry registry;
+  obs::metrics::register_session(registry, snap, {});
+  EXPECT_NE(registry.prometheus().find("pipescg_session_expired_total"),
+            std::string::npos);
+}
+
+TEST(DeadlineTest, ResumedChunksRecheckTheDeadline) {
+  // A step-limited job whose deadline passes between submissions must not
+  // be resubmitted past it: the resumed chunk expires instead of running.
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  Session session(a, config);
+
+  SolveContext limited("scg-sspmv", test_rhs(a, 0), test_opts());
+  limited.set_step_limit(3);  // one outer iteration per submission
+  limited.set_deadline(std::chrono::steady_clock::now() +
+                       std::chrono::hours(1));
+  session.solve(limited);
+  ASSERT_EQ(limited.state(), JobState::kDone);
+  const std::size_t done_iterations = limited.total_iterations();
+  EXPECT_GT(done_iterations, 0u);
+
+  limited.set_deadline(std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(1));
+  session.solve(limited);
+  EXPECT_EQ(limited.state(), JobState::kExpired);
+  // The partial iterate survives; no further work was spent on it.
+  EXPECT_EQ(limited.total_iterations(), done_iterations);
+  EXPECT_EQ(limited.submissions(), 1u);
+  EXPECT_EQ(session.expired(), 1u);
+}
+
+TEST(SessionTest, StabilityDefaultsApplyWhenContextLeavesThemUnset) {
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  config.basis.type = krylov::BasisType::kChebyshev;
+  config.gap_tol = 1e-3;
+  Session session(a, config);
+
+  // Context with default (monomial, monitor off) options inherits the
+  // session's chebyshev basis and gap monitor.
+  SolveContext ctx("scg-sspmv", test_rhs(a, 0), test_opts());
+  session.solve(ctx);
+  ASSERT_EQ(ctx.state(), JobState::kDone);
+  ASSERT_TRUE(ctx.converged());
+  EXPECT_EQ(ctx.stats().basis, "chebyshev");
+  EXPECT_GT(ctx.stats().basis_lambda_max, 0.0);
+
+  // A context that chose its own basis wins over the session default.
+  krylov::SolverOptions own = test_opts();
+  own.basis.type = krylov::BasisType::kNewton;
+  SolveContext picky("scg-sspmv", test_rhs(a, 1), own);
+  session.solve(picky);
+  ASSERT_TRUE(picky.converged());
+  EXPECT_EQ(picky.stats().basis, "newton");
 }
 
 TEST(SessionTest, SnapshotCarriesCountersAndHistograms) {
