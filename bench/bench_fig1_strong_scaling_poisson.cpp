@@ -8,13 +8,18 @@
 // event traces through the machine model (see DESIGN.md).
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 
 #include "pipescg/base/cli.hpp"
 #include "pipescg/bench_support/figures.hpp"
 #include "pipescg/obs/metrics.hpp"
 #include "pipescg/obs/telemetry.hpp"
 #include "pipescg/par/comm.hpp"
+#include "pipescg/precond/jacobi.hpp"
+#include "pipescg/sim/auto_tune.hpp"
+#include "pipescg/sim/cost_table.hpp"
 #include "pipescg/sparse/poisson125.hpp"
+#include "pipescg/sparse/sell_matrix.hpp"
 
 using namespace pipescg;
 
@@ -31,12 +36,32 @@ int main(int argc, char** argv) {
   cli.add_option("bench-json", "",
                  "write machine-readable BENCH_<name>.json (per-method "
                  "iterations, modeled overlap efficiency, speedups)");
+  cli.add_format_option();
   cli.add_observability_options();
   if (!cli.parse(argc, argv)) return 0;
+  const sparse::SparseFormat format =
+      sparse::parse_sparse_format(cli.str("format"));
 
   const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
+  // Default: the matrix-free stencil operator (the historical fig1 path,
+  // byte-identical baselines).  --format sell assembles the same 125-pt
+  // matrix as CSR and solves through its SELL-C-sigma conversion instead.
   const auto op = sparse::make_poisson125_operator(n);
   const auto jacobi = bench::make_stencil_jacobi(*op);
+  sparse::CsrMatrix csr;
+  sparse::SellMatrix sell;
+  std::unique_ptr<precond::JacobiPreconditioner> csr_jacobi;
+  const sparse::LinearOperator* aop = op.get();
+  const precond::Preconditioner* pcp = jacobi.get();
+  if (format == sparse::SparseFormat::kSell) {
+    csr = sparse::make_poisson125_csr(n);
+    sell = sparse::SellMatrix(csr);
+    csr_jacobi = std::make_unique<precond::JacobiPreconditioner>(csr);
+    aop = &sell;
+    pcp = csr_jacobi.get();
+    std::printf("format sell: C=%zu sigma=%zu padding %.3f\n", sell.chunk(),
+                sell.sigma(), sell.padding_ratio());
+  }
 
   krylov::SolverOptions opts;
   opts.rtol = cli.real("rtol");
@@ -77,7 +102,7 @@ int main(int argc, char** argv) {
       obs::ConvergenceTelemetry::Install install(
           cli.str("telemetry-out").empty() ? nullptr : &telem);
       const obs::metrics::LiveSolve::Install live_install(live.get());
-      runs.push_back(bench::run_method(m, *op, jacobi.get(), opts));
+      runs.push_back(bench::run_method(m, *aop, pcp, opts));
     }
     if (registry)
       obs::metrics::register_stats(*registry, runs.back().stats, labels);
@@ -88,6 +113,12 @@ int main(int argc, char** argv) {
   bench::print_run_summaries(runs);
 
   const sim::Timeline timeline(sim::MachineModel::cray_xc40_like());
+  // Modeled local-sweep format trade at the trace node count (advisory; the
+  // measured CSR-vs-SELL ratio lives in bench_kernels / ratios.kernels.*).
+  sim::print_format_table(
+      std::cout, timeline.machine(), aop->stats(),
+      timeline.machine().ranks_for_nodes(
+          static_cast<int>(cli.integer("trace-nodes"))));
   const std::vector<int> nodes =
       bench::node_sweep(static_cast<int>(cli.integer("max-nodes")));
   const bench::ScalingReport report =
@@ -104,7 +135,7 @@ int main(int argc, char** argv) {
   bench::write_bench_report(runs, report,
                             "Fig. 1: strong scaling, 125-pt Poisson",
                             cli.str("report-out"));
-  bench::write_bench_json("fig1", runs, report, timeline, ranks, op->stats(),
+  bench::write_bench_json("fig1", runs, report, timeline, ranks, aop->stats(),
                           cli.str("bench-json"));
   if (!cli.str("telemetry-out").empty()) {
     std::ofstream os(cli.str("telemetry-out"), std::ios::binary);

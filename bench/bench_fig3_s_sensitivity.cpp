@@ -20,8 +20,10 @@
 #include "pipescg/par/comm.hpp"
 #include <algorithm>
 
+#include "pipescg/precond/jacobi.hpp"
 #include "pipescg/sim/auto_tune.hpp"
 #include "pipescg/sparse/poisson125.hpp"
+#include "pipescg/sparse/sell_matrix.hpp"
 
 using namespace pipescg;
 
@@ -36,13 +38,32 @@ int main(int argc, char** argv) {
   cli.add_option("bench-json", "",
                  "write machine-readable BENCH_<name>.json (per-method "
                  "iterations, modeled overlap efficiency, speedups)");
+  cli.add_format_option();
   cli.add_stability_options();
   cli.add_observability_options();
   if (!cli.parse(argc, argv)) return 0;
+  const sparse::SparseFormat format =
+      sparse::parse_sparse_format(cli.str("format"));
 
   const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
+  // Default: the matrix-free stencil operator (historical fig3 baselines);
+  // --format sell solves through the assembled matrix's SELL-C-sigma form.
   const auto op = sparse::make_poisson125_operator(n);
   const auto jacobi = bench::make_stencil_jacobi(*op);
+  sparse::CsrMatrix csr;
+  sparse::SellMatrix sell;
+  std::unique_ptr<precond::JacobiPreconditioner> csr_jacobi;
+  const sparse::LinearOperator* aop = op.get();
+  const precond::JacobiPreconditioner* pcp = jacobi.get();
+  if (format == sparse::SparseFormat::kSell) {
+    csr = sparse::make_poisson125_csr(n);
+    sell = sparse::SellMatrix(csr);
+    csr_jacobi = std::make_unique<precond::JacobiPreconditioner>(csr);
+    aop = &sell;
+    pcp = csr_jacobi.get();
+    std::printf("format sell: C=%zu sigma=%zu padding %.3f\n", sell.chunk(),
+                sell.sigma(), sell.padding_ratio());
+  }
 
   std::printf("Fig. 3: PIPE-PsCG with s = 3, 4, 5 on 125-pt Poisson %zu^3\n",
               n);
@@ -79,7 +100,7 @@ int main(int argc, char** argv) {
       obs::ConvergenceTelemetry::Install install(
           cli.str("telemetry-out").empty() ? nullptr : &telem);
       const obs::metrics::LiveSolve::Install live_install(live.get());
-      runs.push_back(bench::run_method("pipe-pscg", *op, jacobi.get(), opts));
+      runs.push_back(bench::run_method("pipe-pscg", *aop, pcp, opts));
     }
     if (registry)
       obs::metrics::register_stats(*registry, runs.back().stats, labels);
@@ -89,7 +110,7 @@ int main(int argc, char** argv) {
     opts.replacement_period = -1;
     opts.max_iterations = 3000;  // the pure run may only stall; cap it
     pure_runs.push_back(
-        bench::run_method("pipe-pscg", *op, jacobi.get(), opts));
+        bench::run_method("pipe-pscg", *aop, pcp, opts));
   }
 
   // The speedup reference is PCG at one node, as in Fig. 1.
@@ -98,7 +119,7 @@ int main(int argc, char** argv) {
     opts.rtol = cli.real("rtol");
     opts.max_iterations = 100000;
     opts.norm = krylov::NormType::kPreconditioned;
-    runs.push_back(bench::run_method("pcg", *op, jacobi.get(), opts));
+    runs.push_back(bench::run_method("pcg", *aop, pcp, opts));
   }
   bench::print_run_summaries(runs);
 
@@ -118,7 +139,7 @@ int main(int argc, char** argv) {
   bench::write_bench_report(runs, report, "Fig. 3: PIPE-PsCG s-sensitivity",
                             cli.str("report-out"));
   bench::write_bench_json("fig3", runs, report, timeline, trace_ranks,
-                          op->stats(), cli.str("bench-json"));
+                          aop->stats(), cli.str("bench-json"));
   if (!cli.str("telemetry-out").empty()) {
     std::ofstream os(cli.str("telemetry-out"), std::ios::binary);
     os << telemetry;

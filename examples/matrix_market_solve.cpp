@@ -41,9 +41,12 @@ int main(int argc, char** argv) {
   cli.add_option("s", "3", "s-step depth for the s-step methods");
   cli.add_option("trace-nodes", "4",
                  "node count the modeled --trace-out schedule is priced at");
+  cli.add_format_option();
   cli.add_stability_options();
   cli.add_observability_options();
   if (!cli.parse(argc, argv)) return 0;
+  const sparse::SparseFormat format =
+      sparse::parse_sparse_format(cli.str("format"));
 
   sparse::CsrMatrix a = [&]() {
     if (!cli.str("matrix").empty())
@@ -61,9 +64,23 @@ int main(int argc, char** argv) {
               a.name().c_str(), a.rows(), a.nnz(), a.symmetry_error());
   const auto pc = precond::make_preconditioner(cli.str("pc"), a);
 
+  // --format sell: solvers apply the SELL-C-sigma conversion instead of the
+  // CSR (bitwise-identical results; the preconditioner and the spectrum
+  // probe keep reading the CSR structure).
+  sparse::SellMatrix sell;
+  if (format == sparse::SparseFormat::kSell) {
+    sell = sparse::SellMatrix(a);
+    std::printf("format sell: C=%zu sigma=%zu padding %.3f\n", sell.chunk(),
+                sell.sigma(), sell.padding_ratio());
+  }
+  const sparse::LinearOperator& op =
+      format == sparse::SparseFormat::kSell
+          ? static_cast<const sparse::LinearOperator&>(sell)
+          : static_cast<const sparse::LinearOperator&>(a);
+
   // Free spectrum estimate from a PCG probe (Lanczos coefficients).
   {
-    krylov::SerialEngine engine(a, pc.get());
+    krylov::SerialEngine engine(op, pc.get());
     krylov::Vec ones = engine.new_vec();
     for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
     krylov::Vec b = engine.new_vec();
@@ -118,6 +135,7 @@ int main(int argc, char** argv) {
   report.set("rows", a.rows());
   report.set("nnz", a.nnz());
   report.set("preconditioner", cli.str("pc"));
+  report.set("format", sparse::to_string(format));
   report.set("rtol", cli.real("rtol"));
   obs::json::Value method_reports = obs::json::Value::array();
 
@@ -130,7 +148,7 @@ int main(int argc, char** argv) {
     sim::EventTrace trace;
     double wall = 0.0;
     krylov::SerialEngine engine(
-        a, krylov::solver_uses_preconditioner(name) ? pc.get() : nullptr,
+        op, krylov::solver_uses_preconditioner(name) ? pc.get() : nullptr,
         record ? &trace : nullptr);
     krylov::Vec ones = engine.new_vec();
     for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;

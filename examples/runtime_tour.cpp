@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
                  "relative tolerance (use 1e-2 for ecology2, paper Fig. 2)");
   cli.add_option("max-ranks", "4", "largest rank count to demo");
   cli.add_mpk_option();
+  cli.add_format_option();
   cli.add_stability_options();
   cli.add_observability_options();
   cli.add_fault_options();
@@ -66,6 +67,8 @@ int main(int argc, char** argv) {
   const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
   const std::string method = cli.str("method");
   const bool use_mpk = cli.mpk_enabled();
+  const sparse::SparseFormat format =
+      sparse::parse_sparse_format(cli.str("format"));
   const bool analyze = cli.flag("analyze");
   const std::string metrics_out = cli.str("metrics-out");
   const double metrics_period_ms = cli.real("metrics-period-ms");
@@ -97,6 +100,20 @@ int main(int argc, char** argv) {
                 "only fuses unpreconditioned power blocks, so --mpk on will "
                 "not change the halo pattern here\n",
                 method.c_str());
+
+  {
+    // Modeled format advisory (sim::suggest_format): which local-SPMV
+    // storage the machine model prefers at the demo's rank count.
+    const sim::MachineModel machine = sim::MachineModel::cray_xc40_like();
+    const int ranks = static_cast<int>(cli.integer("max-ranks"));
+    const sim::FormatRecommendation rec =
+        sim::suggest_format(machine, a.stats(), ranks);
+    std::printf("format      : running %s; model suggests %s at %d ranks "
+                "(sell speedup %.2fx)\n",
+                sparse::to_string(format).c_str(),
+                sparse::to_string(rec.format).c_str(), ranks,
+                rec.sell_speedup);
+  }
 
   // Reference: serial engine, with the event trace recorded so the SPMD
   // profiler's counters can be cross-checked and the machine model can
@@ -178,10 +195,10 @@ int main(int argc, char** argv) {
       fault::Injector injector(fault_specs, comm.rank());
       const fault::Injector::Install install(
           fault_specs.empty() ? nullptr : &injector);
-      const sparse::DistCsr dist(a, part, comm.rank());
+      const sparse::DistCsr dist(a, part, comm.rank(), format);
       const std::unique_ptr<sparse::MatrixPowers> mpk =
-          use_mpk ? std::make_unique<sparse::MatrixPowers>(a, part,
-                                                           comm.rank(), opts.s)
+          use_mpk ? std::make_unique<sparse::MatrixPowers>(
+                        a, part, comm.rank(), opts.s, format)
                   : nullptr;
       const std::size_t begin = part.begin(comm.rank());
       const std::size_t len = part.local_size(comm.rank());
@@ -310,6 +327,7 @@ int main(int argc, char** argv) {
     report.set("method", method);
     report.set("problem", problem);
     report.set("mpk", use_mpk);
+    report.set("format", sparse::to_string(format));
     report.set("unknowns", a.rows());
     report.set("ranks", last_ranks);
     report.set("max_abs_diff_vs_serial", last_max_diff);

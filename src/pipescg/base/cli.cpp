@@ -57,6 +57,13 @@ void CliParser::add_mpk_option() {
              "per SPMV (bit-identical to builds without the kernel)");
 }
 
+void CliParser::add_format_option() {
+  add_option("format", "csr",
+             "local SPMV storage format: 'csr' (row-pointer baseline) or "
+             "'sell' (SELL-C-sigma: chunked, length-sorted, int32 indices -- "
+             "bitwise-identical results at higher measured GB/s)");
+}
+
 void CliParser::add_stability_options() {
   add_option("basis", "mono",
              "s-step basis family: 'mono' (the paper's power basis), "

@@ -42,6 +42,12 @@ class CliParser {
   /// Value of --mpk as a bool; throws on values other than on/off.
   bool mpk_enabled() const;
 
+  /// Register the sparse-format toggle shared by the examples/benches:
+  ///   --format csr|sell   local SPMV storage: CSR (default) or SELL-C-sigma
+  ///                       (bitwise-identical results, higher measured GB/s;
+  ///                       parse via sparse::parse_sparse_format)
+  void add_format_option();
+
   /// Register the numerical-stability options shared by the s-step
   /// examples/benches (applied via krylov::apply_stability_cli):
   ///   --basis mono|newton|chebyshev  s-step basis family (default mono)

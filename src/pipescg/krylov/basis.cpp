@@ -215,12 +215,12 @@ void extend_chain(Engine& engine, const ShiftedBasis& basis, ChainView cols,
   for (std::size_t d = first; d < first + count; ++d) {
     const int k = static_cast<int>(d) - 1;
     engine.apply_op(cols[d - 1], scratch);
-    engine.copy(scratch, cols[d]);
-    if (basis.theta(k) != 0.0)
-      engine.axpy(cols[d], -basis.theta(k), cols[d - 1]);
-    if (k > 0 && basis.sigma(k) != 0.0)
-      engine.axpy(cols[d], -basis.sigma(k), cols[d - 2]);
-    if (basis.gamma(k) != 1.0) engine.scale(cols[d], 1.0 / basis.gamma(k));
+    // One fused pass over the epilogue: previously copy + up to two axpys +
+    // scale, each a full sweep.  shift_combine replicates that chain's term
+    // guards and arithmetic order exactly (bitwise-identical columns).
+    engine.shift_combine(cols[d], scratch, basis.theta(k), cols[d - 1],
+                         k > 0 ? basis.sigma(k) : 0.0,
+                         k > 0 ? &cols[d - 2] : nullptr, basis.gamma(k));
   }
 }
 
@@ -230,11 +230,9 @@ void extend_chain_pc(Engine& engine, const ShiftedBasis& basis, ChainView w,
   for (std::size_t d = first; d < first + count; ++d) {
     const int k = static_cast<int>(d) - 1;
     engine.apply_op(v[d - 1], scratch);
-    engine.copy(scratch, w[d]);
-    if (basis.theta(k) != 0.0) engine.axpy(w[d], -basis.theta(k), w[d - 1]);
-    if (k > 0 && basis.sigma(k) != 0.0)
-      engine.axpy(w[d], -basis.sigma(k), w[d - 2]);
-    if (basis.gamma(k) != 1.0) engine.scale(w[d], 1.0 / basis.gamma(k));
+    engine.shift_combine(w[d], scratch, basis.theta(k), w[d - 1],
+                         k > 0 ? basis.sigma(k) : 0.0,
+                         k > 0 ? &w[d - 2] : nullptr, basis.gamma(k));
     engine.apply_pc(w[d], v[d]);
   }
 }
@@ -242,8 +240,20 @@ void extend_chain_pc(Engine& engine, const ShiftedBasis& basis, ChainView w,
 void combine_chain(Engine& engine, std::span<const double> coeffs,
                    ChainView cols, Vec& dst) {
   engine.set_all(dst, 0.0);
-  for (std::size_t d = 0; d < coeffs.size(); ++d)
-    if (coeffs[d] != 0.0) engine.axpy(dst, coeffs[d], cols[d]);
+  // Pair consecutive nonzero terms so each pass over dst accumulates two
+  // columns (term order, and hence rounding, unchanged).
+  std::size_t pending = coeffs.size();  // sentinel: no term pending
+  for (std::size_t d = 0; d < coeffs.size(); ++d) {
+    if (coeffs[d] == 0.0) continue;
+    if (pending == coeffs.size()) {
+      pending = d;
+      continue;
+    }
+    engine.axpy_pair(dst, coeffs[pending], cols[pending], coeffs[d], cols[d]);
+    pending = coeffs.size();
+  }
+  if (pending != coeffs.size())
+    engine.axpy(dst, coeffs[pending], cols[pending]);
 }
 
 void apply_stability_cli(const CliParser& cli, SolverOptions& opts) {

@@ -106,6 +106,9 @@ class Engine {
   void scale(Vec& x, double a);
   /// y += a x
   void axpy(Vec& y, double a, const Vec& x);
+  /// y += a1 x1 + a2 x2, fused to one read-modify-write pass
+  /// (la::axpy_pair; bitwise identical to the two separate axpys).
+  void axpy_pair(Vec& y, double a1, const Vec& x1, double a2, const Vec& x2);
   /// y = x + a y
   void aypx(Vec& y, double a, const Vec& x);
   /// z = x + a y (z may alias x or y)
@@ -121,6 +124,13 @@ class Engine {
   /// y += sum_k coeff[k] * block[k]
   void block_axpy(Vec& y, const VecBlock& block,
                   std::span<const double> coeff);
+  /// dst = (av - theta p1 [- sigma p2]) / gamma -- the shifted-basis
+  /// three-term epilogue (krylov::extend_chain) fused to one pass
+  /// (la::shift_combine).  p2 may be null (first recurrence step); the term
+  /// guards match the unfused copy/axpy/axpy/scale chain exactly, so the
+  /// result is bitwise identical to it.  dst must not alias the inputs.
+  void shift_combine(Vec& dst, const Vec& av, double theta, const Vec& p1,
+                     double sigma, const Vec* p2, double gamma);
 
   // --- instrumentation -----------------------------------------------------
   /// End of CG-equivalent iteration `iter` with residual norm `rnorm`.

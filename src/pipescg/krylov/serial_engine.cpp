@@ -1,6 +1,7 @@
 #include "pipescg/krylov/serial_engine.hpp"
 
 #include "pipescg/base/error.hpp"
+#include "pipescg/la/vector_kernels.hpp"
 
 namespace pipescg::krylov {
 
@@ -50,15 +51,13 @@ DotHandle SerialEngine::dot_post(std::span<const DotPair> pairs,
   PIPESCG_CHECK(values.empty(), "too many in-flight dot batches");
   values.resize(pairs.size());
   const std::size_t n = local_size();
+  dot_views_.clear();
   for (std::size_t p = 0; p < pairs.size(); ++p) {
-    const double* x = pairs[p].x->data();
-    const double* y = pairs[p].y->data();
     PIPESCG_CHECK(pairs[p].x->size() == n && pairs[p].y->size() == n,
                   "dot size mismatch");
-    double acc = 0.0;
-    for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
-    values[p] = acc;
+    dot_views_.push_back({pairs[p].x->data(), pairs[p].y->data()});
   }
+  la::dot_batch(dot_views_, n, values);
   if (trace_ != nullptr) {
     // Local reduction work...
     sim::Event work;

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "pipescg/krylov/engine.hpp"
+#include "pipescg/la/vector_kernels.hpp"
 #include "pipescg/precond/preconditioner.hpp"
 #include "pipescg/sim/trace.hpp"
 #include "pipescg/sparse/operator.hpp"
@@ -47,6 +48,8 @@ class SerialEngine final : public Engine {
   // Results of posted-but-unwaited batches (ring keyed by id).
   static constexpr std::size_t kMaxPending = 16;
   std::vector<double> pending_values_[kMaxPending];
+  // Scratch views for la::dot_batch (avoids a per-post allocation).
+  std::vector<la::DotView> dot_views_;
 };
 
 }  // namespace pipescg::krylov

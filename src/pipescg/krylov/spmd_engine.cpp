@@ -2,6 +2,7 @@
 
 #include "pipescg/base/error.hpp"
 #include "pipescg/fault/injector.hpp"
+#include "pipescg/la/vector_kernels.hpp"
 
 namespace pipescg::krylov {
 
@@ -82,15 +83,13 @@ DotHandle SpmdEngine::dot_post(std::span<const DotPair> pairs,
   const std::size_t n = local_size();
   {
     obs::SpanScope span(profiler_, obs::SpanKind::kDotLocal);
+    dot_views_.clear();
     for (std::size_t p = 0; p < pairs.size(); ++p) {
       PIPESCG_CHECK(pairs[p].x->size() == n && pairs[p].y->size() == n,
                     "dot size mismatch");
-      const double* x = pairs[p].x->data();
-      const double* y = pairs[p].y->data();
-      double acc = 0.0;
-      for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
-      partials_[p] = acc;
+      dot_views_.push_back({pairs[p].x->data(), pairs[p].y->data()});
     }
+    la::dot_batch(dot_views_, n, partials_);
   }
   if (profiler_ != nullptr) ++profiler_->counters().allreduces;
   slot.request = comm_.iallreduce_sum(

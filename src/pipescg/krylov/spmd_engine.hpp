@@ -9,6 +9,7 @@
 #pragma once
 
 #include "pipescg/krylov/engine.hpp"
+#include "pipescg/la/vector_kernels.hpp"
 #include "pipescg/obs/profiler.hpp"
 #include "pipescg/par/comm.hpp"
 #include "pipescg/precond/preconditioner.hpp"
@@ -81,6 +82,8 @@ class SpmdEngine final : public Engine {
   };
   Pending pending_[kMaxPending];
   std::vector<double> partials_;
+  // Scratch views for la::dot_batch (avoids a per-post allocation).
+  std::vector<la::DotView> dot_views_;
 };
 
 }  // namespace pipescg::krylov

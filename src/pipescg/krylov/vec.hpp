@@ -7,7 +7,8 @@
 
 #include <cstddef>
 #include <span>
-#include <vector>
+
+#include "pipescg/la/vector_kernels.hpp"
 
 namespace pipescg::krylov {
 
@@ -28,7 +29,9 @@ class Vec {
   std::span<const double> span() const { return {data_.data(), data_.size()}; }
 
  private:
-  std::vector<double> data_;
+  // 64-byte-aligned storage so the fused kernels (la/vector_kernels) run on
+  // cache-line/AVX-512-aligned streams.
+  la::AlignedDoubles data_;
 };
 
 /// A block of s column vectors (direction blocks, power bases).

@@ -1,0 +1,202 @@
+#include "pipescg/la/vector_kernels.hpp"
+
+#include <atomic>
+
+#include "pipescg/base/error.hpp"
+
+namespace pipescg::la {
+namespace {
+
+// Block length for the fused dot batch: 2048 doubles = 16 KiB per stream,
+// so a block of every pair's two streams stays L1/L2-resident while the
+// batch iterates over pairs.
+constexpr std::size_t kDotBlock = 2048;
+
+std::atomic<bool> g_fused{true};
+
+// The shift_combine variants, dispatched once per call so the hot loops are
+// branch-free and vectorizable.  Each replicates the unfused per-element
+// operation sequence exactly (see the header's fusion contract).
+template <bool kTheta, bool kSigma, bool kScale>
+void shift_combine_impl(double* __restrict__ dst,
+                        const double* __restrict__ av, double nt,
+                        const double* __restrict__ p1, double ns,
+                        const double* __restrict__ p2, double inv,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = av[i];
+    if constexpr (kTheta) acc += nt * p1[i];
+    if constexpr (kSigma) acc += ns * p2[i];
+    if constexpr (kScale) acc *= inv;
+    dst[i] = acc;
+  }
+}
+
+using ShiftCombineFn = void (*)(double* __restrict__,
+                                const double* __restrict__, double,
+                                const double* __restrict__, double,
+                                const double* __restrict__, double,
+                                std::size_t);
+
+ShiftCombineFn select_shift_combine(bool theta, bool sigma, bool scale) {
+  static constexpr ShiftCombineFn table[8] = {
+      &shift_combine_impl<false, false, false>,
+      &shift_combine_impl<false, false, true>,
+      &shift_combine_impl<false, true, false>,
+      &shift_combine_impl<false, true, true>,
+      &shift_combine_impl<true, false, false>,
+      &shift_combine_impl<true, false, true>,
+      &shift_combine_impl<true, true, false>,
+      &shift_combine_impl<true, true, true>,
+  };
+  return table[(theta ? 4 : 0) + (sigma ? 2 : 0) + (scale ? 1 : 0)];
+}
+
+}  // namespace
+
+KernelStats& kernel_stats() {
+  thread_local KernelStats stats;
+  return stats;
+}
+
+bool fused_kernels_enabled() {
+  return g_fused.load(std::memory_order_relaxed);
+}
+
+void set_fused_kernels_enabled(bool on) {
+  g_fused.store(on, std::memory_order_relaxed);
+}
+
+void dot_batch(std::span<const DotView> pairs, std::size_t n,
+               std::span<double> out) {
+  PIPESCG_CHECK(out.size() >= pairs.size(), "dot_batch output too small");
+  KernelStats& stats = kernel_stats();
+  ++stats.dot_batches;
+  if (!fused_kernels_enabled()) {
+    // Reference: one full sweep per pair.
+    stats.dot_sweeps += pairs.size();
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      const double* __restrict__ x = pairs[p].x;
+      const double* __restrict__ y = pairs[p].y;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+      out[p] = acc;
+    }
+    return;
+  }
+  // Fused: iterate blocks outermost so every pair reads the block while it
+  // is cache-resident -- one pass over the working set for the whole batch.
+  // Each pair's accumulator is carried across blocks in out[p], so its
+  // additions happen in exactly the order of the reference loop above.
+  ++stats.dot_sweeps;
+  for (std::size_t p = 0; p < pairs.size(); ++p) out[p] = 0.0;
+  for (std::size_t i0 = 0; i0 < n; i0 += kDotBlock) {
+    const std::size_t len = std::min(kDotBlock, n - i0);
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      const double* __restrict__ x = pairs[p].x + i0;
+      const double* __restrict__ y = pairs[p].y + i0;
+      double acc = out[p];
+      for (std::size_t i = 0; i < len; ++i) acc += x[i] * y[i];
+      out[p] = acc;
+    }
+  }
+}
+
+void axpy(double* y, double a, const double* x, std::size_t n) {
+  double* __restrict__ yp = y;
+  const double* __restrict__ xp = x;
+  for (std::size_t i = 0; i < n; ++i) yp[i] += a * xp[i];
+}
+
+void axpy_pair(double* y, double a1, const double* x1, double a2,
+               const double* x2, std::size_t n) {
+  if (!fused_kernels_enabled()) {
+    axpy(y, a1, x1, n);
+    axpy(y, a2, x2, n);
+    return;
+  }
+  double* __restrict__ yp = y;
+  const double* __restrict__ x1p = x1;
+  const double* __restrict__ x2p = x2;
+  // Per element ((y + a1 x1) + a2 x2): the same two additions the separate
+  // sweeps perform, in the same order -- bitwise identical, one pass.
+  for (std::size_t i = 0; i < n; ++i) yp[i] = (yp[i] + a1 * x1p[i]) + a2 * x2p[i];
+}
+
+void shift_combine(double* dst, const double* av, double theta,
+                   const double* p1, double sigma, const double* p2,
+                   double gamma, std::size_t n) {
+  const bool with_theta = theta != 0.0;
+  const bool with_sigma = p2 != nullptr && sigma != 0.0;
+  const bool with_scale = gamma != 1.0;
+  const double inv = 1.0 / gamma;
+  KernelStats& stats = kernel_stats();
+  ++stats.basis_steps;
+  if (!fused_kernels_enabled()) {
+    // Reference: the pre-fusion kernel chain -- copy, then one sweep per
+    // active term, exactly what extend_chain used to issue.
+    stats.basis_passes +=
+        1 + (with_theta ? 1 : 0) + (with_sigma ? 1 : 0) + (with_scale ? 1 : 0);
+    for (std::size_t i = 0; i < n; ++i) dst[i] = av[i];
+    if (with_theta) axpy(dst, -theta, p1, n);
+    if (with_sigma) axpy(dst, -sigma, p2, n);
+    if (with_scale) {
+      double* __restrict__ dp = dst;
+      for (std::size_t i = 0; i < n; ++i) dp[i] *= inv;
+    }
+    return;
+  }
+  ++stats.basis_passes;
+  select_shift_combine(with_theta, with_sigma, with_scale)(
+      dst, av, -theta, p1, -sigma, p2, inv, n);
+}
+
+void shift_combine_with_dots(double* dst, const double* av, double theta,
+                             const double* p1, double sigma, const double* p2,
+                             double gamma, std::size_t n,
+                             std::span<const double* const> others,
+                             std::span<double> partials) {
+  PIPESCG_CHECK(partials.size() >= others.size(),
+                "shift_combine_with_dots output too small");
+  if (!fused_kernels_enabled()) {
+    shift_combine(dst, av, theta, p1, sigma, p2, gamma, n);
+    KernelStats& stats = kernel_stats();
+    stats.dot_sweeps += others.size();
+    for (std::size_t k = 0; k < others.size(); ++k) {
+      const double* __restrict__ o = others[k];
+      const double* __restrict__ d = dst;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += d[i] * o[i];
+      partials[k] = acc;
+    }
+    return;
+  }
+  // One sweep: produce the column block by block, then accumulate each dot
+  // partial over the block while it is still cache-hot.  The per-partial
+  // addition order matches the sequential reference loop above.
+  const bool with_theta = theta != 0.0;
+  const bool with_sigma = p2 != nullptr && sigma != 0.0;
+  const bool with_scale = gamma != 1.0;
+  const ShiftCombineFn combine =
+      select_shift_combine(with_theta, with_sigma, with_scale);
+  const double inv = 1.0 / gamma;
+  KernelStats& stats = kernel_stats();
+  ++stats.basis_steps;
+  ++stats.basis_passes;
+  ++stats.dot_sweeps;
+  for (std::size_t k = 0; k < others.size(); ++k) partials[k] = 0.0;
+  for (std::size_t i0 = 0; i0 < n; i0 += kDotBlock) {
+    const std::size_t len = std::min(kDotBlock, n - i0);
+    combine(dst + i0, av + i0, -theta, p1 == nullptr ? nullptr : p1 + i0,
+            -sigma, p2 == nullptr ? nullptr : p2 + i0, inv, len);
+    for (std::size_t k = 0; k < others.size(); ++k) {
+      const double* __restrict__ o = others[k] + i0;
+      const double* __restrict__ d = dst + i0;
+      double acc = partials[k];
+      for (std::size_t i = 0; i < len; ++i) acc += d[i] * o[i];
+      partials[k] = acc;
+    }
+  }
+}
+
+}  // namespace pipescg::la

@@ -1,0 +1,143 @@
+// Fused BLAS-1 kernels for the s-step hot loops.
+//
+// The s-step drivers spend their vector time in two places: the per-outer
+// dot batch ((2s+1) moment pairs + s^2 cross pairs + norm extras, each pair
+// a separate sweep over rank-local memory in the naive form -- ~2s+ passes
+// per outer iteration) and the basis-build epilogue (copy + up to two axpys
+// + a scale per new column: up to 4 passes per column).  The kernels here
+// collapse each to ONE pass:
+//   * dot_batch     -- i-blocked so the working set stays cache-resident
+//                      across pairs: one memory pass per batch;
+//   * axpy_pair     -- two accumulates into y in one read-modify-write pass;
+//   * shift_combine -- the three-term-recurrence epilogue
+//                      dst = (av - theta p1 - sigma p2) / gamma in one pass;
+//   * shift_combine_with_dots -- shift_combine plus dot partials of the new
+//                      column against existing columns, same sweep.
+//
+// Fusion contract (DESIGN.md section 14): every fused kernel performs the
+// exact per-element floating-point operation sequence of its unfused
+// reference (per-pair sequential accumulation for dots, the copy/axpy/axpy/
+// scale chain for the basis step), so fused and unfused results are bitwise
+// identical -- fusion changes WHEN memory is touched, never WHAT arithmetic
+// runs.  set_fused_kernels_enabled(false) routes every call through the
+// unfused reference loops; the parity tests and the bench_kernels
+// fused-vs-unfused pairs rely on that switch.
+//
+// All loops take restrict-qualified pointers; Vec storage is 64-byte aligned
+// (AlignedAllocator below) so the compiler's vector code runs on aligned
+// streams.  The kernels themselves accept any alignment -- callers with
+// plain std::vector storage (ghost scratch, benches) are fine.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <span>
+#include <vector>
+
+namespace pipescg::la {
+
+/// Thread-local memory-pass counters.  The counter test pins the headline
+/// claim with these: per outer iteration the dot batch drops from
+/// pairs-many sweeps (>= 2s+1) to one, the basis step from up to 4 to one.
+struct KernelStats {
+  std::size_t dot_batches = 0;   // batches executed (fused or not)
+  std::size_t dot_sweeps = 0;    // memory passes over the dot working set
+  std::size_t basis_steps = 0;   // shift_combine calls
+  std::size_t basis_passes = 0;  // memory passes those steps performed
+  void reset() { *this = KernelStats{}; }
+};
+KernelStats& kernel_stats();
+
+/// Process-wide switch (default on).  Off = unfused reference loops, for
+/// parity tests and the fused-vs-unfused benchmark pairs.
+bool fused_kernels_enabled();
+void set_fused_kernels_enabled(bool on);
+
+/// RAII toggle for tests.
+class FusedKernelsGuard {
+ public:
+  explicit FusedKernelsGuard(bool on)
+      : previous_(fused_kernels_enabled()) {
+    set_fused_kernels_enabled(on);
+  }
+  ~FusedKernelsGuard() { set_fused_kernels_enabled(previous_); }
+  FusedKernelsGuard(const FusedKernelsGuard&) = delete;
+  FusedKernelsGuard& operator=(const FusedKernelsGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// One dot product over rank-local arrays.
+struct DotView {
+  const double* x;
+  const double* y;
+};
+
+/// out[p] = sum_i pairs[p].x[i] * pairs[p].y[i] for i in [0, n).  Fused:
+/// one i-blocked pass (per-pair accumulators carried across blocks, so each
+/// pair's additions happen in the exact order of its own full-length loop).
+/// Unfused: one full sweep per pair.  Bitwise-identical results either way.
+void dot_batch(std::span<const DotView> pairs, std::size_t n,
+               std::span<double> out);
+
+/// y += a x (restrict-qualified reference axpy).
+void axpy(double* y, double a, const double* x, std::size_t n);
+
+/// y += a1 x1; y += a2 x2 -- one pass fused, per-element order
+/// ((y + a1 x1) + a2 x2) identical to the two separate sweeps.
+void axpy_pair(double* y, double a1, const double* x1, double a2,
+               const double* x2, std::size_t n);
+
+/// The shifted-basis three-term epilogue, one pass:
+///   dst = (av - theta p1 [- sigma p2]) * (1 / gamma)
+/// with the unfused path's guards replicated exactly: the theta term is
+/// skipped when theta == 0, the sigma term when p2 == nullptr or sigma == 0,
+/// the scale when gamma == 1 (monomial basis: plain copy).  dst may not
+/// alias the inputs.
+void shift_combine(double* dst, const double* av, double theta,
+                   const double* p1, double sigma, const double* p2,
+                   double gamma, std::size_t n);
+
+/// shift_combine plus, in the same sweep, dot partials of the freshly
+/// produced column: partials[k] = sum_i dst[i] * others[k][i].  The dot
+/// accumulation order matches a separate sequential loop over dst, so the
+/// partials are bitwise identical to computing them after the fact.
+void shift_combine_with_dots(double* dst, const double* av, double theta,
+                             const double* p1, double sigma, const double* p2,
+                             double gamma, std::size_t n,
+                             std::span<const double* const> others,
+                             std::span<double> partials);
+
+/// 64-byte-aligned allocator: Vec storage lands on cache-line/AVX-512
+/// boundaries so the fused kernels run on aligned streams.
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+using AlignedDoubles = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace pipescg::la

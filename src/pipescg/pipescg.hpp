@@ -56,12 +56,15 @@
 #include "pipescg/sim/trace.hpp"
 #include "pipescg/sparse/coo_builder.hpp"
 #include "pipescg/sparse/csr_matrix.hpp"
+#include "pipescg/sparse/bytes_model.hpp"
 #include "pipescg/sparse/dist_csr.hpp"
 #include "pipescg/sparse/dist_stencil.hpp"
+#include "pipescg/sparse/format.hpp"
 #include "pipescg/sparse/matrix_market.hpp"
 #include "pipescg/sparse/matrix_powers.hpp"
 #include "pipescg/sparse/partition.hpp"
 #include "pipescg/sparse/poisson125.hpp"
+#include "pipescg/sparse/sell_matrix.hpp"
 #include "pipescg/sparse/spgemm.hpp"
 #include "pipescg/sparse/stencil.hpp"
 #include "pipescg/sparse/stencil_operator.hpp"

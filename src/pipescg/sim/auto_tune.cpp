@@ -81,4 +81,18 @@ SRecommendation suggest_s(const MachineModel& machine,
   return rec;
 }
 
+FormatRecommendation suggest_format(const MachineModel& machine,
+                                    const sparse::OperatorStats& stats,
+                                    int ranks) {
+  FormatRecommendation rec;
+  rec.csr_seconds =
+      machine.local_spmv_seconds(stats, ranks, sparse::SparseFormat::kCsr);
+  rec.sell_seconds =
+      machine.local_spmv_seconds(stats, ranks, sparse::SparseFormat::kSell);
+  rec.sell_speedup = rec.csr_seconds / rec.sell_seconds;
+  rec.format = rec.sell_speedup > 1.0 ? sparse::SparseFormat::kSell
+                                      : sparse::SparseFormat::kCsr;
+  return rec;
+}
+
 }  // namespace pipescg::sim

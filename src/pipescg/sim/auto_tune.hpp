@@ -50,4 +50,22 @@ SRecommendation suggest_s(const MachineModel& machine,
                           const PcCostProfile& pc, int ranks, int max_s = 5,
                           bool shifted_basis = false);
 
+struct FormatRecommendation {
+  sparse::SparseFormat format = sparse::SparseFormat::kCsr;
+  double csr_seconds = 0.0;   // modelled local SPMV, CSR storage
+  double sell_seconds = 0.0;  // modelled local SPMV, SELL-C-sigma storage
+  /// csr_seconds / sell_seconds (> 1 favours SELL).
+  double sell_speedup = 1.0;
+};
+
+/// Pick the local-sweep storage format for the operator at `ranks` ranks by
+/// pricing both layouts with MachineModel::local_spmv_seconds.  On the
+/// bandwidth roofline this reduces to the traffic ratio 16 B/nnz versus
+/// padding * 12 B/nnz, so SELL wins unless padding exceeds ~4/3 -- but very
+/// small per-rank slices are flop-bound, where the layouts tie and the
+/// recommendation stays CSR (no conversion cost for no win).
+FormatRecommendation suggest_format(const MachineModel& machine,
+                                    const sparse::OperatorStats& stats,
+                                    int ranks);
+
 }  // namespace pipescg::sim

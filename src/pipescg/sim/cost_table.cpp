@@ -123,4 +123,22 @@ void print_spmv_block_table(std::ostream& os, const MachineModel& machine,
   }
 }
 
+void print_format_table(std::ostream& os, const MachineModel& machine,
+                        const sparse::OperatorStats& stats, int ranks) {
+  const double csr =
+      machine.local_spmv_seconds(stats, ranks, sparse::SparseFormat::kCsr);
+  const double sell =
+      machine.local_spmv_seconds(stats, ranks, sparse::SparseFormat::kSell);
+  os << "Local SPMV format (modelled, " << ranks << " ranks, " << stats.rows
+     << " rows, " << stats.nnz << " nnz)\n";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  csr   %-12.4g (16 B/nnz)\n", csr);
+  os << buf;
+  std::snprintf(buf, sizeof(buf), "  sell  %-12.4g (%.2f x 12 B/nnz)\n", sell,
+                machine.sell_padding);
+  os << buf;
+  std::snprintf(buf, sizeof(buf), "  speedup %.2fx\n", csr / sell);
+  os << buf;
+}
+
 }  // namespace pipescg::sim

@@ -49,4 +49,11 @@ void print_cost_table(std::ostream& os, int s, double g, double pc,
 void print_spmv_block_table(std::ostream& os, const MachineModel& machine,
                             const sparse::OperatorStats& stats, int ranks);
 
+/// Render the local-sweep format trade: modelled CSR (16 B/nnz int64
+/// indices) versus SELL-C-sigma (padding * 12 B/nnz int32 indices) seconds
+/// per local SPMV at the given rank count
+/// (MachineModel::local_spmv_seconds), with the speedup.
+void print_format_table(std::ostream& os, const MachineModel& machine,
+                        const sparse::OperatorStats& stats, int ranks);
+
 }  // namespace pipescg::sim

@@ -24,6 +24,17 @@ double MachineModel::spmv_compute_seconds(const sparse::OperatorStats& stats,
   return compute_seconds(2.0 * nnz, 12.0 * nnz + 8.0 * 2.0 * n, ranks);
 }
 
+double MachineModel::local_spmv_seconds(const sparse::OperatorStats& stats,
+                                        int ranks,
+                                        sparse::SparseFormat format) const {
+  const double nnz = static_cast<double>(stats.nnz);
+  const double n = static_cast<double>(stats.rows);
+  const double matrix_bytes = format == sparse::SparseFormat::kSell
+                                  ? sell_padding * 12.0 * nnz
+                                  : 16.0 * nnz;
+  return compute_seconds(2.0 * nnz, matrix_bytes + 8.0 * 2.0 * n, ranks);
+}
+
 double MachineModel::spmv_seconds(const sparse::OperatorStats& stats,
                                   int ranks) const {
   double t = spmv_compute_seconds(stats, ranks);

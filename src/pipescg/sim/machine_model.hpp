@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <string>
 
+#include "pipescg/sparse/format.hpp"
 #include "pipescg/sparse/operator.hpp"
 
 namespace pipescg::sim {
@@ -69,6 +70,19 @@ struct MachineModel {
   /// Local compute portion of one SPMV (roofline, no halo terms).
   double spmv_compute_seconds(const sparse::OperatorStats& stats,
                               int ranks) const;
+
+  // Format pricing.  spmv_compute_seconds above is the historical 12 B/nnz
+  // calibration every existing bench/report is pinned to; it stays untouched.
+  // The per-format model below prices the LOCAL sweep with honest traffic:
+  // CSR moves 16 B/nnz (8 B value + 8 B int64 index), SELL-C-sigma moves
+  // sell_padding * 12 B/nnz (8 B value + 4 B int32 index, scaled by the
+  // expected chunk-padding overhead).  Only the new format advisories
+  // (sim::suggest_format, print_format_table) consume it.
+  double sell_padding = 1.03;  // slots/nnz after the sigma-window sort
+
+  /// Local sweep time of one SPMV stored in `format` at `ranks` ranks.
+  double local_spmv_seconds(const sparse::OperatorStats& stats, int ranks,
+                            sparse::SparseFormat format) const;
 
   /// One SPMV of an operator with the given stats at `ranks` ranks:
   /// compute + one halo exchange (messages * latency + volume / bandwidth).

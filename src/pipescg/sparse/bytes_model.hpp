@@ -1,0 +1,40 @@
+// Shared bytes-moved model for one local SPMV.
+//
+// One formula, used by DistCsr::bytes_per_apply, MatrixPowers::bytes_per_block
+// and the bench_kernels GB/s accounting, so the measured-throughput gauges
+// (pipescg_spmv_throughput_bytes_per_second) and the microbenchmark numbers
+// can never drift apart: matrix structure streamed once, every source-vector
+// entry read at least once, every output written once.  The numbers are
+// derived from operator shape alone, hence deterministic across reruns.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pipescg::sparse {
+
+/// Bytes one scalar-CSR apply moves: values (8 B) + column indices (8 B,
+/// CsrMatrix::Index is int64) per nonzero, the row pointer once per row,
+/// `cols_read` source entries read (owned + ghosts for a distributed slice,
+/// simply ncols for a serial apply), `rows` results written.
+inline std::size_t csr_apply_bytes(std::size_t rows, std::size_t cols_read,
+                                   std::size_t nnz) {
+  return nnz * (sizeof(double) + sizeof(std::int64_t)) +
+         (rows + 1) * sizeof(std::int64_t) +
+         cols_read * sizeof(double) + rows * sizeof(double);
+}
+
+/// Bytes one SELL-C-sigma apply moves: every stored slot (nonzeros plus the
+/// chunk padding -- padding is streamed even though it is never multiplied)
+/// carries an 8 B value and a 4 B int32 column, plus the per-chunk offsets,
+/// per-row lengths and permutation, the source reads and the result writes.
+/// `slots` includes padding; `chunks` = ceil(rows / C).
+inline std::size_t sell_apply_bytes(std::size_t rows, std::size_t cols_read,
+                                    std::size_t slots, std::size_t chunks) {
+  return slots * (sizeof(double) + sizeof(std::int32_t)) +
+         (chunks + 1) * sizeof(std::int64_t) +
+         rows * (sizeof(std::int32_t) + sizeof(std::uint32_t)) +
+         cols_read * sizeof(double) + rows * sizeof(double);
+}
+
+}  // namespace pipescg::sparse

@@ -5,11 +5,13 @@
 
 #include "pipescg/base/error.hpp"
 #include "pipescg/obs/profiler.hpp"
+#include "pipescg/sparse/bytes_model.hpp"
 
 namespace pipescg::sparse {
 
-DistCsr::DistCsr(const CsrMatrix& global, const Partition& partition, int rank)
-    : partition_(partition), rank_(rank) {
+DistCsr::DistCsr(const CsrMatrix& global, const Partition& partition, int rank,
+                 SparseFormat format)
+    : partition_(partition), rank_(rank), format_(format) {
   PIPESCG_CHECK(global.rows() == global.cols(),
                 "distributed matrix must be square");
   PIPESCG_CHECK(global.rows() == partition.global_size(),
@@ -91,14 +93,16 @@ DistCsr::DistCsr(const CsrMatrix& global, const Partition& partition, int rank)
     g += len;
   }
 
-  // Bytes-moved model of one local SPMV: values + column indices stream
-  // once per nonzero, the row pointer once per row, every owned/ghost x
-  // entry is read at least once, and y is written once.
-  bytes_per_apply_ =
-      local_.nnz() * (sizeof(double) + sizeof(CsrMatrix::Index)) +
-      (nlocal + 1) * sizeof(CsrMatrix::Index) +
-      (nlocal + ghost_globals_.size()) * sizeof(double) +
-      nlocal * sizeof(double);
+  // Bytes-moved model of one local SPMV (sparse/bytes_model.hpp): matrix
+  // structure streamed once, every owned/ghost x entry read at least once,
+  // y written once.
+  if (format_ == SparseFormat::kSell) {
+    sell_ = SellMatrix(local_);
+    bytes_per_apply_ = sell_.bytes_per_apply();
+  } else {
+    bytes_per_apply_ = csr_apply_bytes(nlocal, nlocal + ghost_globals_.size(),
+                                       local_.nnz());
+  }
 }
 
 void DistCsr::apply(par::Comm& comm, std::span<const double> x_local,
@@ -114,6 +118,10 @@ void DistCsr::apply(par::Comm& comm, std::span<const double> x_local,
   if (obs::Profiler* prof = obs::Profiler::current())
     prof->counters().spmv_bytes += bytes_per_apply_;
   obs::SpanScope span(obs::Profiler::current(), obs::SpanKind::kSpmvLocal);
+  if (format_ == SparseFormat::kSell) {
+    sell_.apply_split(x_local, ghost_scratch, y_local);
+    return;
+  }
   const auto rp = local_.row_ptr();
   const auto ci = local_.col_indices();
   const auto v = local_.values();

@@ -16,7 +16,9 @@
 
 #include "pipescg/par/comm.hpp"
 #include "pipescg/sparse/csr_matrix.hpp"
+#include "pipescg/sparse/format.hpp"
 #include "pipescg/sparse/partition.hpp"
+#include "pipescg/sparse/sell_matrix.hpp"
 
 namespace pipescg::sparse {
 
@@ -28,7 +30,11 @@ class DistCsr {
  public:
   /// Build this rank's slice of `global`.  Collective over the team only in
   /// the sense that every rank calls it; no communication happens here.
-  DistCsr(const CsrMatrix& global, const Partition& partition, int rank);
+  /// `format` picks the local-apply storage: kCsr keeps the remapped CSR
+  /// slice, kSell additionally converts it to SELL-C-sigma (bitwise-identical
+  /// results, see sparse::SellMatrix) and applies that instead.
+  DistCsr(const CsrMatrix& global, const Partition& partition, int rank,
+          SparseFormat format = SparseFormat::kCsr);
 
   /// Rows this rank owns.
   std::size_t local_rows() const { return local_.rows(); }
@@ -36,6 +42,8 @@ class DistCsr {
   std::size_t global_rows() const { return partition_.global_size(); }
   /// Distinct off-rank columns referenced by this rank's rows.
   std::size_t ghost_count() const { return ghost_globals_.size(); }
+
+  std::size_t local_nnz() const { return local_.nnz(); }
   const Partition& partition() const { return partition_; }
 
   /// y_local = A_local [x_local; ghosts(x)].  Collective: performs one
@@ -50,16 +58,22 @@ class DistCsr {
   std::size_t halo_messages() const { return pulls_.size(); }
 
   /// Bytes the local SPMV moves per apply, from operator shape alone
-  /// (matrix structure streamed once + x/ghost reads + y writes), so the
-  /// number is deterministic and identical across reruns.  Accumulated into
-  /// Profiler::Counters::spmv_bytes by apply(); measured throughput is this
-  /// over measured kSpmvLocal seconds (metrics::register_profile).
+  /// (matrix structure streamed once + x/ghost reads + y writes; see
+  /// sparse/bytes_model.hpp), so the number is deterministic and identical
+  /// across reruns.  Accumulated into Profiler::Counters::spmv_bytes by
+  /// apply(); measured throughput is this over measured kSpmvLocal seconds
+  /// (metrics::register_profile).  Reflects the active format.
   std::size_t bytes_per_apply() const { return bytes_per_apply_; }
+
+  /// Local-apply storage format.
+  SparseFormat format() const { return format_; }
 
  private:
   Partition partition_;
   int rank_;
+  SparseFormat format_ = SparseFormat::kCsr;
   CsrMatrix local_;  // ncols = local_rows + ghost_count, remapped indices
+  SellMatrix sell_;  // SELL-C-sigma view of local_ (format_ == kSell only)
   std::vector<std::size_t> ghost_globals_;  // sorted global ids of ghosts
   std::vector<par::GhostPull> pulls_;  // persistent run list for exchange()
   std::size_t bytes_per_apply_ = 0;

@@ -1,0 +1,24 @@
+// Local sparse-matrix storage format selector.
+//
+// The distributed operators (DistCsr, MatrixPowers) and the explicit-matrix
+// examples/benches accept a SparseFormat so the local SPMV can run either as
+// the scalar CSR loop or as the SELL-C-sigma kernel (sell_matrix.hpp).  Both
+// formats produce bitwise-identical results (same per-row summation order),
+// so the choice is purely a throughput knob -- see DESIGN.md section 14.
+#pragma once
+
+#include <string>
+
+namespace pipescg::sparse {
+
+enum class SparseFormat {
+  kCsr,   // scalar compressed-sparse-row loop (the default)
+  kSell,  // SELL-C-sigma chunks, vectorizable column-major storage
+};
+
+/// Parse "csr" | "sell"; throws on anything else.
+SparseFormat parse_sparse_format(const std::string& name);
+
+std::string to_string(SparseFormat format);
+
+}  // namespace pipescg::sparse

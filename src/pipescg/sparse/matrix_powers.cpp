@@ -7,6 +7,7 @@
 
 #include "pipescg/base/error.hpp"
 #include "pipescg/obs/profiler.hpp"
+#include "pipescg/sparse/bytes_model.hpp"
 
 namespace pipescg::sparse {
 namespace {
@@ -70,8 +71,8 @@ void append_remapped_row(const CsrMatrix& global, std::size_t row,
 }  // namespace
 
 MatrixPowers::MatrixPowers(const CsrMatrix& global, const Partition& partition,
-                           int rank, int depth)
-    : partition_(partition), rank_(rank), depth_(depth) {
+                           int rank, int depth, SparseFormat format)
+    : partition_(partition), rank_(rank), depth_(depth), format_(format) {
   PIPESCG_CHECK(global.rows() == global.cols(),
                 "matrix-powers operator must be square");
   PIPESCG_CHECK(global.rows() == partition.global_size(),
@@ -130,6 +131,7 @@ MatrixPowers::MatrixPowers(const CsrMatrix& global, const Partition& partition,
                        std::move(lv),
                        global.name() + "_mpk_rank" + std::to_string(rank));
   }
+  if (format_ == SparseFormat::kSell) sell_ = SellMatrix(local_);
 
   // Redundant ghost rows in (layer, global id) order, grouped so a sweep can
   // process exactly the layers it still needs.  A layer-l row is recomputed
@@ -177,17 +179,20 @@ MatrixPowers::MatrixPowers(const CsrMatrix& global, const Partition& partition,
 std::size_t MatrixPowers::bytes_per_block(std::size_t count) const {
   PIPESCG_CHECK(count >= 1 && count <= static_cast<std::size_t>(depth_),
                 "matrix-powers block size exceeds kernel depth");
-  // Every sweep streams the owned CSR plus the shrinking redundant
+  // Every sweep streams the owned matrix plus the shrinking redundant
   // ghost-row onion, reads the extended vector, and writes its outputs --
-  // the same per-sweep accounting as DistCsr::bytes_per_apply.
+  // the same per-sweep accounting as DistCsr::bytes_per_apply
+  // (sparse/bytes_model.hpp).
+  const std::size_t owned_bytes =
+      format_ == SparseFormat::kSell
+          ? sell_.bytes_per_apply()
+          : csr_apply_bytes(nlocal_, nlocal_ + ghost_globals_.size(),
+                            local_.nnz());
   std::size_t bytes = 0;
   for (std::size_t k = 1; k <= count; ++k) {
     const std::size_t grows = rows_through_layer_[count - k];
     const std::size_t gnnz = static_cast<std::size_t>(ghost_row_ptr_[grows]);
-    bytes += local_.nnz() * (sizeof(double) + sizeof(CsrMatrix::Index)) +
-             (nlocal_ + 1) * sizeof(CsrMatrix::Index) +
-             (nlocal_ + ghost_globals_.size()) * sizeof(double) +
-             nlocal_ * sizeof(double) +
+    bytes += owned_bytes +
              gnnz * (sizeof(double) + sizeof(CsrMatrix::Index)) +
              grows * (sizeof(CsrMatrix::Index) + sizeof(double));
   }
@@ -235,9 +240,14 @@ void MatrixPowers::apply(par::Comm& comm, std::span<const double> x_local,
   for (std::size_t k = 1; k <= count; ++k) {
     {
       obs::SpanScope span(obs::Profiler::current(), obs::SpanKind::kSpmvLocal);
-      sweep_rows(local_.row_ptr().data(), local_.col_indices().data(),
-                 local_.values().data(), nlocal_, scratch.cur,
-                 scratch.next.data(), nullptr);
+      if (format_ == SparseFormat::kSell) {
+        sell_.apply(scratch.cur,
+                    std::span<double>(scratch.next.data(), nlocal_));
+      } else {
+        sweep_rows(local_.row_ptr().data(), local_.col_indices().data(),
+                   local_.values().data(), nlocal_, scratch.cur,
+                   scratch.next.data(), nullptr);
+      }
       // Redundant onion: ghost rows still needed by the remaining sweeps
       // (layers 1..count-k).
       sweep_rows(ghost_row_ptr_.data(), ghost_cols_.data(),

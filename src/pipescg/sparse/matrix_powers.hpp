@@ -24,7 +24,9 @@
 
 #include "pipescg/par/comm.hpp"
 #include "pipescg/sparse/csr_matrix.hpp"
+#include "pipescg/sparse/format.hpp"
 #include "pipescg/sparse/partition.hpp"
+#include "pipescg/sparse/sell_matrix.hpp"
 
 namespace pipescg::sparse {
 
@@ -39,8 +41,13 @@ class MatrixPowers {
   /// the column-adjacency graph seeded at this rank's rows, the remapped
   /// local CSR, the redundant ghost-row CSR (layers 1..depth-1, grouped by
   /// layer), and the coalesced pull list for the one deep exchange.
+  /// `format` picks the storage of the OWNED sweep: kSell converts the
+  /// remapped owned CSR to SELL-C-sigma (bitwise-identical results).  The
+  /// redundant ghost-row onion stays raw CSR either way -- its rows are
+  /// processed once per sweep in owner order and are far too few to repay a
+  /// chunked layout.
   MatrixPowers(const CsrMatrix& global, const Partition& partition, int rank,
-               int depth);
+               int depth, SparseFormat format = SparseFormat::kCsr);
 
   /// Largest power block apply() can produce.
   int depth() const { return depth_; }
@@ -52,6 +59,8 @@ class MatrixPowers {
   std::size_t halo_messages() const { return pulls_.size(); }
   /// Redundantly stored ghost rows (layers 1..depth-1).
   std::size_t ghost_row_count() const { return ghost_row_target_.size(); }
+  /// Owned-sweep storage format.
+  SparseFormat format() const { return format_; }
   /// Total redundant nonzeros processed by one full-depth apply():
   /// layer-l rows are recomputed (depth - l) times.
   std::size_t redundant_nnz() const { return redundant_nnz_; }
@@ -87,6 +96,7 @@ class MatrixPowers {
   Partition partition_;
   int rank_;
   int depth_;
+  SparseFormat format_ = SparseFormat::kCsr;
   std::size_t nlocal_ = 0;
 
   // Ghost layers 1..depth, sorted by global id; level_[g] is the BFS layer
@@ -97,6 +107,7 @@ class MatrixPowers {
   // Owned rows with columns remapped to [0, nlocal + deep_ghosts): owned
   // column c -> c - row_begin, ghost column -> nlocal + ghost index.
   CsrMatrix local_;
+  SellMatrix sell_;  // SELL-C-sigma view of local_ (format_ == kSell only)
   // Redundant ghost rows (layers 1..depth-1) in (layer, global id) order,
   // same column remap but each row's entries ordered as its OWNER sums them
   // (bitwise-reproducible recomputation) -- raw CSR arrays rather than a

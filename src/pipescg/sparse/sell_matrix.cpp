@@ -1,0 +1,259 @@
+#include "pipescg/sparse/sell_matrix.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "pipescg/base/error.hpp"
+#include "pipescg/sparse/bytes_model.hpp"
+
+// The lane loops below have a compile-time trip count (the chunk height C),
+// but -O2 alone does not unroll them -- and the unroll is the whole point:
+// C independent accumulator chains instead of CSR's one serial reduction.
+#if defined(__clang__)
+#define PIPESCG_UNROLL_LANES _Pragma("clang loop unroll(full)")
+#elif defined(__GNUC__)
+#define PIPESCG_UNROLL_LANES _Pragma("GCC unroll 32")
+#else
+#define PIPESCG_UNROLL_LANES
+#endif
+
+namespace pipescg::sparse {
+namespace {
+
+// Upper bound on the chunk height so the accumulators fit on the stack.
+constexpr std::size_t kMaxChunk = 64;
+
+}  // namespace
+
+SparseFormat parse_sparse_format(const std::string& name) {
+  if (name == "csr") return SparseFormat::kCsr;
+  if (name == "sell") return SparseFormat::kSell;
+  PIPESCG_FAIL("unknown sparse format '" + name + "' (expected csr|sell)");
+}
+
+std::string to_string(SparseFormat format) {
+  return format == SparseFormat::kSell ? "sell" : "csr";
+}
+
+SellMatrix::SellMatrix(const CsrMatrix& csr, std::size_t chunk,
+                       std::size_t sigma)
+    : nrows_(csr.rows()),
+      ncols_(csr.cols()),
+      nnz_(csr.nnz()),
+      chunk_(chunk),
+      stats_(csr.stats()),
+      name_(csr.name() + "_sell") {
+  PIPESCG_CHECK(chunk >= 1 && chunk <= kMaxChunk,
+                "SELL chunk height out of range [1, 64]");
+  PIPESCG_CHECK(ncols_ < static_cast<std::size_t>(
+                             std::numeric_limits<std::int32_t>::max()),
+                "SELL int32 column indices need cols < 2^31");
+  if (sigma == 0) sigma = 8 * chunk_;
+  // Windows must cover whole chunks, or a window boundary could leave an
+  // ascending length pair inside a chunk and break the active-lane kernel.
+  sigma_ = ((sigma + chunk_ - 1) / chunk_) * chunk_;
+
+  const auto rp = csr.row_ptr();
+  const auto ci = csr.col_indices();
+  const auto v = csr.values();
+
+  // Sort rows by descending length inside each sigma window.  stable_sort
+  // keeps equal-length rows in source order, so the layout (and thus the
+  // exact write order of y) is deterministic.
+  perm_.resize(nrows_);
+  std::iota(perm_.begin(), perm_.end(), 0u);
+  const auto row_length = [&](std::uint32_t r) {
+    return rp[r + 1] - rp[r];
+  };
+  for (std::size_t w = 0; w < nrows_; w += sigma_) {
+    const std::size_t end = std::min(w + sigma_, nrows_);
+    std::stable_sort(perm_.begin() + static_cast<std::ptrdiff_t>(w),
+                     perm_.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return row_length(a) > row_length(b);
+                     });
+  }
+  row_len_.resize(nrows_);
+  for (std::size_t r = 0; r < nrows_; ++r)
+    row_len_[r] = static_cast<std::int32_t>(row_length(perm_[r]));
+
+  // Chunk layout: width = longest row in the chunk, C lanes even for the
+  // tail chunk (the spare lanes are zero-length rows the kernel skips).
+  const std::size_t chunks = (nrows_ + chunk_ - 1) / chunk_;
+  chunk_ptr_.assign(chunks + 1, 0);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    // Rows are descending within the chunk, so lane 0 is the widest.
+    const std::int64_t width = c * chunk_ < nrows_ ? row_len_[c * chunk_] : 0;
+    chunk_ptr_[c + 1] =
+        chunk_ptr_[c] + width * static_cast<std::int64_t>(chunk_);
+  }
+  cols_.assign(static_cast<std::size_t>(chunk_ptr_[chunks]), 0);
+  vals_.assign(static_cast<std::size_t>(chunk_ptr_[chunks]), 0.0);
+  for (std::size_t r = 0; r < nrows_; ++r) {
+    const std::size_t c = r / chunk_;
+    const std::size_t lane = r % chunk_;
+    const std::size_t base = static_cast<std::size_t>(chunk_ptr_[c]);
+    const auto start = rp[perm_[r]];
+    // Entries keep the source row's order: slot j of this lane is the j-th
+    // CSR entry of the row, so the kernel's accumulation sequence matches
+    // the scalar CSR loop addition for addition.
+    for (std::int64_t j = 0; j < row_len_[r]; ++j) {
+      const std::size_t slot =
+          base + static_cast<std::size_t>(j) * chunk_ + lane;
+      cols_[slot] = static_cast<std::int32_t>(
+          ci[static_cast<std::size_t>(start + j)]);
+      vals_[slot] = v[static_cast<std::size_t>(start + j)];
+    }
+  }
+
+  bytes_per_apply_ = sell_apply_bytes(nrows_, ncols_, vals_.size(), chunks);
+}
+
+namespace {
+
+// Kernel over a column-lookup functor (whole-vector or split owned/ghost
+// source), specialized on a compile-time chunk height so the lane loop
+// fully unrolls into C independent accumulator chains -- that unroll is the
+// SELL payoff: the scalar CSR loop is one latency-chained serial reduction
+// per row, this is C reductions in flight.  Each chunk splits into a
+// rectangular fast path (every lane active through the chunk's shortest
+// row, branch-free) and a ragged tail where the active-lane prefix shrinks.
+// Rows in a chunk are descending by length, so the rows still active at
+// slot column j form a prefix; shrinking `active` instead of masking means
+// padded slots are never read -- no 0 * x arithmetic, hence bitwise
+// identity with the CSR loop even under injected NaN/Inf values.
+template <std::size_t C, typename Lookup>
+void sell_apply_fixed(std::size_t nrows, const std::int64_t* chunk_ptr,
+                      const std::int32_t* cols, const double* vals,
+                      const std::uint32_t* perm, const std::int32_t* row_len,
+                      Lookup&& lookup, std::span<double> y) {
+  const std::size_t chunks = (nrows + C - 1) / C;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t r0 = c * C;
+    const std::size_t lanes = std::min(C, nrows - r0);
+    const std::int64_t width =
+        (chunk_ptr[c + 1] - chunk_ptr[c]) / static_cast<std::int64_t>(C);
+    const double* __restrict__ vslab =
+        vals + static_cast<std::size_t>(chunk_ptr[c]);
+    const std::int32_t* __restrict__ cslab =
+        cols + static_cast<std::size_t>(chunk_ptr[c]);
+    double acc[C];
+    PIPESCG_UNROLL_LANES
+    for (std::size_t l = 0; l < C; ++l) acc[l] = 0.0;
+    const std::int64_t wmin = lanes == C ? row_len[r0 + C - 1] : 0;
+    std::int64_t j = 0;
+    for (; j < wmin; ++j) {
+      const double* __restrict__ vcol = vslab + static_cast<std::size_t>(j) * C;
+      const std::int32_t* __restrict__ ccol =
+          cslab + static_cast<std::size_t>(j) * C;
+      PIPESCG_UNROLL_LANES
+      for (std::size_t l = 0; l < C; ++l)
+        acc[l] += vcol[l] * lookup(static_cast<std::size_t>(ccol[l]));
+    }
+    std::size_t active = lanes;
+    for (; j < width; ++j) {
+      while (active > 0 && row_len[r0 + active - 1] <= j) --active;
+      const double* __restrict__ vcol = vslab + static_cast<std::size_t>(j) * C;
+      const std::int32_t* __restrict__ ccol =
+          cslab + static_cast<std::size_t>(j) * C;
+      for (std::size_t l = 0; l < active; ++l)
+        acc[l] += vcol[l] * lookup(static_cast<std::size_t>(ccol[l]));
+    }
+    for (std::size_t l = 0; l < lanes; ++l) y[perm[r0 + l]] = acc[l];
+  }
+}
+
+// Fallback for chunk heights without a specialization (same arithmetic,
+// runtime lane bound).
+template <typename Lookup>
+void sell_apply_generic(std::size_t nrows, std::size_t chunk_height,
+                        const std::int64_t* chunk_ptr,
+                        const std::int32_t* cols, const double* vals,
+                        const std::uint32_t* perm, const std::int32_t* row_len,
+                        Lookup&& lookup, std::span<double> y) {
+  const std::size_t chunks = (nrows + chunk_height - 1) / chunk_height;
+  double acc[kMaxChunk];
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t r0 = c * chunk_height;
+    const std::size_t lanes = std::min(chunk_height, nrows - r0);
+    const std::int64_t width =
+        (chunk_ptr[c + 1] - chunk_ptr[c]) /
+        static_cast<std::int64_t>(chunk_height);
+    for (std::size_t l = 0; l < lanes; ++l) acc[l] = 0.0;
+    std::size_t active = lanes;
+    const double* __restrict__ vslab =
+        vals + static_cast<std::size_t>(chunk_ptr[c]);
+    const std::int32_t* __restrict__ cslab =
+        cols + static_cast<std::size_t>(chunk_ptr[c]);
+    for (std::int64_t j = 0; j < width; ++j) {
+      while (active > 0 && row_len[r0 + active - 1] <= j) --active;
+      const double* __restrict__ vcol =
+          vslab + static_cast<std::size_t>(j) * chunk_height;
+      const std::int32_t* __restrict__ ccol =
+          cslab + static_cast<std::size_t>(j) * chunk_height;
+      for (std::size_t l = 0; l < active; ++l)
+        acc[l] += vcol[l] * lookup(static_cast<std::size_t>(ccol[l]));
+    }
+    for (std::size_t l = 0; l < lanes; ++l) y[perm[r0 + l]] = acc[l];
+  }
+}
+
+template <typename Lookup>
+void sell_apply_impl(std::size_t nrows, std::size_t chunk_height,
+                     const std::int64_t* chunk_ptr, const std::int32_t* cols,
+                     const double* vals, const std::uint32_t* perm,
+                     const std::int32_t* row_len, Lookup&& lookup,
+                     std::span<double> y) {
+  switch (chunk_height) {
+    case 4:
+      sell_apply_fixed<4>(nrows, chunk_ptr, cols, vals, perm, row_len,
+                          std::forward<Lookup>(lookup), y);
+      return;
+    case 8:
+      sell_apply_fixed<8>(nrows, chunk_ptr, cols, vals, perm, row_len,
+                          std::forward<Lookup>(lookup), y);
+      return;
+    case 16:
+      sell_apply_fixed<16>(nrows, chunk_ptr, cols, vals, perm, row_len,
+                           std::forward<Lookup>(lookup), y);
+      return;
+    case 32:
+      sell_apply_fixed<32>(nrows, chunk_ptr, cols, vals, perm, row_len,
+                           std::forward<Lookup>(lookup), y);
+      return;
+    default:
+      sell_apply_generic(nrows, chunk_height, chunk_ptr, cols, vals, perm,
+                         row_len, std::forward<Lookup>(lookup), y);
+  }
+}
+
+}  // namespace
+
+void SellMatrix::apply(std::span<const double> x, std::span<double> y) const {
+  PIPESCG_CHECK(x.size() == ncols_ && y.size() == nrows_,
+                "sell spmv size mismatch");
+  const double* __restrict__ xp = x.data();
+  sell_apply_impl(nrows_, chunk_, chunk_ptr_.data(), cols_.data(),
+                  vals_.data(), perm_.data(), row_len_.data(),
+                  [xp](std::size_t cidx) { return xp[cidx]; }, y);
+}
+
+void SellMatrix::apply_split(std::span<const double> x_owned,
+                             std::span<const double> ghosts,
+                             std::span<double> y) const {
+  PIPESCG_CHECK(x_owned.size() + ghosts.size() == ncols_ &&
+                    y.size() == nrows_,
+                "sell split spmv size mismatch");
+  const double* __restrict__ xp = x_owned.data();
+  const double* __restrict__ gp = ghosts.data();
+  const std::size_t nowned = x_owned.size();
+  sell_apply_impl(nrows_, chunk_, chunk_ptr_.data(), cols_.data(),
+                  vals_.data(), perm_.data(), row_len_.data(),
+                  [xp, gp, nowned](std::size_t cidx) {
+                    return cidx < nowned ? xp[cidx] : gp[cidx - nowned];
+                  },
+                  y);
+}
+
+}  // namespace pipescg::sparse

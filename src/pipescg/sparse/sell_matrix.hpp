@@ -1,0 +1,102 @@
+// SELL-C-sigma sparse matrix (Kreutzer et al., "A unified sparse matrix data
+// format for efficient general sparse matrix-vector multiplication on modern
+// processors with wide SIMD units").
+//
+// Rows are sorted by descending length inside windows of sigma rows, then
+// grouped into chunks of C consecutive (sorted) rows; each chunk stores its
+// entries column-major, padded to the chunk's widest row, so the SPMV inner
+// loop runs C independent accumulators over contiguous memory -- exactly the
+// shape a compiler auto-vectorizes.  Column indices are int32 (the remapped
+// local index spaces of DistCsr/MatrixPowers are far below 2^31), cutting
+// per-nonzero traffic from 16 to 12 bytes against the int64 CSR.
+//
+// Bitwise-identity contract (DESIGN.md section 14): the conversion keeps each
+// row's entries in the SAME order as the source CSR, and the kernel tracks an
+// "active row" count per chunk column so padded slots are never read -- no
+// 0.0 * x arithmetic that could flip -0.0 signs or manufacture NaNs.  Every
+// row therefore performs the exact additions the scalar CSR loop performs,
+// making SellMatrix::apply bitwise identical to CsrMatrix::apply, which is
+// what lets --format sell ride under solvers whose tests pin CSR results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pipescg/sparse/csr_matrix.hpp"
+#include "pipescg/sparse/format.hpp"
+#include "pipescg/sparse/operator.hpp"
+
+namespace pipescg::sparse {
+
+class SellMatrix final : public LinearOperator {
+ public:
+  /// Chunk height: 8 doubles = one 64-byte cache line / AVX-512 register.
+  static constexpr std::size_t kDefaultChunk = 8;
+
+  SellMatrix() = default;
+
+  /// Convert from CSR.  `chunk` is C; `sigma` the sort-window size in rows
+  /// (0 picks 8 * C; it is rounded up to a multiple of C so windows never
+  /// straddle chunks).  Row order *within* each source row is preserved.
+  explicit SellMatrix(const CsrMatrix& csr, std::size_t chunk = kDefaultChunk,
+                      std::size_t sigma = 0);
+
+  std::size_t rows() const override { return nrows_; }
+  std::size_t cols() const { return ncols_; }
+  std::size_t nnz() const { return nnz_; }
+  std::size_t chunk() const { return chunk_; }
+  std::size_t sigma() const { return sigma_; }
+  /// Stored slots including chunk padding (>= nnz).
+  std::size_t slots() const { return vals_.size(); }
+  /// Padding fraction: slots() / nnz -- 1.0 means no padding at all.
+  double padding_ratio() const {
+    return nnz_ == 0 ? 1.0
+                     : static_cast<double>(vals_.size()) /
+                           static_cast<double>(nnz_);
+  }
+
+  /// y = A x with x.size() == cols(), y.size() == rows().  Bitwise identical
+  /// to the scalar CSR apply of the source matrix.
+  void apply(std::span<const double> x, std::span<double> y) const override;
+
+  /// Split-source variant for DistCsr: columns < x_owned.size() read
+  /// x_owned, the rest read ghosts[c - x_owned.size()] -- the same lookup
+  /// DistCsr's scalar loop performs, so results stay bitwise identical.
+  void apply_split(std::span<const double> x_owned,
+                   std::span<const double> ghosts,
+                   std::span<double> y) const;
+
+  /// Bytes one apply moves (sparse::sell_apply_bytes over this shape).
+  std::size_t bytes_per_apply() const { return bytes_per_apply_; }
+
+  OperatorStats stats() const override { return stats_; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::size_t nrows_ = 0;
+  std::size_t ncols_ = 0;
+  std::size_t nnz_ = 0;
+  std::size_t chunk_ = kDefaultChunk;
+  std::size_t sigma_ = 0;
+  std::size_t bytes_per_apply_ = 0;
+
+  // chunk_ptr_[c] is the slot offset of chunk c; each chunk holds
+  // width * C slots stored column-major (lane-contiguous), width =
+  // (chunk_ptr_[c+1] - chunk_ptr_[c]) / C.
+  std::vector<std::int64_t> chunk_ptr_;
+  std::vector<std::int32_t> cols_;
+  std::vector<double> vals_;
+  // Sorted-row r holds source row perm_[r]; row_len_[r] is its length.
+  // Rows are descending by length within every chunk (sigma-window sort),
+  // which is what lets the kernel shrink the active-lane count instead of
+  // reading padded slots.
+  std::vector<std::uint32_t> perm_;
+  std::vector<std::int32_t> row_len_;
+
+  OperatorStats stats_;
+  std::string name_;
+};
+
+}  // namespace pipescg::sparse

@@ -1,0 +1,433 @@
+// Hot-kernel contracts (DESIGN.md section 14): SELL-C-sigma applies are
+// bitwise identical to the scalar CSR loop (serial, distributed, and through
+// the matrix-powers kernel), the fused BLAS-1 kernels are bitwise identical
+// to their unfused reference chains (including through full s-step solves
+// over every basis family), the memory-pass counters pin the fusion claim
+// (2s+ sweeps -> 1 per dot batch, 4 -> 1 per basis step), and the byte
+// models the benches print are the SAME numbers the operators report.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "pipescg/krylov/registry.hpp"
+#include "pipescg/krylov/serial_engine.hpp"
+#include "pipescg/krylov/solver.hpp"
+#include "pipescg/la/vector_kernels.hpp"
+#include "pipescg/par/comm.hpp"
+#include "pipescg/precond/jacobi.hpp"
+#include "pipescg/sparse/bytes_model.hpp"
+#include "pipescg/sparse/dist_csr.hpp"
+#include "pipescg/sparse/matrix_powers.hpp"
+#include "pipescg/sparse/partition.hpp"
+#include "pipescg/sparse/poisson125.hpp"
+#include "pipescg/sparse/sell_matrix.hpp"
+#include "pipescg/sparse/surrogates.hpp"
+
+namespace {
+
+using namespace pipescg;
+using sparse::CsrMatrix;
+using sparse::DistCsr;
+using sparse::MatrixPowers;
+using sparse::Partition;
+using sparse::SellMatrix;
+using sparse::SparseFormat;
+
+std::vector<double> random_vector(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = dist(rng);
+  return v;
+}
+
+// Bitwise equality: EXPECT_EQ would let -0.0 == 0.0 slide; the identity
+// contract is about the exact bit pattern the scalar loop produces.
+void expect_bitwise(const std::vector<double>& a, const std::vector<double>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << what << " i=" << i << " a=" << a[i] << " b=" << b[i];
+}
+
+// --- SELL-C-sigma vs CSR -----------------------------------------------
+
+// Serial identity across the matrix families the benches measure, at chunk
+// heights that hit the specialized (4/8/16), generic (3, 5), and degenerate
+// (1) kernels, with odd row counts so tail chunks have inactive lanes and
+// ragged widths exercise the active-lane shrink.
+TEST(SellMatrixTest, ApplyBitwiseMatchesCsr) {
+  const CsrMatrix mats[] = {
+      sparse::make_poisson125_csr(5),        // 125 rows, wide rows
+      sparse::make_ecology2_like(23, 17),    // 391 rows, 5-pt
+      sparse::make_thermal2_like(11, 13),    // 143 rows, 9-pt ragged edges
+      sparse::make_serena_like(8),           // strongly varying row lengths
+  };
+  for (const CsrMatrix& a : mats) {
+    const std::vector<double> x = random_vector(a.cols(), 42);
+    std::vector<double> y_ref(a.rows());
+    a.apply(x, y_ref);
+    for (const std::size_t chunk : {1u, 3u, 4u, 5u, 8u, 16u}) {
+      for (const std::size_t sigma : {0u, 8u, 64u}) {
+        const SellMatrix sell(a, chunk, sigma);
+        EXPECT_EQ(sell.nnz(), a.nnz());
+        EXPECT_GE(sell.slots(), sell.nnz());
+        std::vector<double> y(a.rows(), -1.0);
+        sell.apply(x, y);
+        expect_bitwise(y, y_ref, (a.name() + " sell apply").c_str());
+      }
+    }
+  }
+}
+
+// Padded slots must never be READ.  Padded slots carry column index 0, so
+// planting a NaN at x[0] poisons exactly what a masked (0 * x) kernel would
+// touch: 0 * NaN is still NaN, so masking would smear NaN into every padded
+// row, while the active-lane kernel leaves rows that never reference
+// column 0 finite and bitwise equal to the CSR loop.
+TEST(SellMatrixTest, PaddingIsNeverRead) {
+  const CsrMatrix a = sparse::make_serena_like(8);
+  const SellMatrix sell(a, 8, 0);
+  ASSERT_GT(sell.slots(), sell.nnz()) << "test needs actual padding";
+  std::vector<double> x = random_vector(a.cols(), 99);
+  x[0] = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> y_ref(a.rows()), y(a.rows());
+  a.apply(x, y_ref);
+  sell.apply(x, y);
+  bool some_row_is_finite = false;
+  for (const double v : y_ref) some_row_is_finite |= !std::isnan(v);
+  ASSERT_TRUE(some_row_is_finite) << "poison swallowed the whole matrix";
+  expect_bitwise(y, y_ref, "poisoned padding");
+}
+
+class SellFormatRankTest : public ::testing::TestWithParam<int> {};
+
+// DistCsr under --format sell: the distributed apply is bitwise identical
+// to the CSR-format apply on every rank, including the ghost-column split.
+TEST_P(SellFormatRankTest, DistCsrSellMatchesCsrBitwise) {
+  const int p = GetParam();
+  const CsrMatrix mats[] = {sparse::make_poisson125_csr(5),
+                            sparse::make_ecology2_like(23, 17),
+                            sparse::make_thermal2_like(11, 13)};
+  for (const CsrMatrix& global : mats) {
+    const std::size_t n = global.rows();
+    const std::vector<double> x = random_vector(n, 7);
+    const Partition part(n, p);
+    std::vector<double> y_csr(n), y_sell(n);
+    for (const SparseFormat format :
+         {SparseFormat::kCsr, SparseFormat::kSell}) {
+      std::vector<double>& y =
+          format == SparseFormat::kSell ? y_sell : y_csr;
+      par::Team::run(p, [&](par::Comm& comm) {
+        const DistCsr dist(global, part, comm.rank(), format);
+        EXPECT_EQ(dist.format(), format);
+        const std::size_t begin = part.begin(comm.rank());
+        const std::size_t len = part.local_size(comm.rank());
+        std::vector<double> xl(
+            x.begin() + static_cast<std::ptrdiff_t>(begin),
+            x.begin() + static_cast<std::ptrdiff_t>(begin + len));
+        std::vector<double> yl(len), ghosts;
+        dist.apply(comm, xl, yl, ghosts);
+        for (std::size_t i = 0; i < len; ++i) y[begin + i] = yl[i];
+      });
+    }
+    expect_bitwise(y_sell, y_csr, (global.name() + " dist").c_str());
+  }
+}
+
+// MatrixPowers under --format sell: the owned sweeps run through the SELL
+// kernel, the ghost onion stays raw CSR; every depth's block output must be
+// bitwise identical to the CSR-format block.
+TEST_P(SellFormatRankTest, MatrixPowersSellMatchesCsrBitwise) {
+  const int p = GetParam();
+  const CsrMatrix global = sparse::make_thermal2_like(11, 13);
+  const std::size_t n = global.rows();
+  const std::vector<double> x = random_vector(n, 2026);
+  const Partition part(n, p);
+  const int depth = 4;
+  std::vector<std::vector<double>> out_csr, out_sell;
+  for (const SparseFormat format : {SparseFormat::kCsr, SparseFormat::kSell}) {
+    auto& out = format == SparseFormat::kSell ? out_sell : out_csr;
+    out.assign(static_cast<std::size_t>(depth), std::vector<double>(n));
+    par::Team::run(p, [&](par::Comm& comm) {
+      const MatrixPowers mpk(global, part, comm.rank(), depth, format);
+      EXPECT_EQ(mpk.format(), format);
+      const std::size_t begin = part.begin(comm.rank());
+      const std::size_t len = part.local_size(comm.rank());
+      const std::vector<double> xl(
+          x.begin() + static_cast<std::ptrdiff_t>(begin),
+          x.begin() + static_cast<std::ptrdiff_t>(begin + len));
+      std::vector<std::vector<double>> local(
+          static_cast<std::size_t>(depth), std::vector<double>(len));
+      std::vector<std::span<double>> outs(local.begin(), local.end());
+      MatrixPowers::Scratch scratch;
+      mpk.apply(comm, xl, outs, scratch);
+      for (std::size_t k = 0; k < local.size(); ++k)
+        for (std::size_t i = 0; i < len; ++i) out[k][begin + i] = local[k][i];
+    });
+  }
+  for (int k = 0; k < depth; ++k)
+    expect_bitwise(out_sell[static_cast<std::size_t>(k)],
+                   out_csr[static_cast<std::size_t>(k)], "mpk block");
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, SellFormatRankTest, ::testing::Values(1, 2, 3));
+
+// --- fused BLAS-1 kernels ----------------------------------------------
+
+// dot_batch fused vs unfused, at lengths that leave a ragged tail block
+// (kDotBlock is 2048) and pair counts covering one full s-step batch.
+TEST(FusedKernelsTest, DotBatchBitwiseMatchesUnfused) {
+  for (const std::size_t n : {1u, 7u, 2048u, 5000u, 100000u}) {
+    for (const std::size_t pairs_n : {1u, 2u, 7u, 18u}) {
+      std::vector<std::vector<double>> store(pairs_n + 1);
+      for (std::size_t v = 0; v < store.size(); ++v)
+        store[v] = random_vector(n, static_cast<unsigned>(100 + v));
+      std::vector<la::DotView> views;
+      for (std::size_t pr = 0; pr < pairs_n; ++pr)
+        views.push_back(la::DotView{store[pr].data(), store[pr + 1].data()});
+      std::vector<double> fused(pairs_n), unfused(pairs_n);
+      {
+        const la::FusedKernelsGuard guard(true);
+        la::dot_batch(views, n, fused);
+      }
+      {
+        const la::FusedKernelsGuard guard(false);
+        la::dot_batch(views, n, unfused);
+      }
+      expect_bitwise(fused, unfused, "dot batch");
+    }
+  }
+}
+
+// shift_combine fused vs unfused across every guard combination (theta = 0,
+// missing p2, gamma = 1 -- the monomial basis is all three at once) at
+// tail-exercising lengths.
+TEST(FusedKernelsTest, ShiftCombineBitwiseMatchesUnfused) {
+  for (const std::size_t n : {1u, 37u, 4096u, 10001u}) {
+    const std::vector<double> av = random_vector(n, 1);
+    const std::vector<double> p1 = random_vector(n, 2);
+    const std::vector<double> p2 = random_vector(n, 3);
+    for (const double theta : {0.0, 0.8}) {
+      for (const double sigma : {0.0, 0.3}) {
+        for (const double gamma : {1.0, 2.5}) {
+          for (const bool with_p2 : {false, true}) {
+            std::vector<double> fused(n), unfused(n);
+            {
+              const la::FusedKernelsGuard guard(true);
+              la::shift_combine(fused.data(), av.data(), theta, p1.data(),
+                                sigma, with_p2 ? p2.data() : nullptr, gamma,
+                                n);
+            }
+            {
+              const la::FusedKernelsGuard guard(false);
+              la::shift_combine(unfused.data(), av.data(), theta, p1.data(),
+                                sigma, with_p2 ? p2.data() : nullptr, gamma,
+                                n);
+            }
+            expect_bitwise(fused, unfused, "shift_combine");
+          }
+        }
+      }
+    }
+  }
+}
+
+// axpy_pair must reproduce ((y + a1 x1) + a2 x2) exactly.
+TEST(FusedKernelsTest, AxpyPairBitwiseMatchesTwoAxpys) {
+  const std::size_t n = 3333;
+  const std::vector<double> x1 = random_vector(n, 11);
+  const std::vector<double> x2 = random_vector(n, 12);
+  std::vector<double> y_pair = random_vector(n, 13);
+  std::vector<double> y_ref = y_pair;
+  la::axpy_pair(y_pair.data(), 0.7, x1.data(), -1.3, x2.data(), n);
+  la::axpy(y_ref.data(), 0.7, x1.data(), n);
+  la::axpy(y_ref.data(), -1.3, x2.data(), n);
+  expect_bitwise(y_pair, y_ref, "axpy_pair");
+}
+
+// shift_combine_with_dots: the same-sweep dot partials must match dots
+// computed after the fact.
+TEST(FusedKernelsTest, ShiftCombineWithDotsMatchesSeparateDots) {
+  const std::size_t n = 5000;
+  const std::vector<double> av = random_vector(n, 21);
+  const std::vector<double> p1 = random_vector(n, 22);
+  const std::vector<double> p2 = random_vector(n, 23);
+  const std::vector<double> o1 = random_vector(n, 24);
+  const std::vector<double> o2 = random_vector(n, 25);
+  const double* others[] = {o1.data(), o2.data()};
+  std::vector<double> dst(n), partials(2);
+  la::shift_combine_with_dots(dst.data(), av.data(), 0.5, p1.data(), 0.25,
+                              p2.data(), 1.5, n, others, partials);
+  std::vector<double> dst_ref(n), dots_ref(2);
+  la::shift_combine(dst_ref.data(), av.data(), 0.5, p1.data(), 0.25,
+                    p2.data(), 1.5, n);
+  const la::DotView views[] = {{dst_ref.data(), o1.data()},
+                               {dst_ref.data(), o2.data()}};
+  la::dot_batch(views, n, dots_ref);
+  expect_bitwise(dst, dst_ref, "with_dots dst");
+  expect_bitwise(partials, dots_ref, "with_dots partials");
+}
+
+// --- end-to-end parity: s-step solves under the fusion toggle ----------
+
+// The strongest form of the fusion contract: full s-step solves (the dot
+// batches, the basis chains, the block combines) produce bitwise-identical
+// iterates whether the fused kernels are on or off, for every basis family
+// and s the paper sweeps.
+TEST(FusedKernelsTest, SstepSolvesBitwiseInvariantUnderFusion) {
+  const CsrMatrix a = sparse::make_poisson125_csr(5);
+  const precond::JacobiPreconditioner pc(a);
+  for (const char* method : {"pscg", "pipe-pscg"}) {
+    for (const krylov::BasisType basis :
+         {krylov::BasisType::kMonomial, krylov::BasisType::kNewton,
+          krylov::BasisType::kChebyshev}) {
+      for (const int s : {2, 4, 8}) {
+        std::vector<std::vector<double>> solutions;
+        std::vector<std::size_t> iterations;
+        for (const bool fused : {true, false}) {
+          const la::FusedKernelsGuard guard(fused);
+          krylov::SerialEngine engine(a, &pc);
+          krylov::Vec ones = engine.new_vec();
+          for (std::size_t i = 0; i < ones.size(); ++i) ones[i] = 1.0;
+          krylov::Vec b = engine.new_vec();
+          engine.apply_op(ones, b);
+          krylov::Vec x = engine.new_vec();
+          krylov::SolverOptions opts;
+          opts.rtol = 1e-8;
+          opts.s = s;
+          opts.max_iterations = 400;
+          opts.basis.type = basis;
+          const auto stats =
+              krylov::make_solver(method)->solve(engine, b, x, opts);
+          solutions.emplace_back(x.data(), x.data() + x.size());
+          iterations.push_back(stats.iterations);
+        }
+        EXPECT_EQ(iterations[0], iterations[1])
+            << method << " basis=" << static_cast<int>(basis) << " s=" << s;
+        expect_bitwise(solutions[0], solutions[1], method);
+      }
+    }
+  }
+}
+
+// --- memory-pass counters ----------------------------------------------
+
+// The headline claim, pinned: a fused dot batch is ONE pass regardless of
+// pair count (unfused: one per pair), a fused basis step is ONE pass
+// (unfused: copy + 2 axpys + scale = 4).
+TEST(KernelStatsTest, FusionCollapsesMemoryPasses) {
+  const std::size_t n = 4096;
+  const std::vector<double> x = random_vector(n, 31);
+  const std::vector<double> y = random_vector(n, 32);
+  std::vector<la::DotView> views(18, la::DotView{x.data(), y.data()});
+  std::vector<double> out(views.size());
+  la::KernelStats& stats = la::kernel_stats();
+
+  {
+    const la::FusedKernelsGuard guard(false);
+    stats.reset();
+    la::dot_batch(views, n, out);
+    EXPECT_EQ(stats.dot_batches, 1u);
+    EXPECT_EQ(stats.dot_sweeps, views.size());
+  }
+  {
+    const la::FusedKernelsGuard guard(true);
+    stats.reset();
+    la::dot_batch(views, n, out);
+    EXPECT_EQ(stats.dot_batches, 1u);
+    EXPECT_EQ(stats.dot_sweeps, 1u);
+  }
+
+  std::vector<double> dst(n);
+  const std::vector<double> av = random_vector(n, 33);
+  {
+    const la::FusedKernelsGuard guard(false);
+    stats.reset();
+    la::shift_combine(dst.data(), av.data(), 0.5, x.data(), 0.25, y.data(),
+                      1.5, n);
+    EXPECT_EQ(stats.basis_steps, 1u);
+    EXPECT_EQ(stats.basis_passes, 4u);  // copy + axpy + axpy + scale
+  }
+  {
+    const la::FusedKernelsGuard guard(true);
+    stats.reset();
+    la::shift_combine(dst.data(), av.data(), 0.5, x.data(), 0.25, y.data(),
+                      1.5, n);
+    EXPECT_EQ(stats.basis_steps, 1u);
+    EXPECT_EQ(stats.basis_passes, 1u);
+  }
+  // Monomial basis (all guards off) is a plain copy either way: one pass.
+  {
+    const la::FusedKernelsGuard guard(false);
+    stats.reset();
+    la::shift_combine(dst.data(), av.data(), 0.0, x.data(), 0.0, nullptr,
+                      1.0, n);
+    EXPECT_EQ(stats.basis_passes, 1u);
+  }
+}
+
+// The engine dot batch routes through la::dot_batch: one sweep per batch
+// fused, one per pair unfused -- this is the per-outer-iteration count the
+// s-step drivers pay.
+TEST(KernelStatsTest, EngineDotsAreOneSweepWhenFused) {
+  const CsrMatrix a = sparse::make_ecology2_like(13, 11);
+  krylov::SerialEngine engine(a);
+  krylov::VecBlock block = engine.new_block(7);
+  std::vector<krylov::DotPair> pairs;
+  for (std::size_t i = 0; i < block.size(); ++i)
+    pairs.push_back(krylov::DotPair{&block[i], &block[i]});
+  std::vector<double> out(pairs.size());
+  la::KernelStats& stats = la::kernel_stats();
+  {
+    const la::FusedKernelsGuard guard(true);
+    stats.reset();
+    engine.dots(pairs, out);
+    EXPECT_EQ(stats.dot_sweeps, 1u);
+  }
+  {
+    const la::FusedKernelsGuard guard(false);
+    stats.reset();
+    engine.dots(pairs, out);
+    EXPECT_EQ(stats.dot_sweeps, pairs.size());
+  }
+}
+
+// --- byte models --------------------------------------------------------
+
+// bench_kernels, DistCsr, and SellMatrix must all report the SAME byte
+// models (sparse/bytes_model.hpp) -- the dedup satellite.
+TEST(BytesModelTest, OperatorsReportSharedModel) {
+  const CsrMatrix a = sparse::make_thermal2_like(11, 13);
+
+  const SellMatrix sell(a);
+  const std::size_t chunks = (a.rows() + sell.chunk() - 1) / sell.chunk();
+  EXPECT_EQ(sell.bytes_per_apply(),
+            sparse::sell_apply_bytes(a.rows(), a.cols(), sell.slots(),
+                                     chunks));
+
+  for (const int p : {1, 2, 3}) {
+    const Partition part(a.rows(), p);
+    par::Team::run(p, [&](par::Comm& comm) {
+      const DistCsr dist(a, part, comm.rank());
+      EXPECT_EQ(dist.bytes_per_apply(),
+                sparse::csr_apply_bytes(
+                    dist.local_rows(),
+                    dist.local_rows() + dist.ghost_count(),
+                    dist.local_nnz()));
+      const DistCsr dist_sell(a, part, comm.rank(), SparseFormat::kSell);
+      // SELL format: int32 columns, padded slots -- fewer bytes than the
+      // int64 CSR on these shapes (that is the point of the format).
+      EXPECT_LT(dist_sell.bytes_per_apply(), dist.bytes_per_apply());
+    });
+  }
+}
+
+}  // namespace
