@@ -23,11 +23,13 @@
 #include <cstring>
 #include <string>
 
+#include "pipescg/krylov/registry.hpp"
 #include "pipescg/krylov/serial_engine.hpp"
 #include "pipescg/krylov/sstep_common.hpp"
 #include "pipescg/la/lu.hpp"
 #include "pipescg/la/vector_kernels.hpp"
 #include "pipescg/obs/json.hpp"
+#include "pipescg/obs/tracing.hpp"
 #include "pipescg/par/comm.hpp"
 #include "pipescg/precond/jacobi.hpp"
 #include "pipescg/precond/ssor.hpp"
@@ -519,11 +521,44 @@ int run_bench_json(const std::string& path) {
                 t_fused > 0.0 ? t_unfused / t_fused : 0.0);
   }
 
+  // Tracing overhead: the SAME serial solve with a Tracer (span ring +
+  // per-checkpoint outer_iteration spans) installed vs bare.  The contract
+  // is "tracing never perturbs the solve": the ratio gates at <= 3% in CI.
+  obs::json::Value obs_ratios = obs::json::Value::object();
+  {
+    const sparse::CsrMatrix a = sparse::make_poisson125_csr(10);
+    krylov::SerialEngine engine(a);
+    krylov::Vec b = engine.new_vec();
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0;
+    krylov::SolverOptions opts;
+    opts.rtol = 1e-8;
+    opts.s = 3;
+    const auto solver = krylov::make_solver("scg-sspmv");
+    auto solve_once = [&] {
+      krylov::Vec x = engine.new_vec();
+      solver->solve(engine, b, x, opts);
+    };
+    const double t_plain = seconds_per_call(solve_once, 7);
+    obs::tracing::SpanRing ring(obs::tracing::SpanRing::kDefaultCapacity, 0);
+    obs::tracing::Tracer tracer(obs::tracing::TraceContext{1, 0}, ring);
+    double t_traced = 0.0;
+    {
+      const obs::tracing::Tracer::Install install(&tracer);
+      t_traced = seconds_per_call(solve_once, 7);
+    }
+    const double overhead = t_plain > 0.0 ? t_traced / t_plain : 0.0;
+    obs_ratios.set("tracing_overhead", overhead);
+    std::printf("  tracing      plain %7.3f ms  traced %7.3f ms  "
+                "overhead %5.3fx (%zu spans retained)\n",
+                1e3 * t_plain, 1e3 * t_traced, overhead, ring.size());
+  }
+
   obs::json::Value doc = obs::json::Value::object();
   doc.set("bench", "kernels");
   doc.set("methods", obs::json::Value::object());
   obs::json::Value ratios = obs::json::Value::object();
   ratios.set("kernels", std::move(kernels));
+  ratios.set("obs", std::move(obs_ratios));
   doc.set("ratios", std::move(ratios));
   obs::json::write_file(path, doc);
   std::printf("wrote kernel bench json to %s\n", path.c_str());

@@ -10,12 +10,24 @@
 //      team;
 //   3. resumability -- a step-limited context is resubmitted until it
 //      converges, each submission restarting from the current iterate;
-//   4. observability -- setup counters prove warm solves build nothing, and
+//   4. observability -- setup counters prove warm solves build nothing,
 //      --metrics-out exports the session surface via
-//      obs::metrics::register_session.
+//      obs::metrics::register_session, --trace-requests-out writes one
+//      merged Chrome/Perfetto trace per request, --alerts-out streams
+//      anomaly alerts as JSONL, and --metrics-period-ms samples live
+//      metrics while the stream drains (tail them with
+//      tools/pipescg_top.py);
+//   5. fault drills -- --fault-spec injects faults into the rank team
+//      (e.g. "rank=1:kind=slow:factor=16" makes rank 1 a straggler the
+//      detector must blame), and --deadline-ms gives every streamed job a
+//      start deadline so expiry paths are exercised.
 //
 //   ./solver_service [--n 20] [--ranks 2] [--jobs 6] [--s 3] [--rtol 1e-6]
 //                    [--step-limit 12] [--metrics-out metrics.prom]
+//                    [--trace-requests-out traces/] [--alerts-out a.jsonl]
+//                    [--metrics-period-ms 50] [--fault-spec SPEC]
+//                    [--deadline-ms 0]
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -51,6 +63,24 @@ int main(int argc, char** argv) {
                  "iteration budget per submission of the resumable job");
   cli.add_option("metrics-out", "",
                  "write the session's Prometheus exposition here");
+  cli.add_option("metrics-period-ms", "0",
+                 "sample live metrics to --metrics-out every PERIOD ms "
+                 "while draining (0 = final snapshot only)");
+  cli.add_option("trace-requests-out", "",
+                 "directory for per-request merged Perfetto trace files");
+  cli.add_option("alerts-out", "", "append anomaly alerts as JSONL here");
+  cli.add_option("fault-spec", "",
+                 "inject faults into the rank team, e.g. "
+                 "rank=1:kind=slow:factor=16");
+  cli.add_option("deadline-ms", "0",
+                 "start deadline for every streamed job (0 = none)");
+  cli.add_option("straggler-window", "4",
+                 "checkpoints per straggler-detector window");
+  cli.add_option("straggler-consecutive", "2",
+                 "consecutive blames before a straggler alert fires");
+  cli.add_option("straggler-dominance", "0.25",
+                 "the suspect's window wait must be at most this fraction "
+                 "of the largest rank wait (noise guard)");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::size_t n = static_cast<std::size_t>(cli.integer("n"));
@@ -64,9 +94,42 @@ int main(int argc, char** argv) {
   service::SessionConfig config;
   config.ranks = static_cast<int>(cli.integer("ranks"));
   config.s = opts.s;
+  if (!cli.str("fault-spec").empty())
+    config.fault_specs = fault::parse_fault_specs(cli.str("fault-spec"));
 
   // 1. Cold setup, paid once.
   service::Session session(a, config);
+
+  // Observability: one registry backs both the live cells the session
+  // updates while draining and the end-of-run session surface; the sampler
+  // snapshots it to --metrics-out on a period so `pipescg_top.py` (or
+  // `watch cat`) can follow the run live.
+  obs::metrics::Registry registry;
+  std::unique_ptr<obs::tracing::TraceSink> traces;
+  std::unique_ptr<obs::anomaly::AlertSink> alerts;
+  std::unique_ptr<obs::metrics::MetricsSampler> sampler;
+  if (!cli.str("trace-requests-out").empty())
+    traces = std::make_unique<obs::tracing::TraceSink>(
+        cli.str("trace-requests-out"));
+  if (!cli.str("alerts-out").empty())
+    alerts = std::make_unique<obs::anomaly::AlertSink>(cli.str("alerts-out"));
+  const double period_ms = cli.real("metrics-period-ms");
+  if (period_ms > 0.0 && !cli.str("metrics-out").empty()) {
+    sampler = std::make_unique<obs::metrics::MetricsSampler>(
+        registry, cli.str("metrics-out"), period_ms);
+    sampler->start();
+  }
+  service::Observability obs;
+  obs.traces = traces.get();
+  obs.alerts = alerts.get();
+  obs.registry = &registry;
+  obs.sampler = sampler.get();
+  obs.straggler.window =
+      static_cast<std::size_t>(cli.integer("straggler-window"));
+  obs.straggler.consecutive =
+      static_cast<int>(cli.integer("straggler-consecutive"));
+  obs.straggler.dominance = cli.real("straggler-dominance");
+  session.set_observability(obs);
   std::printf("session: %zu unknowns on %d ranks, setup %.3fms "
               "(%zu dist builds, %zu pc builds, %zu team spawn)\n",
               session.unknowns(), session.ranks(),
@@ -83,6 +146,14 @@ int main(int argc, char** argv) {
   stream.push_back(std::make_unique<service::SolveContext>(
       "pipe-pscg", make_rhs(a, jobs), opts));
 
+  const double deadline_ms = cli.real("deadline-ms");
+  if (deadline_ms > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(static_cast<long long>(1e3 * deadline_ms));
+    for (auto& ctx : stream) ctx->set_deadline(deadline);
+  }
+
   service::AdmissionQueue queue;
   for (auto& ctx : stream) queue.submit(ctx.get());
   const std::size_t executed = session.drain(queue);
@@ -90,9 +161,11 @@ int main(int argc, char** argv) {
               executed, session.team_runs(), queue.batches());
   for (std::size_t j = 0; j < stream.size(); ++j) {
     const service::SolveContext& ctx = *stream[j];
-    std::printf("  job %zu [%-9s]: %s, %zu iterations, rnorm %.2e\n", j,
-                ctx.method().c_str(), to_string(ctx.state()),
-                ctx.stats().iterations, ctx.stats().final_rnorm);
+    std::printf("  job %zu [%-9s]: %s, %zu iterations, rnorm %.2e, "
+                "trace %llu\n",
+                j, ctx.method().c_str(), to_string(ctx.state()),
+                ctx.stats().iterations, ctx.stats().final_rnorm,
+                static_cast<unsigned long long>(ctx.trace_id()));
   }
 
   // 3. Resumable job: a step-limited context resubmitted to convergence.
@@ -118,8 +191,21 @@ int main(int argc, char** argv) {
               session.solves(), c.dist_builds, c.pc_builds, c.team_spawns,
               c.warm_hits);
 
+  if (traces != nullptr)
+    std::printf("wrote %zu merged request trace(s) under %s\n",
+                traces->written(), traces->dir().c_str());
+  if (alerts != nullptr) {
+    std::printf("emitted %zu alert(s) to %s\n", alerts->emitted(),
+                alerts->path().c_str());
+    for (const obs::anomaly::Alert& alert : alerts->alerts())
+      std::printf("  [%s] %s: %s\n", alert.severity.c_str(),
+                  alert.family.c_str(), alert.message.c_str());
+  }
+
+  if (sampler != nullptr) sampler->stop();
   if (!cli.str("metrics-out").empty()) {
-    obs::metrics::Registry registry;
+    // Final snapshot folds in the end-of-run session surface next to the
+    // live cells the sampler has been publishing all along.
     obs::metrics::register_session(registry, session.snapshot(),
                                    {{"method", "scg-sspmv"}});
     registry.write_textfile(cli.str("metrics-out"));

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "pipescg/base/error.hpp"
+#include "pipescg/obs/anomaly.hpp"
+#include "pipescg/obs/tracing.hpp"
 
 namespace pipescg::krylov {
 
@@ -47,6 +49,17 @@ void finalize_stats(Engine& engine, const Vec& b, const Vec& x,
 bool checkpoint(SolveStats& stats, const SolverOptions& opts,
                 std::size_t iteration, double rnorm) {
   stats.history.emplace_back(iteration, rnorm);
+  // Request-scoped observers: the per-rank tracer records the checkpoint
+  // span, the anomaly probe publishes this rank's exposed-wait total and
+  // (on rank 0) runs the straggler/stall evaluations.  Both are pure
+  // observers -- no collectives, no solver state -- so a monitored solve
+  // iterates bitwise identically to a bare one.  Every driver (s-step,
+  // pipelined, plain CG, batched multi-RHS) funnels through here.
+  if (obs::tracing::Tracer* tracer = obs::tracing::Tracer::current())
+    tracer->checkpoint(iteration, rnorm);
+  if (obs::anomaly::MidSolveProbe* probe =
+          obs::anomaly::MidSolveProbe::current())
+    probe->on_checkpoint(iteration, rnorm);
   if (opts.monitor) opts.monitor(IterationInfo{iteration, rnorm});
   if (!std::isfinite(rnorm)) {
     stats.breakdown = true;

@@ -365,25 +365,26 @@ void MetricsSampler::stop() {
   running_ = false;
 }
 
+void MetricsSampler::flush() {
+  // A monitoring tick must never take down the solve it watches; a full
+  // disk or vanished directory degrades to a missed sample.
+  try {
+    registry_.write_textfile(path_);
+    samples_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const Error&) {
+  }
+}
+
 void MetricsSampler::run() {
   const auto period = std::chrono::duration<double, std::milli>(period_ms_);
-  auto snapshot = [this] {
-    // A monitoring tick must never take down the solve it watches; a full
-    // disk or vanished directory degrades to a missed sample.
-    try {
-      registry_.write_textfile(path_);
-      samples_.fetch_add(1, std::memory_order_relaxed);
-    } catch (const Error&) {
-    }
-  };
   std::unique_lock<std::mutex> lock(mu_);
   while (!cv_.wait_for(lock, period, [this] { return stopping_; })) {
     lock.unlock();
-    snapshot();
+    flush();
     lock.lock();
   }
   lock.unlock();
-  snapshot();  // final flush: the file ends reflecting the completed state
+  flush();  // final flush: the file ends reflecting the completed state
 }
 
 // --- bridges ----------------------------------------------------------------

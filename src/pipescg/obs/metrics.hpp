@@ -167,6 +167,11 @@ class MetricsSampler {
 
   void start();
   void stop();
+  /// Render and write one snapshot NOW, regardless of the period -- the
+  /// service layer calls this when a job terminates early (deadline expiry)
+  /// so the terminal state is never lost to the sampling window.  Safe from
+  /// any thread; I/O failures degrade to a missed sample.
+  void flush();
   /// Snapshots written so far (final stop() flush included).
   std::size_t samples() const { return samples_.load(std::memory_order_relaxed); }
 

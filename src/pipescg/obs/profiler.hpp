@@ -100,6 +100,11 @@ class Profiler {
 
   int rank() const { return rank_; }
 
+  /// The clock instant span times are relative to (shared by all ranks of a
+  /// SolveProfile); tracing::RequestTrace::add_profile uses it to align
+  /// profiler spans with request spans recorded against a different epoch.
+  Clock::time_point epoch() const { return epoch_; }
+
   /// Seconds since the profile epoch (shared by all ranks of a
   /// SolveProfile, so spans from different ranks share a timebase).
   double now() const {

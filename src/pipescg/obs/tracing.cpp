@@ -1,0 +1,274 @@
+#include "pipescg/obs/tracing.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <utility>
+
+#include "pipescg/base/error.hpp"
+#include "pipescg/obs/profiler.hpp"
+
+namespace pipescg::obs::tracing {
+
+TraceContext new_trace() {
+  static std::atomic<std::uint64_t> next{1};
+  TraceContext ctx;
+  ctx.trace_id = next.fetch_add(1, std::memory_order_relaxed);
+  return ctx;
+}
+
+// --- SpanRing ---------------------------------------------------------------
+
+SpanRing::SpanRing(std::size_t capacity, std::uint64_t tag) : tag_(tag) {
+  PIPESCG_CHECK(capacity > 0, "span ring capacity must be positive");
+  ring_.resize(capacity);
+}
+
+std::uint64_t SpanRing::mint() {
+  return (tag_ + 1) * (std::uint64_t{1} << 32) + ++next_seq_;
+}
+
+void SpanRing::push(TraceSpan span) {
+  if (size_ < ring_.size()) {
+    ring_[(head_ + size_) % ring_.size()] = std::move(span);
+    ++size_;
+    return;
+  }
+  // Full: overwrite the oldest retained span (newest-kept eviction).
+  ring_[head_] = std::move(span);
+  head_ = (head_ + 1) % ring_.size();
+  ++dropped_;
+}
+
+std::vector<TraceSpan> SpanRing::spans() const {
+  std::vector<TraceSpan> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+// --- Tracer -----------------------------------------------------------------
+
+thread_local Tracer* Tracer::tls_current_ = nullptr;
+
+Tracer::Tracer(TraceContext ctx, SpanRing& ring, Clock::time_point base)
+    : ctx_(ctx), ring_(ring), epoch_(Clock::now()) {
+  ring_.set_clock_offset(
+      std::chrono::duration<double>(epoch_ - base).count());
+  parents_.push_back(ctx_.parent_span_id);
+}
+
+Tracer::Tracer(TraceContext ctx, SpanRing& ring)
+    : ctx_(ctx), ring_(ring), epoch_(Clock::now()) {
+  parents_.push_back(ctx_.parent_span_id);
+}
+
+std::uint64_t Tracer::record(
+    std::string name, double start, double end,
+    std::vector<std::pair<std::string, double>> args) {
+  TraceSpan span;
+  span.name = std::move(name);
+  span.span_id = ring_.mint();
+  span.parent_span_id = current_parent();
+  span.start = start;
+  span.end = end;
+  span.args = std::move(args);
+  const std::uint64_t id = span.span_id;
+  ring_.push(std::move(span));
+  return id;
+}
+
+std::uint64_t Tracer::mark(std::string name,
+                           std::vector<std::pair<std::string, double>> args) {
+  const double t = now();
+  return record(std::move(name), t, t, std::move(args));
+}
+
+void Tracer::checkpoint(std::uint64_t iteration, double rnorm) {
+  const double t = now();
+  record("outer_iteration", last_checkpoint_, t,
+         {{"iteration", static_cast<double>(iteration)}, {"rnorm", rnorm}});
+  last_checkpoint_ = t;
+}
+
+Tracer::Install::Install(Tracer* t) : prev_(tls_current_) {
+  if (t != nullptr) tls_current_ = t;
+}
+
+Tracer::Install::~Install() { tls_current_ = prev_; }
+
+// --- TraceScope -------------------------------------------------------------
+
+TraceScope::TraceScope(Tracer* t, std::string name) : t_(t) {
+  if (t_ == nullptr) return;
+  name_ = std::move(name);
+  span_id_ = t_->ring_.mint();
+  start_ = t_->now();
+  t_->parents_.push_back(span_id_);
+  // Checkpoint spans measure time since the previous checkpoint; the first
+  // one inside a fresh scope must not reach back before the scope opened
+  // (it would escape its parent in the merged trace).
+  t_->last_checkpoint_ = start_;
+}
+
+TraceScope::~TraceScope() {
+  if (t_ == nullptr) return;
+  t_->parents_.pop_back();
+  TraceSpan span;
+  span.name = std::move(name_);
+  span.span_id = span_id_;
+  span.parent_span_id = t_->current_parent();
+  span.start = start_;
+  span.end = t_->now();
+  t_->ring_.push(std::move(span));
+}
+
+// --- RequestTrace -----------------------------------------------------------
+
+RequestTrace::RequestTrace(TraceContext ctx, int ranks, std::size_t capacity,
+                           Clock::time_point base)
+    : ctx_(ctx), base_(base) {
+  PIPESCG_CHECK(ranks >= 1, "RequestTrace needs at least one rank");
+  rings_.reserve(static_cast<std::size_t>(ranks) + 1);
+  for (int r = 0; r <= ranks; ++r)
+    rings_.emplace_back(capacity, static_cast<std::uint64_t>(r));
+}
+
+void RequestTrace::add_profile(const SolveProfile& profile,
+                               std::span<const std::uint64_t> rank_roots) {
+  const int nr = std::min(ranks(), profile.ranks());
+  PIPESCG_CHECK(rank_roots.size() >= static_cast<std::size_t>(nr),
+                "add_profile needs a root span id per rank");
+  for (int r = 0; r < nr; ++r) {
+    const Profiler& prof = profile.rank(r);
+    SpanRing& ring = rank_ring(r);
+    // Profiler span times are relative to the profile epoch; re-express them
+    // relative to this ring's clock so the ring's offset aligns them.
+    const double prof_offset =
+        std::chrono::duration<double>(prof.epoch() - base_).count() -
+        ring.clock_offset();
+    for (const Span& s : prof.spans()) {
+      TraceSpan span;
+      span.name = to_string(s.kind);
+      span.span_id = ring.mint();
+      span.parent_span_id = rank_roots[static_cast<std::size_t>(r)];
+      span.start = s.start + prof_offset;
+      span.end = s.end + prof_offset;
+      ring.push(std::move(span));
+    }
+  }
+}
+
+// --- merge ------------------------------------------------------------------
+
+json::Value merge_trace(const RequestTrace& trace) {
+  struct Event {
+    int tid;
+    double start;  // aligned seconds
+    double end;
+    const TraceSpan* span;
+  };
+  std::vector<std::vector<TraceSpan>> ring_spans;
+  std::vector<Event> events;
+  const int tracks = trace.ranks() + 1;
+  ring_spans.reserve(static_cast<std::size_t>(tracks));
+  for (int t = 0; t < tracks; ++t) {
+    const SpanRing& ring = t < trace.ranks() ? trace.rank_ring(t)
+                                             : trace.service_ring();
+    ring_spans.push_back(ring.spans());
+    for (const TraceSpan& s : ring_spans.back()) {
+      events.push_back(Event{t, s.start + ring.clock_offset(),
+                             s.end + ring.clock_offset(), &s});
+    }
+  }
+  // Deterministic order independent of rank interleaving: span data alone
+  // decides the output (span ids break start-time ties per track).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.start != b.start) return a.start < b.start;
+                     return a.span->span_id < b.span->span_id;
+                   });
+
+  json::Value doc = json::Value::object();
+  doc.set("trace_id", static_cast<double>(trace.context().trace_id));
+  doc.set("displayTimeUnit", "ms");
+  json::Value list = json::Value::array();
+  {
+    json::Value meta = json::Value::object();
+    meta.set("ph", "M");
+    meta.set("pid", 0);
+    meta.set("name", "process_name");
+    json::Value args = json::Value::object();
+    args.set("name", "request " +
+                         std::to_string(trace.context().trace_id));
+    meta.set("args", std::move(args));
+    list.push_back(std::move(meta));
+  }
+  for (int t = 0; t < tracks; ++t) {
+    json::Value meta = json::Value::object();
+    meta.set("ph", "M");
+    meta.set("pid", 0);
+    meta.set("tid", t);
+    meta.set("name", "thread_name");
+    json::Value args = json::Value::object();
+    args.set("name", t < trace.ranks() ? "rank " + std::to_string(t)
+                                       : std::string("service"));
+    meta.set("args", std::move(args));
+    list.push_back(std::move(meta));
+  }
+  for (const Event& e : events) {
+    json::Value ev = json::Value::object();
+    ev.set("ph", "X");
+    ev.set("pid", 0);
+    ev.set("tid", e.tid);
+    ev.set("name", e.span->name);
+    ev.set("cat", "request");
+    ev.set("ts", e.start * 1e6);
+    ev.set("dur", (e.end - e.start) * 1e6);
+    json::Value args = json::Value::object();
+    args.set("trace_id", static_cast<double>(trace.context().trace_id));
+    args.set("span_id", static_cast<double>(e.span->span_id));
+    args.set("parent_span_id",
+             static_cast<double>(e.span->parent_span_id));
+    for (const auto& [key, value] : e.span->args) args.set(key, value);
+    ev.set("args", std::move(args));
+    list.push_back(std::move(ev));
+  }
+  doc.set("traceEvents", std::move(list));
+  return doc;
+}
+
+void write_merged_trace(const RequestTrace& trace, const std::string& path) {
+  json::write_file(path, merge_trace(trace));
+}
+
+// --- TraceSink --------------------------------------------------------------
+
+TraceSink::TraceSink(std::string dir) : dir_(std::move(dir)) {
+  PIPESCG_CHECK(!dir_.empty(), "trace sink directory must be non-empty");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  PIPESCG_CHECK(!ec, "cannot create trace directory " + dir_);
+}
+
+std::string TraceSink::path_for(std::uint64_t trace_id) const {
+  return dir_ + "/trace_" + std::to_string(trace_id) + ".json";
+}
+
+std::string TraceSink::write(const RequestTrace& trace) {
+  const std::string path = path_for(trace.context().trace_id);
+  const json::Value doc = merge_trace(trace);
+  std::lock_guard<std::mutex> lock(mu_);
+  json::write_file(path, doc);
+  ++written_;
+  return path;
+}
+
+std::size_t TraceSink::written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+}  // namespace pipescg::obs::tracing

@@ -31,12 +31,14 @@
 #include "pipescg/krylov/spmd_engine.hpp"
 #include "pipescg/la/cholesky.hpp"
 #include "pipescg/obs/analysis.hpp"
+#include "pipescg/obs/anomaly.hpp"
 #include "pipescg/obs/chrome_trace.hpp"
 #include "pipescg/obs/json.hpp"
 #include "pipescg/obs/metrics.hpp"
 #include "pipescg/obs/profiler.hpp"
 #include "pipescg/obs/report.hpp"
 #include "pipescg/obs/telemetry.hpp"
+#include "pipescg/obs/tracing.hpp"
 #include "pipescg/la/dense_matrix.hpp"
 #include "pipescg/la/lu.hpp"
 #include "pipescg/par/comm.hpp"

@@ -5,9 +5,11 @@
 #include <exception>
 #include <limits>
 #include <mutex>
+#include <optional>
 
 #include "pipescg/base/error.hpp"
 #include "pipescg/base/timer.hpp"
+#include "pipescg/fault/injector.hpp"
 #include "pipescg/krylov/multi_rhs.hpp"
 #include "pipescg/krylov/registry.hpp"
 #include "pipescg/krylov/spmd_engine.hpp"
@@ -87,9 +89,62 @@ void Session::solve_batch(std::span<SolveContext* const> ctxs) {
   execute(ctxs);
 }
 
+void Session::set_observability(Observability obs) {
+  obs_ = obs;
+  queue_monitor_ = obs::anomaly::QueuePressureMonitor(obs_.queue_pressure);
+  live_metrics_ = LiveMetrics{};
+  if (obs_.registry == nullptr) return;
+  obs::metrics::Registry& reg = *obs_.registry;
+  live_metrics_.solves = &reg.counter(
+      "pipescg_live_solves_total", "Jobs completed by the session so far");
+  live_metrics_.expired = &reg.counter(
+      "pipescg_live_expired_total",
+      "Jobs whose deadline passed before a submission could start");
+  live_metrics_.queue_depth = &reg.gauge(
+      "pipescg_live_queue_depth",
+      "Admission-queue depth observed at the last drain round");
+  live_metrics_.straggler_rank = &reg.gauge(
+      "pipescg_anomaly_straggler_rank",
+      "Rank currently suspected of straggling (-1 = none)");
+  live_metrics_.straggler_rank->set(-1.0);
+  auto alerts = [&reg](const char* family) -> obs::metrics::Counter* {
+    return &reg.counter("pipescg_anomaly_alerts_total",
+                        "Anomaly alerts emitted, by detector family",
+                        {{"family", family}});
+  };
+  live_metrics_.alerts_straggler = alerts("straggler");
+  live_metrics_.alerts_stall = alerts("convergence_stall");
+  live_metrics_.alerts_saturation = alerts("queue_saturation");
+  live_metrics_.alerts_deadline = alerts("deadline_pressure");
+}
+
+void Session::emit_alert(const obs::anomaly::Alert& alert) {
+  if (obs_.alerts != nullptr) obs_.alerts->emit(alert);
+  obs::metrics::Counter* counter = nullptr;
+  if (alert.family == "straggler") counter = live_metrics_.alerts_straggler;
+  else if (alert.family == "convergence_stall")
+    counter = live_metrics_.alerts_stall;
+  else if (alert.family == "queue_saturation")
+    counter = live_metrics_.alerts_saturation;
+  else if (alert.family == "deadline_pressure")
+    counter = live_metrics_.alerts_deadline;
+  if (counter != nullptr) counter->inc();
+  if (alert.family == "straggler" &&
+      live_metrics_.straggler_rank != nullptr)
+    live_metrics_.straggler_rank->set(static_cast<double>(alert.rank));
+}
+
 std::size_t Session::drain(AdmissionQueue& queue, std::size_t max_batch) {
   std::size_t executed = 0;
   for (;;) {
+    const std::size_t depth = queue.pending();
+    if (live_metrics_.queue_depth != nullptr)
+      live_metrics_.queue_depth->set(static_cast<double>(depth));
+    if (obs_.alerts != nullptr || obs_.registry != nullptr) {
+      if (std::optional<obs::anomaly::Alert> alert =
+              queue_monitor_.on_depth(depth))
+        emit_alert(*alert);
+    }
     const std::vector<SolveContext*> batch = queue.next_batch(max_batch);
     if (batch.empty()) break;
     const auto start = std::chrono::steady_clock::now();
@@ -99,6 +154,8 @@ std::size_t Session::drain(AdmissionQueue& queue, std::size_t max_batch) {
     execute(batch);
     executed += batch.size();
   }
+  if (live_metrics_.queue_depth != nullptr)
+    live_metrics_.queue_depth->set(0.0);
   return executed;
 }
 
@@ -109,6 +166,8 @@ void Session::execute(std::span<SolveContext* const> ctxs) {
   std::vector<SolveContext*> live;
   live.reserve(ctxs.size());
   std::size_t budget = std::numeric_limits<std::size_t>::max();
+  const bool alerting = obs_.alerts != nullptr || obs_.registry != nullptr;
+  bool any_expired = false;
   const auto now = std::chrono::steady_clock::now();
   for (SolveContext* ctx : ctxs) {
     PIPESCG_CHECK(ctx->b_.size() == a_.rows(),
@@ -123,7 +182,30 @@ void Session::execute(std::span<SolveContext* const> ctxs) {
       ctx->state_ = JobState::kExpired;
       ctx->error_ = "deadline exceeded before execution";
       ++expired_;
+      any_expired = true;
+      if (live_metrics_.expired != nullptr) live_metrics_.expired->inc();
+      if (alerting) {
+        if (std::optional<obs::anomaly::Alert> alert =
+                queue_monitor_.on_dispatch(
+                    /*headroom_seconds=*/0.0,
+                    solve_latency_.quantile(0.95), /*expired=*/true,
+                    ctx->trace_.trace_id))
+          emit_alert(*alert);
+      }
       continue;
+    }
+    if (ctx->has_deadline_ && alerting) {
+      // Dispatching with less headroom than the session's observed p95
+      // solve latency: the job will probably blow its deadline mid-queue
+      // next time around -- warn while an operator can still shed load.
+      const double headroom =
+          std::chrono::duration<double>(ctx->deadline_ - now).count();
+      if (std::optional<obs::anomaly::Alert> alert =
+              queue_monitor_.on_dispatch(headroom,
+                                         solve_latency_.quantile(0.95),
+                                         /*expired=*/false,
+                                         ctx->trace_.trace_id))
+        emit_alert(*alert);
     }
     std::size_t remaining =
         ctx->opts_.max_iterations > ctx->total_iterations_
@@ -139,6 +221,10 @@ void Session::execute(std::span<SolveContext* const> ctxs) {
     ctx->state_ = JobState::kRunning;
     live.push_back(ctx);
   }
+  // Deadline expiry is a terminal event the metrics file must reflect even
+  // though no solve ran: flush the sampler so the last window is not
+  // silently dropped (satellite of the observability contract).
+  if (any_expired && obs_.sampler != nullptr) obs_.sampler->flush();
   if (live.empty()) return;
 
   const std::size_t k = live.size();
@@ -155,9 +241,76 @@ void Session::execute(std::span<SolveContext* const> ctxs) {
   if (opts.gap_check_period == 0)
     opts.gap_check_period = config_.gap_check_period;
   const std::string& method = live[0]->method_;
+  const int ranks = config_.ranks;
+
+  // --- per-request observability setup ------------------------------------
+  // Tracing merges every rank's span ring into one Chrome trace per
+  // request; the detectors need measured per-rank waits, so either one
+  // turns the per-rank profilers on.  All of it only OBSERVES: no
+  // collectives, no solver state, so the iterate trajectory is bitwise
+  // identical with observability on or off.
+  const bool tracing_on = obs_.traces != nullptr;
+  const bool detectors_on = alerting && obs_.detectors && ranks >= 2;
+  const bool profiling = tracing_on || detectors_on;
+  const std::uint64_t req_trace_id = live[0]->trace_.trace_id;
+
+  std::unique_ptr<obs::tracing::RequestTrace> rtrace;
+  std::unique_ptr<obs::tracing::Tracer> svc_tracer;
+  std::uint64_t root_id = 0;
+  if (tracing_on) {
+    // Base epoch: the earliest instant this request touched the service
+    // (its enqueue, for drained jobs), so queue wait is on the trace.
+    auto base = now;
+    for (const SolveContext* ctx : live)
+      if (ctx->enqueued_at_ != std::chrono::steady_clock::time_point{} &&
+          ctx->enqueued_at_ < base)
+        base = ctx->enqueued_at_;
+    rtrace = std::make_unique<obs::tracing::RequestTrace>(
+        live[0]->trace_, ranks, obs_.trace_capacity, base);
+    root_id = rtrace->service_ring().mint();
+    svc_tracer = std::make_unique<obs::tracing::Tracer>(
+        obs::tracing::TraceContext{req_trace_id, root_id},
+        rtrace->service_ring(), base);
+    const double svc_offset = rtrace->service_ring().clock_offset();
+    for (std::size_t c = 0; c < k; ++c) {
+      const SolveContext* ctx = live[c];
+      if (ctx->enqueued_at_ == std::chrono::steady_clock::time_point{})
+        continue;
+      const double enq =
+          std::chrono::duration<double>(ctx->enqueued_at_ - base).count();
+      svc_tracer->record(
+          "queue_wait", enq - svc_offset, svc_tracer->now(),
+          {{"column", static_cast<double>(c)},
+           {"column_trace_id", static_cast<double>(ctx->trace_.trace_id)}});
+    }
+  }
+
+  std::unique_ptr<obs::SolveProfile> profile;
+  if (profiling) profile = std::make_unique<obs::SolveProfile>(ranks);
+  std::vector<std::uint64_t> rank_roots(static_cast<std::size_t>(ranks), 0);
+
+  std::unique_ptr<obs::anomaly::StragglerDetector> straggler;
+  std::unique_ptr<obs::anomaly::StallDetector> stall;
+  obs::anomaly::MidSolveProbe::Shared probe_shared;
+  if (detectors_on) {
+    straggler = std::make_unique<obs::anomaly::StragglerDetector>(
+        ranks, obs_.straggler);
+    stall = std::make_unique<obs::anomaly::StallDetector>(obs_.stall);
+    probe_shared.straggler = straggler.get();
+    probe_shared.stall = stall.get();
+    probe_shared.sink = nullptr;  // alerts route through emit_alert below
+    probe_shared.trace_id = req_trace_id;
+    probe_shared.on_alert = [](void* arg,
+                               const obs::anomaly::Alert& alert) {
+      static_cast<Session*>(arg)->emit_alert(alert);
+    };
+    probe_shared.on_alert_arg = this;
+  }
 
   const WallTimer timer;
   std::vector<krylov::SolveStats> stats(k);
+  bool failed = false;
+  std::string failure;
   try {
     team_->run([&](par::Comm& comm) {
       const int rank = comm.rank();
@@ -167,9 +320,39 @@ void Session::execute(std::span<SolveContext* const> ctxs) {
       const sparse::MatrixPowers* mpk =
           rs.mpk != nullptr && opts.s <= rs.mpk->depth() ? rs.mpk.get()
                                                         : nullptr;
-      krylov::SpmdEngine engine(comm, *rs.dist,
-                                use_pc ? rs.pc.get() : nullptr,
-                                /*profiler=*/nullptr, mpk);
+
+      // Deterministic fault injection (tests / chaos drills).
+      std::optional<fault::Injector> injector;
+      std::optional<fault::Injector::Install> injector_install;
+      if (!config_.fault_specs.empty()) {
+        injector.emplace(config_.fault_specs, rank);
+        injector_install.emplace(&*injector);
+      }
+
+      // Request tracing: this rank's tracer records into its own ring of
+      // the shared RequestTrace; the rank_solve scope is the rank's root
+      // span, parented under the service-track request span.
+      std::optional<obs::tracing::Tracer> tracer;
+      std::optional<obs::tracing::Tracer::Install> tracer_install;
+      if (rtrace != nullptr) {
+        tracer.emplace(obs::tracing::TraceContext{req_trace_id, root_id},
+                       rtrace->rank_ring(rank), rtrace->base_epoch());
+        tracer_install.emplace(&*tracer);
+      }
+      obs::tracing::Tracer* tr = tracer ? &*tracer : nullptr;
+      obs::tracing::TraceScope rank_scope(tr, "rank_solve");
+      rank_roots[static_cast<std::size_t>(rank)] = rank_scope.span_id();
+
+      std::optional<obs::anomaly::MidSolveProbe> probe;
+      std::optional<obs::anomaly::MidSolveProbe::Install> probe_install;
+      if (detectors_on) {
+        probe.emplace(&probe_shared, rank);
+        probe_install.emplace(&*probe);
+      }
+
+      krylov::SpmdEngine engine(
+          comm, *rs.dist, use_pc ? rs.pc.get() : nullptr,
+          profile != nullptr ? &profile->rank(rank) : nullptr, mpk);
       const std::size_t begin = partition_.begin(rank);
       const std::size_t len = partition_.local_size(rank);
 
@@ -177,46 +360,83 @@ void Session::execute(std::span<SolveContext* const> ctxs) {
       std::vector<krylov::Vec> xs;
       bs.reserve(k);
       xs.reserve(k);
-      for (const SolveContext* ctx : live) {
-        krylov::Vec b = engine.new_vec();
-        krylov::Vec x = engine.new_vec();
-        for (std::size_t i = 0; i < len; ++i) {
-          b[i] = ctx->b_[begin + i];
-          x[i] = ctx->x_[begin + i];
+      {
+        obs::tracing::TraceScope scope(tr, "scatter");
+        for (const SolveContext* ctx : live) {
+          krylov::Vec b = engine.new_vec();
+          krylov::Vec x = engine.new_vec();
+          for (std::size_t i = 0; i < len; ++i) {
+            b[i] = ctx->b_[begin + i];
+            x[i] = ctx->x_[begin + i];
+          }
+          bs.push_back(std::move(b));
+          xs.push_back(std::move(x));
         }
-        bs.push_back(std::move(b));
-        xs.push_back(std::move(x));
       }
 
       std::vector<krylov::SolveStats> local_stats;
-      if (k == 1) {
-        local_stats.push_back(
-            krylov::make_solver(method)->solve(engine, bs[0], xs[0], opts));
-      } else {
-        local_stats = krylov::scg_multi_solve(
-            engine, std::span<const krylov::Vec>(bs),
-            std::span<krylov::Vec>(xs), opts);
+      {
+        obs::tracing::TraceScope scope(tr, "solve");
+        if (k == 1) {
+          local_stats.push_back(krylov::make_solver(method)->solve(
+              engine, bs[0], xs[0], opts));
+        } else {
+          local_stats = krylov::scg_multi_solve(
+              engine, std::span<const krylov::Vec>(bs),
+              std::span<krylov::Vec>(xs), opts);
+        }
       }
 
       // Every rank writes its own disjoint row slice of each iterate; the
       // replicated scalar stats are taken from rank 0.
-      for (std::size_t c = 0; c < k; ++c)
-        for (std::size_t i = 0; i < len; ++i)
-          live[c]->x_[begin + i] = xs[c][i];
+      {
+        obs::tracing::TraceScope scope(tr, "gather");
+        for (std::size_t c = 0; c < k; ++c)
+          for (std::size_t i = 0; i < len; ++i)
+            live[c]->x_[begin + i] = xs[c][i];
+      }
       if (rank == 0)
         for (std::size_t c = 0; c < k; ++c) stats[c] = std::move(local_stats[c]);
     });
   } catch (const std::exception& e) {
     // The persistent team has already recovered its collective state; the
     // jobs in flight are what failed.
+    failed = true;
+    failure = e.what();
+  }
+  const double seconds = timer.seconds();
+
+  if (live_metrics_.straggler_rank != nullptr && straggler != nullptr)
+    live_metrics_.straggler_rank->set(
+        static_cast<double>(straggler->candidate()));
+
+  if (rtrace != nullptr) {
+    // Merge: measured kernel spans nest under each rank's root, the
+    // service-track request span closes over everything, and the whole
+    // request becomes one clock-aligned Perfetto file.
+    if (profile != nullptr) rtrace->add_profile(*profile, rank_roots);
+    obs::tracing::TraceSpan root;
+    root.name = "request";
+    root.span_id = root_id;
+    root.parent_span_id = 0;
+    root.start = -rtrace->service_ring().clock_offset();  // == base epoch
+    root.end = svc_tracer->now();
+    root.args = {{"columns", static_cast<double>(k)},
+                 {"setup_cache_hit", 1.0},
+                 {"failed", failed ? 1.0 : 0.0}};
+    rtrace->service_ring().push(std::move(root));
+    const std::string path = obs_.traces->write(*rtrace);
+    for (SolveContext* ctx : live) ctx->trace_path_ = path;
+  }
+
+  if (failed) {
     for (SolveContext* ctx : live) {
       ctx->state_ = JobState::kFailed;
-      ctx->error_ = e.what();
+      ctx->error_ = failure;
       ++ctx->submissions_;
     }
     return;
   }
-  const double seconds = timer.seconds();
 
   for (std::size_t c = 0; c < k; ++c) {
     SolveContext* ctx = live[c];
@@ -229,6 +449,8 @@ void Session::execute(std::span<SolveContext* const> ctxs) {
   }
   solves_ += k;
   counters_.warm_hits += k;
+  if (live_metrics_.solves != nullptr)
+    live_metrics_.solves->add(static_cast<double>(k));
 }
 
 }  // namespace pipescg::service

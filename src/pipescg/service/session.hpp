@@ -35,9 +35,12 @@
 #include <span>
 #include <vector>
 
+#include "pipescg/fault/spec.hpp"
 #include "pipescg/krylov/solver.hpp"
+#include "pipescg/obs/anomaly.hpp"
 #include "pipescg/obs/metrics.hpp"
 #include "pipescg/obs/profiler.hpp"
+#include "pipescg/obs/tracing.hpp"
 #include "pipescg/par/comm.hpp"
 #include "pipescg/precond/jacobi.hpp"
 #include "pipescg/service/queue.hpp"
@@ -62,6 +65,34 @@ struct SessionConfig {
   int replacement_period = 0;    ///< residual-replacement cadence (0 = auto)
   double gap_tol = 0.0;          ///< gap-monitor tolerance (<= 0 = off)
   int gap_check_period = 0;      ///< gap-check cadence (0 = auto)
+
+  /// Deterministic fault injection on the rank team (tests / chaos drills):
+  /// each rank thread installs a fault::Injector built from this list for
+  /// the duration of every solve.  Empty (default) = no injection.
+  std::vector<fault::FaultSpec> fault_specs;
+};
+
+/// Non-owning observability wiring for a Session.  Everything is optional
+/// and composable: a trace sink turns on per-request distributed tracing, an
+/// alert sink / registry turn on the online anomaly detectors and live
+/// metric families, a sampler gets flushed on early-termination events
+/// (deadline expiry) so the terminal snapshot is never lost.  All pointed-to
+/// objects must outlive the session (or a reset via set_observability).
+struct Observability {
+  obs::tracing::TraceSink* traces = nullptr;
+  obs::anomaly::AlertSink* alerts = nullptr;
+  obs::metrics::Registry* registry = nullptr;
+  obs::metrics::MetricsSampler* sampler = nullptr;
+
+  /// Gate for the mid-solve detectors (straggler/stall); queue-pressure
+  /// monitoring rides the alert sink regardless.
+  bool detectors = true;
+  obs::anomaly::StragglerConfig straggler;
+  obs::anomaly::StallConfig stall;
+  obs::anomaly::QueuePressureConfig queue_pressure;
+
+  /// Span-ring capacity per rank track of a traced request.
+  std::size_t trace_capacity = obs::tracing::SpanRing::kDefaultCapacity;
 };
 
 /// Counts of the expensive per-operator builds a Session performs.  All of
@@ -110,6 +141,12 @@ class Session {
   /// jobs executed.
   std::size_t drain(AdmissionQueue& queue, std::size_t max_batch = 16);
 
+  /// Install (or replace, or clear with {}) the session's observability
+  /// wiring: request tracing, anomaly detection, live metric families,
+  /// sampler flush-on-expiry.  Call between solves, not during one.
+  void set_observability(Observability obs);
+  const Observability& observability() const { return obs_; }
+
   // --- observability ------------------------------------------------------
   const SetupCounters& setup_counters() const { return counters_; }
   /// Wall seconds the constructor spent building the cached state.
@@ -141,6 +178,26 @@ class Session {
   // else scg_multi_solve) on the team and finalize every context.
   void execute(std::span<SolveContext* const> ctxs);
 
+  // Route one alert through the sink and the pipescg_anomaly_* metrics.
+  // Called from the service thread (queue/deadline alerts) and from rank
+  // 0's thread mid-solve (straggler/stall, via the MidSolveProbe
+  // trampoline); those never overlap -- the service thread is blocked in
+  // team_->run() whenever rank threads execute.
+  void emit_alert(const obs::anomaly::Alert& alert);
+
+  // Live metric cells, registered by set_observability (null when no
+  // registry is wired).
+  struct LiveMetrics {
+    obs::metrics::Counter* solves = nullptr;
+    obs::metrics::Counter* expired = nullptr;
+    obs::metrics::Gauge* queue_depth = nullptr;
+    obs::metrics::Gauge* straggler_rank = nullptr;
+    obs::metrics::Counter* alerts_straggler = nullptr;
+    obs::metrics::Counter* alerts_stall = nullptr;
+    obs::metrics::Counter* alerts_saturation = nullptr;
+    obs::metrics::Counter* alerts_deadline = nullptr;
+  };
+
   sparse::CsrMatrix a_;
   SessionConfig config_;
   sparse::Partition partition_;
@@ -153,6 +210,10 @@ class Session {
   std::size_t expired_ = 0;
   obs::LatencyHistogram solve_latency_;
   obs::LatencyHistogram queue_latency_;
+
+  Observability obs_;
+  LiveMetrics live_metrics_;
+  obs::anomaly::QueuePressureMonitor queue_monitor_;
 };
 
 }  // namespace pipescg::service

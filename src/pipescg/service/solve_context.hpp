@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "pipescg/krylov/solver.hpp"
+#include "pipescg/obs/tracing.hpp"
 
 namespace pipescg::service {
 
@@ -95,6 +96,15 @@ class SolveContext {
   /// What() of the exception that aborted the last submission (kFailed).
   const std::string& error() const { return error_; }
 
+  /// Process-unique trace id minted at construction; every span and alert
+  /// this request produces carries it.  Batched columns keep their own ids
+  /// (recorded as column annotations); the merged trace file is keyed by
+  /// the batch head's id.
+  std::uint64_t trace_id() const { return trace_.trace_id; }
+  /// Path of the merged per-request trace written for the most recent
+  /// traced submission (empty when tracing was off).
+  const std::string& trace_path() const { return trace_path_; }
+
  private:
   friend class Session;
   friend class AdmissionQueue;
@@ -108,6 +118,8 @@ class SolveContext {
   bool has_deadline_ = false;
 
   JobState state_ = JobState::kPending;
+  obs::tracing::TraceContext trace_ = obs::tracing::new_trace();
+  std::string trace_path_;
   krylov::SolveStats stats_;
   std::size_t total_iterations_ = 0;
   std::size_t submissions_ = 0;

@@ -352,5 +352,101 @@ TEST(MetricsSamplerTest, SnapshotsWhileRecordersRun) {
   std::remove(path.c_str());
 }
 
+TEST(MetricsSamplerTest, FlushWritesAnImmediateSnapshot) {
+  Registry registry;
+  Counter& expired = registry.counter("pipescg_live_expired_total", "e", {});
+  expired.add(3.0);
+
+  const std::string path = ::testing::TempDir() + "metrics_flush.prom";
+  std::remove(path.c_str());
+  // Never started: only explicit flushes write, so the file content is
+  // exactly the state at flush time -- the deadline-expiry path depends on
+  // this to persist terminal counters without waiting out the period.
+  MetricsSampler sampler(registry, path, /*period_ms=*/60'000.0);
+  sampler.flush();
+  EXPECT_EQ(sampler.samples(), 1u);
+  EXPECT_NE(slurp(path).find("pipescg_live_expired_total 3"),
+            std::string::npos);
+  expired.add(1.0);
+  sampler.flush();
+  EXPECT_EQ(sampler.samples(), 2u);
+  EXPECT_NE(slurp(path).find("pipescg_live_expired_total 4"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+// Unescape one Prometheus label value per the exposition-format rules --
+// the inverse the scrape side (and tools/pipescg_top.py) applies.
+std::string prometheus_unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      const char next = s[++i];
+      if (next == 'n') out += '\n';
+      else out += next;  // \\ and \" map to the raw character
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+TEST(MetricsRegistryTest, HostileLabelValuesRoundTripThroughExposition) {
+  // Every value a shell-injected matrix path or method name could smuggle
+  // in: quotes, backslashes, newlines, and the ambiguous backslash-n pair.
+  const std::vector<std::string> hostile = {
+      "plain",
+      "quote\"inside",
+      "back\\slash",
+      "new\nline",
+      "literal\\n pair",
+      "trailing backslash \\",
+      "\"\\\n mixed \\\" end",
+  };
+  Registry registry;
+  for (std::size_t i = 0; i < hostile.size(); ++i)
+    registry
+        .gauge("pipescg_hostile", "h",
+               {{"idx", std::to_string(i)}, {"val", hostile[i]}})
+        .set(1.0);
+  const std::string text = registry.prometheus();
+
+  // Pull each series' val="..." back out of the exposition text, honoring
+  // escapes while scanning for the closing quote.
+  std::vector<std::string> recovered(hostile.size());
+  std::size_t pos = 0;
+  std::size_t found = 0;
+  while ((pos = text.find("idx=\"", pos)) != std::string::npos) {
+    pos += 5;
+    const std::size_t idx =
+        static_cast<std::size_t>(std::stoul(text.substr(pos)));
+    std::size_t v = text.find("val=\"", pos);
+    ASSERT_NE(v, std::string::npos);
+    v += 5;
+    std::string raw;
+    while (v < text.size() && text[v] != '"') {
+      if (text[v] == '\\') raw += text[v++];
+      ASSERT_LT(v, text.size());
+      raw += text[v++];
+    }
+    ASSERT_LT(idx, recovered.size());
+    recovered[idx] = prometheus_unescape(raw);
+    ++found;
+    pos = v;
+  }
+  EXPECT_EQ(found, hostile.size());
+  for (std::size_t i = 0; i < hostile.size(); ++i)
+    EXPECT_EQ(recovered[i], hostile[i]) << "value " << i;
+  // A raw newline inside a label value would shear the line -- every series
+  // must render on exactly one line for line-oriented scrapers.
+  for (const char* needle : {"pipescg_hostile{"})
+    for (pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + 1)) {
+      const std::size_t eol = text.find('\n', pos);
+      ASSERT_NE(eol, std::string::npos);
+      EXPECT_NE(text.rfind("} ", eol), std::string::npos);
+    }
+}
+
 }  // namespace
 }  // namespace pipescg::obs::metrics

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "pipescg/krylov/registry.hpp"
+#include "pipescg/obs/anomaly.hpp"
 #include "pipescg/krylov/serial_engine.hpp"
 #include "pipescg/krylov/spmd_engine.hpp"
 #include "pipescg/obs/analysis.hpp"
@@ -746,3 +747,201 @@ TEST(TimelineScheduleTest, CapturedScheduleMatchesEvaluatedTotals) {
 
 }  // namespace
 }  // namespace pipescg::obs
+
+// --- anomaly detectors ------------------------------------------------------
+
+namespace pipescg::obs::anomaly {
+namespace {
+
+TEST(StragglerDetectorTest, BlamesTheRankWhoseWaitCollapses) {
+  StragglerConfig cfg;
+  cfg.window = 4;
+  cfg.consecutive = 2;
+  StragglerDetector det(4, cfg);
+  // Rank 1 is the straggler: it never waits (everyone waits FOR it), so its
+  // cumulative exposed wait barely grows while every peer's climbs.
+  std::vector<double> cum(4, 0.0);
+  std::size_t alerts = 0;
+  Alert last;
+  for (std::uint64_t it = 1; it <= 12; ++it) {
+    for (int r = 0; r < 4; ++r) cum[static_cast<std::size_t>(r)] += (r == 1) ? 0.001 : 0.1;
+    for (int r = 0; r < 4; ++r) det.publish(r, cum[static_cast<std::size_t>(r)]);
+    if (std::optional<Alert> a = det.evaluate(it)) {
+      ++alerts;
+      last = *a;
+    }
+  }
+  // Fires exactly once per rank per solve, blaming the right rank.
+  EXPECT_EQ(alerts, 1u);
+  EXPECT_EQ(last.family, "straggler");
+  EXPECT_EQ(last.rank, 1);
+  EXPECT_LE(last.value, -cfg.z_threshold);
+  EXPECT_EQ(det.candidate(), 1);
+}
+
+TEST(StragglerDetectorTest, BalancedRanksNeverFire) {
+  StragglerConfig cfg;
+  cfg.window = 4;
+  cfg.consecutive = 2;
+  StragglerDetector det(4, cfg);
+  std::vector<double> cum(4, 0.0);
+  for (std::uint64_t it = 1; it <= 20; ++it) {
+    for (int r = 0; r < 4; ++r) {
+      cum[static_cast<std::size_t>(r)] += 0.1;
+      det.publish(r, cum[static_cast<std::size_t>(r)]);
+    }
+    EXPECT_FALSE(det.evaluate(it).has_value());
+  }
+  EXPECT_EQ(det.candidate(), -1);
+}
+
+TEST(StragglerDetectorTest, TinyWaitsStayBelowTheMeanFloor) {
+  StragglerConfig cfg;
+  cfg.window = 2;
+  cfg.consecutive = 1;
+  StragglerDetector det(2, cfg);
+  // Same 100:1 skew as a real straggler, but nanoseconds of total wait --
+  // nothing worth blaming on an idle solve.
+  double c0 = 0.0, c1 = 0.0;
+  for (std::uint64_t it = 1; it <= 10; ++it) {
+    c0 += 1e-7;
+    c1 += 1e-9;
+    det.publish(0, c0);
+    det.publish(1, c1);
+    EXPECT_FALSE(det.evaluate(it).has_value());
+  }
+}
+
+TEST(StallDetectorTest, PlateauFiresAndRearmsAfterAFreshWindow) {
+  StallConfig cfg;
+  cfg.window = 4;
+  StallDetector det(cfg);
+  std::size_t alerts = 0;
+  for (std::uint64_t it = 1; it <= 8; ++it) {
+    if (std::optional<Alert> a = det.feed(it, 1.0)) {
+      ++alerts;
+      EXPECT_EQ(a->family, "convergence_stall");
+      EXPECT_DOUBLE_EQ(a->value, 1.0);
+      EXPECT_DOUBLE_EQ(a->threshold, 1.0 - cfg.min_improvement);
+    }
+  }
+  // Window fills at feed 4 (fire), clears, refills by feed 8 (fire again).
+  EXPECT_EQ(alerts, 2u);
+}
+
+TEST(StallDetectorTest, SteadyConvergenceIsSilent) {
+  StallConfig cfg;
+  cfg.window = 4;
+  StallDetector det(cfg);
+  double rnorm = 1.0;
+  for (std::uint64_t it = 1; it <= 20; ++it) {
+    EXPECT_FALSE(det.feed(it, rnorm).has_value());
+    rnorm *= 0.5;
+  }
+}
+
+TEST(StallDetectorTest, DivergenceIsTheDriversProblemNotAStall) {
+  StallConfig cfg;
+  cfg.window = 4;
+  StallDetector det(cfg);
+  double rnorm = 1.0;
+  for (std::uint64_t it = 1; it <= 12; ++it) {
+    EXPECT_FALSE(det.feed(it, rnorm).has_value());
+    rnorm *= 3.0;  // 81x over any 4-wide window: divergence, stay silent
+  }
+}
+
+TEST(QueuePressureMonitorTest, DepthAlertIsRisingEdgeOnly) {
+  QueuePressureConfig cfg;
+  cfg.depth_threshold = 8;
+  QueuePressureMonitor mon(cfg);
+  EXPECT_FALSE(mon.on_depth(7).has_value());
+  std::optional<Alert> a = mon.on_depth(8);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->family, "queue_saturation");
+  EXPECT_DOUBLE_EQ(a->value, 8.0);
+  EXPECT_FALSE(mon.on_depth(30).has_value());  // still saturated: no repeat
+  EXPECT_FALSE(mon.on_depth(3).has_value());   // falls below: re-arms
+  EXPECT_TRUE(mon.on_depth(9).has_value());    // second rising edge fires
+}
+
+TEST(QueuePressureMonitorTest, DispatchHeadroomAndExpiry) {
+  QueuePressureMonitor mon;
+  // Plenty of headroom: quiet.
+  EXPECT_FALSE(mon.on_dispatch(10.0, 0.5, false, 1).has_value());
+  // Less headroom than the p95 solve latency: warning.
+  std::optional<Alert> tight = mon.on_dispatch(0.1, 0.5, false, 2);
+  ASSERT_TRUE(tight.has_value());
+  EXPECT_EQ(tight->family, "deadline_pressure");
+  EXPECT_EQ(tight->severity, "warning");
+  EXPECT_EQ(tight->trace_id, 2u);
+  // Already missed: critical.
+  std::optional<Alert> missed = mon.on_dispatch(0.0, 0.5, true, 3);
+  ASSERT_TRUE(missed.has_value());
+  EXPECT_EQ(missed->severity, "critical");
+}
+
+TEST(AlertSinkTest, JsonlRoundTripsEveryFieldIncludingHostileText) {
+  Alert a;
+  a.family = "straggler";
+  a.severity = "warning";
+  a.message = "rank 3 \"slow\"\nwith back\\slash";
+  a.trace_id = 7042;
+  a.rank = 3;
+  a.iteration = 96;
+  a.value = -1.5;
+  a.threshold = -1.2;
+  AlertSink sink;  // memory-only
+  sink.emit(a);
+  Alert b;
+  b.family = "deadline_pressure";
+  b.severity = "critical";
+  b.message = "deadline expired";
+  b.trace_id = 7043;
+  sink.emit(b);
+  EXPECT_EQ(sink.emitted(), 2u);
+  std::string text;
+  for (const Alert& al : sink.alerts())
+    text += AlertSink::to_json_line(al) + "\n";
+  const std::vector<Alert> parsed = AlertSink::parse_jsonl(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].message, a.message);
+  EXPECT_EQ(parsed[0].trace_id, 7042u);
+  EXPECT_EQ(parsed[0].rank, 3);
+  EXPECT_EQ(parsed[0].iteration, 96u);
+  EXPECT_DOUBLE_EQ(parsed[0].value, -1.5);
+  EXPECT_DOUBLE_EQ(parsed[0].threshold, -1.2);
+  EXPECT_EQ(parsed[1].family, "deadline_pressure");
+  EXPECT_EQ(parsed[1].severity, "critical");
+}
+
+TEST(MidSolveProbeTest, EmittedAlertsCarryTheTraceIdAndHitTheCallback) {
+  StallConfig cfg;
+  cfg.window = 2;
+  StallDetector stall(cfg);
+  AlertSink sink;
+  static int callback_hits;
+  callback_hits = 0;
+  MidSolveProbe::Shared shared;
+  shared.stall = &stall;
+  shared.sink = &sink;
+  shared.trace_id = 99;
+  shared.on_alert = [](void* arg, const Alert& alert) {
+    ++callback_hits;
+    EXPECT_EQ(alert.trace_id, 99u);
+    EXPECT_EQ(*static_cast<int*>(arg), 7);
+  };
+  static int cookie;
+  cookie = 7;
+  shared.on_alert_arg = &cookie;
+  MidSolveProbe probe(&shared, /*rank=*/0);
+  probe.on_checkpoint(1, 1.0);
+  EXPECT_EQ(sink.emitted(), 0u);
+  probe.on_checkpoint(2, 1.0);  // window=2 plateau fires
+  ASSERT_EQ(sink.emitted(), 1u);
+  EXPECT_EQ(sink.alerts()[0].trace_id, 99u);
+  EXPECT_EQ(callback_hits, 1);
+}
+
+}  // namespace
+}  // namespace pipescg::obs::anomaly

@@ -8,11 +8,19 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "pipescg/base/error.hpp"
+#include "pipescg/fault/spec.hpp"
+#include "pipescg/obs/anomaly.hpp"
+#include "pipescg/obs/json.hpp"
+#include "pipescg/obs/metrics.hpp"
+#include "pipescg/obs/tracing.hpp"
 #include "pipescg/krylov/multi_rhs.hpp"
 #include "pipescg/krylov/registry.hpp"
 #include "pipescg/krylov/serial_engine.hpp"
@@ -492,6 +500,286 @@ TEST(SessionTest, SnapshotCarriesCountersAndHistograms) {
   EXPECT_NE(text.find("pipescg_session_solve_latency_seconds"),
             std::string::npos);
   EXPECT_NE(text.find("kind=\"dist\""), std::string::npos);
+}
+
+// --- observability: tracing + anomaly detection e2e ------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(ObservabilityTest, TracedRequestWritesOneMergedPerfettoFile) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pipescg_svc_traces").string();
+  std::filesystem::remove_all(dir);
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  Session session(a, config);
+  obs::tracing::TraceSink traces(dir);
+  Observability obs;
+  obs.traces = &traces;
+  session.set_observability(obs);
+
+  SolveContext ctx("scg-sspmv", test_rhs(a, 0), test_opts());
+  session.solve(ctx);
+  ASSERT_TRUE(ctx.converged());
+  ASSERT_FALSE(ctx.trace_path().empty());
+  EXPECT_EQ(ctx.trace_path(), traces.path_for(ctx.trace_id()));
+
+  const obs::json::Value doc = obs::json::parse_file(ctx.trace_path());
+  EXPECT_DOUBLE_EQ(doc.at("trace_id").as_number(),
+                   static_cast<double>(ctx.trace_id()));
+  const obs::json::Value& events = doc.at("traceEvents");
+
+  // One named track per rank plus the service track.
+  std::vector<std::string> tracks;
+  double root_span_id = 0.0;
+  std::size_t rank_solves = 0;
+  std::size_t outer_iterations = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const obs::json::Value& ev = events.at(i);
+    if (ev.at("ph").as_string() == "M" &&
+        ev.at("name").as_string() == "thread_name")
+      tracks.push_back(ev.at("args").at("name").as_string());
+    if (ev.at("ph").as_string() != "X") continue;
+    // Every span links back to the request.
+    EXPECT_DOUBLE_EQ(ev.at("args").at("trace_id").as_number(),
+                     static_cast<double>(ctx.trace_id()));
+    if (ev.at("name").as_string() == "request")
+      root_span_id = ev.at("args").at("span_id").as_number();
+  }
+  ASSERT_EQ(tracks.size(), 3u);
+  EXPECT_EQ(tracks[0], "rank 0");
+  EXPECT_EQ(tracks[1], "rank 1");
+  EXPECT_EQ(tracks[2], "service");
+  ASSERT_NE(root_span_id, 0.0);
+  // Every rank's root span nests directly under the request span, and each
+  // rank recorded per-outer-iteration checkpoint spans.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const obs::json::Value& ev = events.at(i);
+    if (ev.at("ph").as_string() != "X") continue;
+    if (ev.at("name").as_string() == "rank_solve") {
+      ++rank_solves;
+      EXPECT_DOUBLE_EQ(ev.at("args").at("parent_span_id").as_number(),
+                       root_span_id);
+    }
+    if (ev.at("name").as_string() == "outer_iteration") ++outer_iterations;
+  }
+  EXPECT_EQ(rank_solves, 2u);
+  EXPECT_GE(outer_iterations, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObservabilityTest, BatchedColumnsShareOneMergedTrace) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pipescg_batch_traces")
+          .string();
+  std::filesystem::remove_all(dir);
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  Session session(a, config);
+  obs::tracing::TraceSink traces(dir);
+  Observability obs;
+  obs.traces = &traces;
+  session.set_observability(obs);
+
+  SolveContext c0("scg-sspmv", test_rhs(a, 0), test_opts());
+  SolveContext c1("scg-sspmv", test_rhs(a, 1), test_opts());
+  const std::vector<SolveContext*> ptrs = {&c0, &c1};
+  session.solve_batch(ptrs);
+  ASSERT_TRUE(c0.converged());
+  ASSERT_TRUE(c1.converged());
+  // The merged file is keyed by the batch head's id; every batched column
+  // points at the same file.
+  EXPECT_EQ(c0.trace_path(), traces.path_for(c0.trace_id()));
+  EXPECT_EQ(c1.trace_path(), c0.trace_path());
+  const obs::json::Value doc = obs::json::parse_file(c0.trace_path());
+  EXPECT_DOUBLE_EQ(doc.at("trace_id").as_number(),
+                   static_cast<double>(c0.trace_id()));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObservabilityTest, TracedSolveIsBitwiseIdenticalToUntraced) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "pipescg_bitwise_traces")
+          .string();
+  std::filesystem::remove_all(dir);
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  const krylov::SolverOptions opts = test_opts();
+  const std::vector<double> b = test_rhs(a, 0);
+
+  Session plain(a, config);
+  SolveContext bare("scg-sspmv", b, opts);
+  plain.solve(bare);
+  ASSERT_TRUE(bare.converged());
+
+  Session observed(a, config);
+  obs::tracing::TraceSink traces(dir);
+  obs::anomaly::AlertSink alerts;
+  obs::metrics::Registry registry;
+  Observability obs;
+  obs.traces = &traces;
+  obs.alerts = &alerts;
+  obs.registry = &registry;
+  observed.set_observability(obs);
+  SolveContext watched("scg-sspmv", b, opts);
+  observed.solve(watched);
+  ASSERT_TRUE(watched.converged());
+
+  // The whole observability stack only READS measurements: identical
+  // iteration count, identical final rnorm, bitwise-identical iterate.
+  EXPECT_EQ(watched.stats().iterations, bare.stats().iterations);
+  EXPECT_EQ(watched.stats().final_rnorm, bare.stats().final_rnorm);
+  ASSERT_EQ(watched.x().size(), bare.x().size());
+  for (std::size_t i = 0; i < watched.x().size(); ++i)
+    ASSERT_EQ(watched.x()[i], bare.x()[i]) << "entry " << i;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObservabilityTest, SlowRankFaultRaisesExactlyOneStragglerAlert) {
+  const sparse::CsrMatrix a = test_matrix(24);
+  const krylov::SolverOptions opts = test_opts();
+  obs::anomaly::StragglerConfig straggler;
+  straggler.window = 4;
+  straggler.consecutive = 2;
+  straggler.min_mean_seconds = 1e-5;
+
+  // Clean run first: balanced ranks must raise nothing.
+  {
+    SessionConfig config;
+    config.ranks = 3;
+    Session session(a, config);
+    obs::anomaly::AlertSink alerts;
+    Observability obs;
+    obs.alerts = &alerts;
+    obs.straggler = straggler;
+    session.set_observability(obs);
+    SolveContext ctx("scg-sspmv", test_rhs(a, 0), opts);
+    session.solve(ctx);
+    ASSERT_TRUE(ctx.converged());
+    for (const obs::anomaly::Alert& alert : alerts.alerts())
+      EXPECT_NE(alert.family, "straggler") << alert.message;
+  }
+
+  // Same solve with rank 1 computing 16x slower: its own waits collapse
+  // while both peers spin on it, and the detector must blame exactly rank 1
+  // exactly once.
+  const std::string alerts_path =
+      (std::filesystem::temp_directory_path() / "pipescg_alerts.jsonl")
+          .string();
+  SessionConfig config;
+  config.ranks = 3;
+  config.fault_specs =
+      fault::parse_fault_specs("rank=1:kind=slow:factor=16");
+  Session session(a, config);
+  obs::anomaly::AlertSink alerts(alerts_path);
+  Observability obs;
+  obs.alerts = &alerts;
+  obs.straggler = straggler;
+  session.set_observability(obs);
+  SolveContext ctx("scg-sspmv", test_rhs(a, 0), opts);
+  session.solve(ctx);
+  ASSERT_TRUE(ctx.converged());
+
+  std::vector<obs::anomaly::Alert> straggler_alerts;
+  for (const obs::anomaly::Alert& alert : alerts.alerts())
+    if (alert.family == "straggler") straggler_alerts.push_back(alert);
+  ASSERT_EQ(straggler_alerts.size(), 1u);
+  EXPECT_EQ(straggler_alerts[0].rank, 1);
+  EXPECT_EQ(straggler_alerts[0].trace_id, ctx.trace_id());
+  EXPECT_LE(straggler_alerts[0].value, straggler_alerts[0].threshold);
+
+  // The JSONL stream round-trips the same alert for the ops console.
+  const std::vector<obs::anomaly::Alert> from_file =
+      obs::anomaly::AlertSink::parse_jsonl(slurp(alerts_path));
+  ASSERT_EQ(from_file.size(), alerts.emitted());
+  bool found = false;
+  for (const obs::anomaly::Alert& alert : from_file)
+    if (alert.family == "straggler" && alert.rank == 1 &&
+        alert.trace_id == ctx.trace_id())
+      found = true;
+  EXPECT_TRUE(found);
+  std::remove(alerts_path.c_str());
+}
+
+TEST(ObservabilityTest, ExpiredJobFlushesTerminalMetricsAndAlerts) {
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  Session session(a, config);
+
+  obs::metrics::Registry registry;
+  const std::string prom_path =
+      ::testing::TempDir() + "pipescg_expired.prom";
+  std::remove(prom_path.c_str());
+  obs::metrics::MetricsSampler sampler(registry, prom_path,
+                                       /*period_ms=*/60'000.0);
+  obs::anomaly::AlertSink alerts;
+  Observability obs;
+  obs.registry = &registry;
+  obs.sampler = &sampler;
+  obs.alerts = &alerts;
+  session.set_observability(obs);
+
+  SolveContext late("scg-sspmv", test_rhs(a, 0), test_opts());
+  late.set_deadline(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+  AdmissionQueue queue;
+  queue.submit(&late);
+  session.drain(queue);
+  EXPECT_EQ(late.state(), JobState::kExpired);
+
+  // The expiry flushed a snapshot immediately -- the sampler never ticked
+  // on its own (60s period, never started), yet the terminal counter is on
+  // disk.
+  EXPECT_GE(sampler.samples(), 1u);
+  EXPECT_NE(slurp(prom_path).find("pipescg_live_expired_total 1"),
+            std::string::npos);
+
+  // ...and the expiry raised a critical deadline_pressure alert carrying
+  // the request's trace id.
+  bool found = false;
+  for (const obs::anomaly::Alert& alert : alerts.alerts())
+    if (alert.family == "deadline_pressure" && alert.severity == "critical" &&
+        alert.trace_id == late.trace_id())
+      found = true;
+  EXPECT_TRUE(found);
+  std::remove(prom_path.c_str());
+}
+
+TEST(ObservabilityTest, QueueSaturationFiresOnTheRisingEdgeOnly) {
+  const sparse::CsrMatrix a = test_matrix();
+  SessionConfig config;
+  config.ranks = 2;
+  Session session(a, config);
+  obs::anomaly::AlertSink alerts;
+  Observability obs;
+  obs.alerts = &alerts;
+  obs.detectors = false;  // isolate the admission-side monitor
+  obs.queue_pressure.depth_threshold = 2;
+  session.set_observability(obs);
+
+  std::vector<std::unique_ptr<SolveContext>> stream;
+  for (std::size_t j = 0; j < 3; ++j)
+    stream.push_back(std::make_unique<SolveContext>("scg-sspmv",
+                                                    test_rhs(a, j),
+                                                    test_opts()));
+  AdmissionQueue queue;
+  for (auto& ctx : stream) queue.submit(ctx.get());
+  session.drain(queue);
+  for (const auto& ctx : stream) ASSERT_TRUE(ctx->converged());
+
+  std::size_t saturation = 0;
+  for (const obs::anomaly::Alert& alert : alerts.alerts())
+    if (alert.family == "queue_saturation") ++saturation;
+  EXPECT_EQ(saturation, 1u);
 }
 
 }  // namespace

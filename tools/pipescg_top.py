@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Live ops console for a running solver service.
+
+Tails the Prometheus snapshot a MetricsSampler writes (--metrics-out /
+--metrics-period-ms of examples/solver_service, or any Session wired with
+set_observability) together with the JSONL alert stream (--alerts-out), and
+renders a one-screen summary: queue depth, solve/expiry counters, the
+straggler gauge, per-family alert totals, and the most recent alerts.
+
+Plain ANSI repaint, stdlib only -- works over ssh, inside tmux, and in CI
+logs (--once prints a single frame and exits, for smoke tests).
+
+Usage:
+  pipescg_top.py --metrics metrics.prom [--alerts alerts.jsonl]
+                 [--interval 1.0] [--once] [--tail 8]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def unescape_label(value):
+    out, i = [], 0
+    while i < len(value):
+        if value[i] == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append("\n" if nxt == "n" else nxt)
+            i += 2
+        else:
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
+def parse_prometheus(text):
+    """-> {family: [(labels_dict, value)]}, honoring escaped label values."""
+    series = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            labels_text, _, value_text = rest.rpartition("} ")
+            labels = {}
+            i = 0
+            while i < len(labels_text):
+                eq = labels_text.find('="', i)
+                if eq < 0:
+                    break
+                key = labels_text[i:eq]
+                j = eq + 2
+                raw = []
+                while j < len(labels_text) and labels_text[j] != '"':
+                    if labels_text[j] == "\\" and j + 1 < len(labels_text):
+                        raw.append(labels_text[j:j + 2])
+                        j += 2
+                    else:
+                        raw.append(labels_text[j])
+                        j += 1
+                labels[key] = unescape_label("".join(raw))
+                i = j + 2  # skip closing quote and comma
+        else:
+            parts = line.rsplit(" ", 1)
+            if len(parts) != 2:
+                continue
+            name, value_text = parts
+            labels = {}
+        try:
+            value = float(value_text)
+        except ValueError:
+            continue
+        series.setdefault(name.strip(), []).append((labels, value))
+    return series
+
+
+def read_alerts(path):
+    if not path or not os.path.exists(path):
+        return []
+    alerts = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                alerts.append(json.loads(line))
+            except json.JSONDecodeError:
+                pass
+    return alerts
+
+
+def first_value(series, family, default=None):
+    values = series.get(family)
+    if not values:
+        return default
+    return values[0][1]
+
+
+def render(metrics_path, alerts_path, tail):
+    lines = []
+    lines.append(f"pipescg_top  {time.strftime('%H:%M:%S')}   "
+                 f"metrics: {metrics_path or '-'}   alerts: {alerts_path or '-'}")
+    lines.append("=" * 78)
+
+    series = {}
+    if metrics_path and os.path.exists(metrics_path):
+        with open(metrics_path, "r", encoding="utf-8") as f:
+            series = parse_prometheus(f.read())
+    elif metrics_path:
+        lines.append(f"(waiting for {metrics_path} ...)")
+
+    if series:
+        depth = first_value(series, "pipescg_live_queue_depth", 0)
+        solves = first_value(series, "pipescg_live_solves_total", 0)
+        expired = first_value(series, "pipescg_live_expired_total", 0)
+        straggler = first_value(series, "pipescg_anomaly_straggler_rank", -1)
+        lines.append(f"queue depth {int(depth):>4}   solves {int(solves):>6}   "
+                     f"expired {int(expired):>4}   straggler rank "
+                     f"{int(straggler) if straggler >= 0 else '-'}")
+        totals = series.get("pipescg_anomaly_alerts_total", [])
+        if totals:
+            counts = "   ".join(
+                f"{labels.get('family', '?')}={int(v)}"
+                for labels, v in sorted(totals,
+                                        key=lambda s: s[0].get("family", "")))
+            lines.append(f"alert totals: {counts}")
+        p95 = None
+        for labels, v in series.get(
+                "pipescg_session_solve_latency_seconds", []):
+            if labels.get("quantile") == "0.95":
+                p95 = v
+        if p95 is not None:
+            lines.append(f"solve latency p95: {1e3 * p95:.2f} ms")
+
+    alerts = read_alerts(alerts_path)
+    if alerts_path:
+        lines.append("-" * 78)
+        lines.append(f"alerts ({len(alerts)} total, last {min(tail, len(alerts))}):")
+        for alert in alerts[-tail:]:
+            scope = f"rank {alert.get('rank')}" if alert.get("rank", -1) >= 0 \
+                else f"trace {alert.get('trace_id')}"
+            lines.append(f"  [{alert.get('severity', '?'):>8}] "
+                         f"{alert.get('family', '?'):<18} {scope:<10} "
+                         f"{alert.get('message', '')[:40]}")
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--metrics", default=None, help=".prom snapshot to tail")
+    ap.add_argument("--alerts", default=None, help="JSONL alert stream to tail")
+    ap.add_argument("--interval", type=float, default=1.0,
+                    help="refresh period in seconds")
+    ap.add_argument("--once", action="store_true",
+                    help="print one frame and exit (no repaint)")
+    ap.add_argument("--tail", type=int, default=8,
+                    help="recent alerts to show")
+    args = ap.parse_args()
+    if not args.metrics and not args.alerts:
+        ap.error("nothing to watch: pass --metrics and/or --alerts")
+
+    if args.once:
+        print(render(args.metrics, args.alerts, args.tail))
+        return 0
+    try:
+        while True:
+            frame = render(args.metrics, args.alerts, args.tail)
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
